@@ -1,0 +1,20 @@
+//! Benchmark of the cache-simulator substrate: trace throughput of the
+//! distance-matrix kernels (the Module 2 `perf` substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdc_modules::module2::{trace_distance_kernel, Access};
+
+fn bench_tracer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(10);
+    group.bench_function("trace_rowwise_n100", |b| {
+        b.iter(|| trace_distance_kernel(100, 90, Access::RowWise))
+    });
+    group.bench_function("trace_tiled_n100", |b| {
+        b.iter(|| trace_distance_kernel(100, 90, Access::Tiled { tile: 32 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracer);
+criterion_main!(benches);

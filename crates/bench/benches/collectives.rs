@@ -1,0 +1,57 @@
+//! Wall-clock benchmark of the message-passing runtime: point-to-point
+//! latency and collective operations at several world sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_mpi::{Op, World};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    for &p in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("barrier_x100", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run_simple(p, |comm| {
+                    for _ in 0..100 {
+                        comm.barrier()?;
+                    }
+                    Ok(())
+                })
+                .expect("runs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_1k_x100", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run_simple(p, |comm| {
+                    let buf = vec![1.0f64; 1024];
+                    for _ in 0..100 {
+                        let _ = comm.allreduce(&buf, Op::Sum)?;
+                    }
+                    Ok(())
+                })
+                .expect("runs")
+            })
+        });
+    }
+    group.bench_function("pingpong_1kb_x1000", |b| {
+        b.iter(|| {
+            World::run_simple(2, |comm| {
+                let payload = vec![0u8; 1024];
+                for i in 0..1000u32 {
+                    if comm.rank() == 0 {
+                        comm.send(&payload, 1, i)?;
+                        let _ = comm.recv::<u8>(1, i)?;
+                    } else {
+                        let (ball, _) = comm.recv::<u8>(0, i)?;
+                        comm.send(&ball, 0, i)?;
+                    }
+                }
+                Ok(())
+            })
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Wall-clock benchmark of the Module 3 distributed bucket sort under the
+//! three activities (claim E3a/E3b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdc_modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sort");
+    group.sample_size(10);
+    let n = 20_000;
+    let p = 4;
+    group.bench_function("uniform_equal_width", |b| {
+        b.iter(|| {
+            run_distribution_sort(n, p, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
+                .expect("sort runs")
+        })
+    });
+    group.bench_function("exponential_equal_width", |b| {
+        b.iter(|| {
+            run_distribution_sort(n, p, InputDist::Exponential, BucketStrategy::EqualWidth, 3)
+                .expect("sort runs")
+        })
+    });
+    group.bench_function("exponential_histogram", |b| {
+        b.iter(|| {
+            run_distribution_sort(
+                n,
+                p,
+                InputDist::Exponential,
+                BucketStrategy::Histogram { bins: 512 },
+                3,
+            )
+            .expect("sort runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

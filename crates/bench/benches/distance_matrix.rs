@@ -1,0 +1,28 @@
+//! Wall-clock benchmark of the Module 2 distance-matrix kernels: the
+//! row-wise vs tiled comparison on real hardware (Table/claim E2a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{distance_rows, Access};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let pts = uniform_points(n, 90, 0.0, 1.0, 7);
+        group.bench_with_input(BenchmarkId::new("row_wise", n), &pts, |b, pts| {
+            b.iter(|| distance_rows(pts, 0, pts.len(), Access::RowWise))
+        });
+        for &tile in &[64usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("tiled_{tile}"), n),
+                &pts,
+                |b, pts| b.iter(|| distance_rows(pts, 0, pts.len(), Access::Tiled { tile })),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Wall-clock benchmark of Module 5: sequential k-means and the two
+//! distributed communication options (claims E5a/E5b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdc_datagen::gaussian_mixture;
+use pdc_modules::module5::{run_kmeans, sequential_kmeans, CommOption};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let pts = gaussian_mixture(10_000, 2, 8, 100.0, 1.5, 9).points;
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("sequential_k8", |b| {
+        b.iter(|| sequential_kmeans(&pts, 8, 1e-6))
+    });
+    group.bench_function("weighted_means_p4_k8", |b| {
+        b.iter(|| run_kmeans(&pts, 8, 4, CommOption::WeightedMeans, 1, 1e-6).expect("runs"))
+    });
+    group.bench_function("explicit_assignment_p4_k8", |b| {
+        b.iter(|| run_kmeans(&pts, 8, 4, CommOption::ExplicitAssignment, 1, 1e-6).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wall-clock benchmark of the Module 4 query engines: brute force vs the
+//! R-tree, plus R-tree construction (claim E4a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdc_datagen::{asteroid_catalog, random_range_queries};
+use pdc_modules::module4::brute_force_query;
+use pdc_spatial::{RTree, Rect};
+
+fn bench_queries(c: &mut Criterion) {
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(100, 0.05, 12);
+    let tree = RTree::bulk_load(
+        catalog
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.as_point(), i as u32))
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("range_query");
+    group.bench_function("brute_force_100q", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(lo, hi)| brute_force_query(&catalog, lo, hi))
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("rtree_100q", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(lo, hi)| tree.range_query(&Rect::new(*lo, *hi)).0.len() as u64)
+                .sum::<u64>()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("rtree_bulk_load_100k", |b| {
+        b.iter(|| {
+            RTree::bulk_load(
+                catalog
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.as_point(), i as u32))
+                    .collect(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

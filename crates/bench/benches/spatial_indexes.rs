@@ -1,0 +1,62 @@
+//! Wall-clock benchmark of the spatial substrate: build and query
+//! throughput of the three indexes over the asteroid catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdc_datagen::{asteroid_catalog, random_range_queries};
+use pdc_spatial::{KdTree, QuadTree, RTree, Rect};
+
+fn bench_indexes(c: &mut Criterion) {
+    let catalog = asteroid_catalog(50_000, 11);
+    let entries: Vec<([f64; 2], u32)> = catalog
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.as_point(), i as u32))
+        .collect();
+    let queries: Vec<Rect<2>> = random_range_queries(100, 0.1, 12)
+        .into_iter()
+        .map(|(lo, hi)| Rect::new(lo, hi))
+        .collect();
+
+    let rtree = RTree::bulk_load(entries.clone());
+    let kdtree = KdTree::build(entries.clone());
+    let mut quadtree = QuadTree::new(Rect::new([0.0, 0.0], [2.5, 1100.0]));
+    for &(p, id) in &entries {
+        assert!(quadtree.insert(p, id));
+    }
+
+    let mut group = c.benchmark_group("spatial_query_100");
+    group.bench_function("rtree", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| rtree.range_query(q).0.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("kdtree", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| kdtree.range_query(q).0.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("quadtree", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| quadtree.range_query(q).0.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("spatial_build_50k");
+    group.sample_size(10);
+    group.bench_function("rtree_bulk", |b| b.iter(|| RTree::bulk_load(entries.clone())));
+    group.bench_function("kdtree_build", |b| b.iter(|| KdTree::build(entries.clone())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

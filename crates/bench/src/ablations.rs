@@ -1,0 +1,361 @@
+//! Ablations of the design choices DESIGN.md calls out: tile size,
+//! histogram resolution, broadcast algorithm, and rank placement.
+//!
+//! Each ablation sweeps one knob while holding the rest of the system
+//! fixed, reporting how the knob moves the relevant metric — the
+//! quantitative version of the trade-off discussions in the modules
+//! ("performance trade-offs between small and large tile sizes",
+//! outcome 6 of Table I).
+
+use pdc_cluster::{MachineModel, PlacementPolicy};
+use pdc_datagen::{asteroid_catalog, random_range_queries};
+use pdc_modules::module4::{run_range_queries_cfg, Engine};
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{self, Access};
+use pdc_modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+use pdc_modules::module6::{run_stencil_placed, HaloVariant};
+use pdc_mpi::{Result, World, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Tile-size ablation: L1 miss rate and simulated time per tile size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileAblation {
+    /// (label, L1 miss rate, simulated time at 8 ranks) per configuration.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Sweep tile sizes for the Module 2 kernel (plus the row-wise baseline).
+pub fn ablation_tile_size() -> Result<TileAblation> {
+    let pts = uniform_points(512, 90, 0.0, 1.0, 7);
+    let mut rows = Vec::new();
+    let mut run = |label: String, access: Access| -> Result<()> {
+        let traced = module2::trace_distance_kernel(200, 90, access);
+        let timed = module2::run_distance_matrix(&pts, 8, access, 1)?;
+        rows.push((label, traced.l1_miss_rate, timed.sim_time));
+        Ok(())
+    };
+    run("row-wise".into(), Access::RowWise)?;
+    for tile in [4usize, 16, 32, 128, 512] {
+        run(format!("tile={tile}"), Access::Tiled { tile })?;
+    }
+    Ok(TileAblation { rows })
+}
+
+impl TileAblation {
+    /// The sweep must show the trade-off: some interior tile beats both the
+    /// tiniest tile and the row-wise extreme in miss rate.
+    pub fn holds(&self) -> bool {
+        let miss = |label: &str| {
+            self.rows
+                .iter()
+                .find(|(l, _, _)| l == label)
+                .map(|&(_, m, _)| m)
+                .expect("row present")
+        };
+        let best_mid = miss("tile=32").min(miss("tile=128"));
+        best_mid < miss("row-wise") && best_mid <= miss("tile=4") + 1e-9
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: tile size (distance matrix, 200x90d traced / 512x90d timed)\n\
+             config      L1 miss rate   sim time (8 ranks)\n",
+        );
+        for (label, miss, t) in &self.rows {
+            s.push_str(&format!("{label:<12}{miss:>12.4}   {t:.6} s\n"));
+        }
+        s
+    }
+}
+
+/// Histogram-resolution ablation for the Module 3 splitters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinsAblation {
+    /// (bins, imbalance factor) per configuration.
+    pub rows: Vec<(usize, f64)>,
+}
+
+/// Sweep histogram bin counts against exponential data.
+pub fn ablation_histogram_bins() -> Result<BinsAblation> {
+    let mut rows = Vec::new();
+    for bins in [8usize, 16, 64, 256, 1024] {
+        let rep = run_distribution_sort(
+            20_000,
+            8,
+            InputDist::Exponential,
+            BucketStrategy::Histogram { bins },
+            5,
+        )?;
+        rows.push((bins, rep.imbalance));
+    }
+    Ok(BinsAblation { rows })
+}
+
+impl BinsAblation {
+    /// More bins must not hurt, and high-resolution histograms must reach
+    /// near-perfect balance.
+    pub fn holds(&self) -> bool {
+        let first = self.rows.first().expect("non-empty").1;
+        let last = self.rows.last().expect("non-empty").1;
+        last <= first + 1e-9 && last < 1.2
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: histogram bins (exponential data, 8 ranks)\n\
+             bins    imbalance (max/mean)\n",
+        );
+        for (bins, imb) in &self.rows {
+            s.push_str(&format!("{bins:<8}{imb:>18.3}\n"));
+        }
+        s
+    }
+}
+
+/// Broadcast-algorithm ablation: binomial tree vs linear root-sends-all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BcastAblation {
+    /// (ranks, binomial sim time, linear sim time) rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Compare the runtime's binomial broadcast against a hand-rolled linear
+/// broadcast at several world sizes (1 MiB payload).
+pub fn ablation_bcast_algorithm() -> Result<BcastAblation> {
+    let bytes = 1 << 20;
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 16, 32] {
+        let binomial = World::run(WorldConfig::new(p), move |comm| {
+            let payload = vec![0u8; bytes];
+            let data = if comm.rank() == 0 { Some(&payload[..]) } else { None };
+            let _ = comm.bcast(data, 0)?;
+            Ok(())
+        })?
+        .sim_time;
+        let linear = World::run(WorldConfig::new(p), move |comm| {
+            if comm.rank() == 0 {
+                let payload = vec![0u8; bytes];
+                for dst in 1..comm.size() {
+                    comm.send(&payload, dst, 0)?;
+                }
+            } else {
+                let _ = comm.recv::<u8>(0, 0)?;
+            }
+            Ok(())
+        })?
+        .sim_time;
+        rows.push((p, binomial, linear));
+    }
+    Ok(BcastAblation { rows })
+}
+
+impl BcastAblation {
+    /// The tree must beat the linear algorithm, and the gap must widen
+    /// with the rank count.
+    pub fn holds(&self) -> bool {
+        let gaps: Vec<f64> = self.rows.iter().map(|&(_, b, l)| l / b).collect();
+        self.rows.iter().all(|&(_, b, l)| l > b)
+            && gaps.last().expect("non-empty") > gaps.first().expect("non-empty")
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: broadcast algorithm (1 MiB payload)\n\
+             ranks   binomial      linear      linear/binomial\n",
+        );
+        for &(p, b, l) in &self.rows {
+            s.push_str(&format!("{p:<8}{b:>9.6}s  {l:>9.6}s  {:>8.2}x\n", l / b));
+        }
+        s
+    }
+}
+
+/// Placement-policy ablation: block vs round-robin for a neighbor-heavy
+/// exchange.
+///
+/// A teachable nuance falls out of the measurement: the *makespan* of a
+/// neighbor pipeline barely moves (the slowest edge gates every rank
+/// downstream either way), but the **aggregate rank-time spent inside
+/// communication** — CPU-seconds the allocation burns on the network —
+/// multiplies when every edge crosses the node boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAblation {
+    /// Makespan under block placement, seconds.
+    pub block_makespan: f64,
+    /// Sum over ranks of time spent communicating, block placement.
+    pub block_comm_time: f64,
+    /// Makespan under round-robin placement.
+    pub rr_makespan: f64,
+    /// Sum over ranks of time spent communicating, round-robin placement.
+    pub rr_comm_time: f64,
+    /// Stencil makespans (tiny halos: both policies within noise).
+    pub stencil_block: f64,
+    /// Stencil makespan under round-robin.
+    pub stencil_rr: f64,
+}
+
+/// Run a 1 MiB right-neighbour exchange (20 rounds, 8 ranks on 2 nodes)
+/// plus the Module 6 stencil under both placement policies.
+pub fn ablation_placement() -> Result<PlacementAblation> {
+    let exchange = |policy| -> Result<(f64, f64)> {
+        let cfg = WorldConfig::new(8).on_nodes(2).with_policy(policy);
+        let out = World::run(cfg, |comm| {
+            let payload = vec![0u8; 1 << 20];
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            // Push all messages before draining: no lockstep pipeline, so
+            // each rank's communication time reflects its own link speeds
+            // rather than a neighbour's pace.
+            let mut reqs = Vec::with_capacity(20);
+            for round in 0..20u32 {
+                reqs.push(comm.isend(&payload, right, round)?);
+            }
+            for round in 0..20u32 {
+                let _ = comm.recv::<u8>(left, round)?;
+            }
+            comm.wait_all_sends(reqs)?;
+            Ok(())
+        })?;
+        Ok((out.sim_time, out.total_stats().sim_comm_time))
+    };
+    let (block_makespan, block_comm_time) = exchange(PlacementPolicy::Block)?;
+    let (rr_makespan, rr_comm_time) = exchange(PlacementPolicy::RoundRobin)?;
+    let stencil = |policy| {
+        run_stencil_placed(1_000, 8, 100, HaloVariant::BlockingFirst, 2, policy)
+            .map(|r| r.sim_time)
+    };
+    Ok(PlacementAblation {
+        block_makespan,
+        block_comm_time,
+        rr_makespan,
+        rr_comm_time,
+        stencil_block: stencil(PlacementPolicy::Block)?,
+        stencil_rr: stencil(PlacementPolicy::RoundRobin)?,
+    })
+}
+
+impl PlacementAblation {
+    /// Locality-respecting placement must burn far less aggregate
+    /// communication time and must never lose on makespan.
+    pub fn holds(&self) -> bool {
+        self.rr_comm_time > 1.3 * self.block_comm_time
+            && self.block_makespan <= self.rr_makespan * 1.001
+            && self.stencil_block <= self.stencil_rr * 1.001
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "Ablation: rank placement (8 ranks on 2 nodes)\n\
+             workload: 20x 1 MiB pushed to the right neighbour\n\
+             policy        makespan     aggregate comm time\n\
+             block        {:.6} s   {:.6} rank-seconds   (6/8 edges intra-node)\n\
+             round-robin  {:.6} s   {:.6} rank-seconds   (every edge inter-node)\n\
+             workload: 1-d stencil, 8-byte halos, 100 iters\n\
+             block        {:.6} s   round-robin {:.6} s   (latency-bound: ~tied,\n\
+             the slow edge gates the pipeline either way — the lesson is that\n\
+             placement burns aggregate rank-time, not necessarily makespan)\n",
+            self.block_makespan,
+            self.block_comm_time,
+            self.rr_makespan,
+            self.rr_comm_time,
+            self.stencil_block,
+            self.stencil_rr,
+        )
+    }
+}
+
+/// Hardware what-if: the Module 4 R-tree sweep on the standard node vs an
+/// HBM-class fat-memory node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareAblation {
+    /// (ranks, standard-node time, fat-node time) rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Run the hardware ablation.
+pub fn ablation_hardware() -> Result<HardwareAblation> {
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(400, 0.05, 12);
+    let mut rows = Vec::new();
+    for &p in &[1usize, 4, 8, 16, 32] {
+        let std_cfg = WorldConfig::new(p);
+        let mut fat_cfg = WorldConfig::new(p);
+        let mut fat = MachineModel::fat_memory_node();
+        fat.cores_per_node = fat.cores_per_node.max(p);
+        fat_cfg = fat_cfg.with_machine(fat, 1);
+        let std_t = run_range_queries_cfg(&catalog, &queries, Engine::RTree, std_cfg)?.sim_time;
+        let fat_t = run_range_queries_cfg(&catalog, &queries, Engine::RTree, fat_cfg)?.sim_time;
+        rows.push((p, std_t, fat_t));
+    }
+    Ok(HardwareAblation { rows })
+}
+
+impl HardwareAblation {
+    /// The fat node must keep the memory-bound R-tree scaling where the
+    /// standard node saturates.
+    pub fn holds(&self) -> bool {
+        let speedup = |col: fn(&(usize, f64, f64)) -> f64| {
+            let t1 = col(self.rows.first().expect("non-empty"));
+            let tp = col(self.rows.last().expect("non-empty"));
+            t1 / tp
+        };
+        let std_speedup = speedup(|r| r.1);
+        let fat_speedup = speedup(|r| r.2);
+        fat_speedup > 1.5 * std_speedup
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Ablation: hardware (R-tree range query; 100 GB/s node vs 800 GB/s HBM node)\n\
+             ranks   standard      HBM-class\n",
+        );
+        for &(p, std_t, fat_t) in &self.rows {
+            s.push_str(&format!("{p:<8}{std_t:>9.6}s  {fat_t:>9.6}s
+"));
+        }
+        s.push_str("Lesson: the knee of the memory-bound curve is a hardware number
+(node_bw / core_bw), not an algorithm property.
+");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_ablation_moves_the_knee() {
+        let a = ablation_hardware().expect("runs");
+        assert!(a.holds(), "{}", a.render());
+    }
+
+    #[test]
+    fn tile_ablation_shows_the_tradeoff() {
+        let a = ablation_tile_size().expect("runs");
+        assert!(a.holds(), "{}", a.render());
+    }
+
+    #[test]
+    fn bins_ablation_converges() {
+        let a = ablation_histogram_bins().expect("runs");
+        assert!(a.holds(), "{}", a.render());
+    }
+
+    #[test]
+    fn bcast_ablation_favours_the_tree() {
+        let a = ablation_bcast_algorithm().expect("runs");
+        assert!(a.holds(), "{}", a.render());
+    }
+
+    #[test]
+    fn placement_ablation_favours_locality() {
+        let a = ablation_placement().expect("runs");
+        assert!(a.holds(), "{}", a.render());
+    }
+}

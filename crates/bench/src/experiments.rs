@@ -1,0 +1,751 @@
+//! In-text experimental claims (§III of the paper), one driver per claim.
+//!
+//! Each experiment returns a serializable report with a `render()` for the
+//! `repro` binary and a `holds()` predicate asserting the paper's
+//! qualitative shape (who wins, where curves flatten, what dominates).
+
+use pdc_cluster::cosched::CoScheduleReport;
+use pdc_cluster::metrics::ScalingCurve;
+use pdc_cluster::MachineModel;
+use pdc_datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_modules::module2::{self, Access};
+use pdc_modules::module3::{run_distribution_sort, sequential_sort_time, BucketStrategy, InputDist};
+use pdc_modules::module4::{run_range_queries, Engine};
+use pdc_modules::module5::{run_kmeans, CommOption};
+use pdc_modules::module6::{run_stencil, HaloVariant};
+use pdc_modules::module7::{run_top_k, TopKStrategy};
+use pdc_modules::module8::{run_self_join, JoinMethod};
+use pdc_mpi::Result;
+use serde::{Deserialize, Serialize};
+
+/// Rank counts used by the strong-scaling sweeps.
+pub const SCALE_RANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+// ---------------------------------------------------------------------
+// E2a: tiled vs row-wise distance matrix (miss rates + simulated time)
+// ---------------------------------------------------------------------
+
+/// E2a: the Module 2 locality experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp2a {
+    /// Traced cache report of the row-wise kernel.
+    pub rowwise: module2::CacheReport,
+    /// Traced cache report of the tiled kernel.
+    pub tiled: module2::CacheReport,
+    /// Simulated time of the distributed row-wise run.
+    pub rowwise_time: f64,
+    /// Simulated time of the distributed tiled run.
+    pub tiled_time: f64,
+}
+
+/// Run E2a.
+pub fn exp2a() -> Result<Exp2a> {
+    let rowwise = module2::trace_distance_kernel(200, 90, Access::RowWise);
+    let tiled = module2::trace_distance_kernel(200, 90, Access::Tiled { tile: 32 });
+    let pts = uniform_points(512, 90, 0.0, 1.0, 7);
+    let rw = module2::run_distance_matrix(&pts, 8, Access::RowWise, 1)?;
+    let tl = module2::run_distance_matrix(&pts, 8, Access::Tiled { tile: 256 }, 1)?;
+    Ok(Exp2a {
+        rowwise,
+        tiled,
+        rowwise_time: rw.sim_time,
+        tiled_time: tl.sim_time,
+    })
+}
+
+impl Exp2a {
+    /// Tiled must have the lower miss rate and the lower time.
+    pub fn holds(&self) -> bool {
+        self.tiled.l1_miss_rate < self.rowwise.l1_miss_rate
+            && self.tiled_time < self.rowwise_time
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E2a distance matrix, row-wise vs tiled (N=200 traced, N=512 timed)\n\
+             kernel    L1 miss   L2 miss   DRAM lines   sim time (8 ranks)\n\
+             row-wise  {:>7.4}  {:>8.4}  {:>11}   {:.6} s\n\
+             tiled     {:>7.4}  {:>8.4}  {:>11}   {:.6} s\n",
+            self.rowwise.l1_miss_rate,
+            self.rowwise.l2_miss_rate,
+            self.rowwise.dram_lines,
+            self.rowwise_time,
+            self.tiled.l1_miss_rate,
+            self.tiled.l2_miss_rate,
+            self.tiled.dram_lines,
+            self.tiled_time,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2b: distance matrix strong scaling (compute-bound, near linear)
+// ---------------------------------------------------------------------
+
+/// E2b: strong scaling of the compute-bound distance matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp2b {
+    /// Speedup curve over [`SCALE_RANKS`].
+    pub curve: ScalingCurve,
+}
+
+/// Run E2b.
+pub fn exp2b() -> Result<Exp2b> {
+    let pts = uniform_points(1024, 90, 0.0, 1.0, 3);
+    let mut samples = Vec::new();
+    for &p in &SCALE_RANKS {
+        let rep = module2::run_distance_matrix(&pts, p, Access::Tiled { tile: 256 }, 1)?;
+        samples.push((p, rep.sim_time));
+    }
+    Ok(Exp2b {
+        curve: ScalingCurve::from_times("distance matrix (tiled)", &samples),
+    })
+}
+
+impl Exp2b {
+    /// Near-linear: ≥70% efficiency at the largest rank count.
+    pub fn holds(&self) -> bool {
+        self.curve.final_efficiency() > 0.7
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        render_curve("E2b distance-matrix strong scaling", &self.curve)
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3a: sort load imbalance across distributions/strategies
+// ---------------------------------------------------------------------
+
+/// E3a: bucket-size imbalance for the three Module 3 activities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3a {
+    /// (label, imbalance factor, sim time) per activity.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Run E3a.
+pub fn exp3a() -> Result<Exp3a> {
+    let n = 50_000;
+    let p = 8;
+    let mut rows = Vec::new();
+    for (label, dist, strat) in [
+        ("uniform + equal-width", InputDist::Uniform, BucketStrategy::EqualWidth),
+        ("exponential + equal-width", InputDist::Exponential, BucketStrategy::EqualWidth),
+        (
+            "exponential + histogram",
+            InputDist::Exponential,
+            BucketStrategy::Histogram { bins: 512 },
+        ),
+    ] {
+        let rep = run_distribution_sort(n, p, dist, strat, 9)?;
+        rows.push((label.to_string(), rep.imbalance, rep.sim_time));
+    }
+    Ok(Exp3a { rows })
+}
+
+impl Exp3a {
+    /// Exponential/equal-width must be badly imbalanced; the histogram
+    /// must restore near-uniform balance and near-uniform time.
+    pub fn holds(&self) -> bool {
+        let uni = &self.rows[0];
+        let exp = &self.rows[1];
+        let hist = &self.rows[2];
+        exp.1 > 2.0 && hist.1 < 1.3 && hist.2 < uni.2 * 2.0
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "E3a distribution sort load balance (50k elems/rank, 8 ranks)\n\
+             activity                    imbalance (max/mean)   sim time\n",
+        );
+        for (label, imb, t) in &self.rows {
+            s.push_str(&format!("{label:<28}{imb:>18.3}   {t:.6} s\n"));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3b: sort (memory-bound) scales worse than distance matrix
+// ---------------------------------------------------------------------
+
+/// E3b: sort scaling vs the compute-bound Module 2 baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3b {
+    /// Sort speedup curve (relative to the 1-rank sequential sort).
+    pub sort: ScalingCurve,
+    /// Distance-matrix curve for the same rank counts.
+    pub matrix: ScalingCurve,
+}
+
+/// Run E3b.
+pub fn exp3b() -> Result<Exp3b> {
+    let n_per = 40_000;
+    let mut sort_samples = Vec::new();
+    for &p in &SCALE_RANKS {
+        let t = if p == 1 {
+            sequential_sort_time(n_per * 32, InputDist::Uniform, 4)?
+        } else {
+            // Strong scaling: the same global N split over p ranks.
+            run_distribution_sort(n_per * 32 / p, p, InputDist::Uniform, BucketStrategy::EqualWidth, 4)?
+                .sim_time
+        };
+        sort_samples.push((p, t));
+    }
+    let pts = uniform_points(1024, 90, 0.0, 1.0, 3);
+    let mut mat_samples = Vec::new();
+    for &p in &SCALE_RANKS {
+        let rep = module2::run_distance_matrix(&pts, p, Access::Tiled { tile: 256 }, 1)?;
+        mat_samples.push((p, rep.sim_time));
+    }
+    Ok(Exp3b {
+        sort: ScalingCurve::from_times("distribution sort", &sort_samples),
+        matrix: ScalingCurve::from_times("distance matrix", &mat_samples),
+    })
+}
+
+impl Exp3b {
+    /// The sort's final efficiency must be clearly below the matrix's.
+    pub fn holds(&self) -> bool {
+        self.sort.final_efficiency() < 0.75 * self.matrix.final_efficiency()
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = render_curve("E3b sort scaling (memory-bound)", &self.sort);
+        s.push_str(&render_curve("     vs distance matrix (compute-bound)", &self.matrix));
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E4a: R-tree faster but less scalable than brute force
+// ---------------------------------------------------------------------
+
+/// E4a: the Module 4 efficiency-vs-scalability trade-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp4a {
+    /// Brute-force curve.
+    pub brute: ScalingCurve,
+    /// R-tree curve.
+    pub rtree: ScalingCurve,
+}
+
+/// Run E4a.
+pub fn exp4a() -> Result<Exp4a> {
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(400, 0.05, 12);
+    let sweep = |engine: Engine| -> Result<Vec<(usize, f64)>> {
+        SCALE_RANKS
+            .iter()
+            .map(|&p| Ok((p, run_range_queries(&catalog, &queries, p, engine, 1)?.sim_time)))
+            .collect()
+    };
+    Ok(Exp4a {
+        brute: ScalingCurve::from_times("brute force", &sweep(Engine::BruteForce)?),
+        rtree: ScalingCurve::from_times("R-tree", &sweep(Engine::RTree)?),
+    })
+}
+
+impl Exp4a {
+    /// R-tree wins absolute time everywhere; brute force wins speedup.
+    pub fn holds(&self) -> bool {
+        let faster_everywhere = self
+            .rtree
+            .points
+            .iter()
+            .zip(&self.brute.points)
+            .all(|(r, b)| r.time < b.time);
+        faster_everywhere && self.brute.max_speedup() > 1.2 * self.rtree.max_speedup()
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "E4a range queries: brute force vs R-tree (100k points, 400 queries)\n\
+             ranks |  brute time  speedup |  R-tree time  speedup\n",
+        );
+        for (b, r) in self.brute.points.iter().zip(&self.rtree.points) {
+            s.push_str(&format!(
+                "{:>5} | {:>10.6}s {:>7.2} | {:>11.6}s {:>7.2}\n",
+                b.p, b.time, b.speedup, r.time, r.speedup
+            ));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E4b: p ranks on 2 nodes beat p ranks on 1 node
+// ---------------------------------------------------------------------
+
+/// E4b: the Module 4 resource-allocation experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp4b {
+    /// Simulated time with all 16 ranks on one node.
+    pub one_node: f64,
+    /// Simulated time with 8+8 ranks on two nodes.
+    pub two_nodes: f64,
+}
+
+/// Run E4b.
+pub fn exp4b() -> Result<Exp4b> {
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(400, 0.05, 12);
+    let one = run_range_queries(&catalog, &queries, 16, Engine::RTree, 1)?;
+    let two = run_range_queries(&catalog, &queries, 16, Engine::RTree, 2)?;
+    Ok(Exp4b {
+        one_node: one.sim_time,
+        two_nodes: two.sim_time,
+    })
+}
+
+impl Exp4b {
+    /// Two nodes must win (more aggregate memory bandwidth).
+    pub fn holds(&self) -> bool {
+        self.two_nodes < self.one_node
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E4b R-tree range query, 16 ranks (memory-bound)\n\
+             placement        sim time\n\
+             1 node  (16/node) {:.6} s\n\
+             2 nodes (8/node)  {:.6} s   ({:.2}x faster)\n",
+            self.one_node,
+            self.two_nodes,
+            self.one_node / self.two_nodes
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5a: k-means compute/comm split vs k
+// ---------------------------------------------------------------------
+
+/// E5a: the Module 5 compute-vs-communication balance as k grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp5a {
+    /// (k, compute fraction of simulated time) rows.
+    pub rows: Vec<(usize, f64)>,
+}
+
+/// k values swept by E5a and E5c.
+pub const K_SWEEP: [usize; 6] = [2, 5, 10, 25, 50, 100];
+
+/// Run E5a.
+pub fn exp5a() -> Result<Exp5a> {
+    let pts = gaussian_mixture(4000, 2, 4, 100.0, 2.0, 9).points;
+    let mut rows = Vec::new();
+    for &k in &K_SWEEP {
+        let rep = run_kmeans(&pts, k, 16, CommOption::WeightedMeans, 1, 0.0)?;
+        rows.push((k, rep.compute_time / (rep.compute_time + rep.comm_time)));
+    }
+    Ok(Exp5a { rows })
+}
+
+impl Exp5a {
+    /// Compute fraction must grow monotonically-ish with k and cross 1/2.
+    pub fn holds(&self) -> bool {
+        let first = self.rows.first().expect("non-empty").1;
+        let last = self.rows.last().expect("non-empty").1;
+        first < 0.5 && last > 0.5 && last > first
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "E5a k-means time split vs k (4000 points, 16 ranks, weighted means)\n\
+             k    compute fraction   dominated by\n",
+        );
+        for &(k, frac) in &self.rows {
+            s.push_str(&format!(
+                "{k:<5}{frac:>15.3}   {}\n",
+                if frac > 0.5 { "computation" } else { "communication" }
+            ));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5b: weighted means vs explicit assignment communication volume
+// ---------------------------------------------------------------------
+
+/// E5b: communication volume of the two Module 5 options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp5b {
+    /// Bytes moved, weighted-means option.
+    pub weighted_bytes: u64,
+    /// Bytes moved, explicit-assignment option.
+    pub explicit_bytes: u64,
+    /// Iterations both options took.
+    pub iterations: usize,
+}
+
+/// Run E5b.
+pub fn exp5b() -> Result<Exp5b> {
+    let pts = gaussian_mixture(2000, 2, 4, 100.0, 1.0, 5).points;
+    let wm = run_kmeans(&pts, 8, 8, CommOption::WeightedMeans, 1, 0.0)?;
+    let ea = run_kmeans(&pts, 8, 8, CommOption::ExplicitAssignment, 1, 0.0)?;
+    Ok(Exp5b {
+        weighted_bytes: wm.comm_bytes,
+        explicit_bytes: ea.comm_bytes,
+        iterations: wm.iterations.max(ea.iterations),
+    })
+}
+
+impl Exp5b {
+    /// The explicit option must move several times more bytes.
+    pub fn holds(&self) -> bool {
+        self.explicit_bytes > 4 * self.weighted_bytes
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E5b k-means communication volume (2000 points, k=8, 8 ranks, {} iterations)\n\
+             option                bytes moved\n\
+             weighted means      {:>12}\n\
+             explicit assignment {:>12}   ({:.1}x more)\n",
+            self.iterations,
+            self.weighted_bytes,
+            self.explicit_bytes,
+            self.explicit_bytes as f64 / self.weighted_bytes as f64
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5c: multiple nodes do not pay off at low k
+// ---------------------------------------------------------------------
+
+/// E5c: node-count sensitivity of k-means across k.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp5c {
+    /// (k, sim time on 1 node, sim time on 2 nodes) rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Run E5c.
+pub fn exp5c() -> Result<Exp5c> {
+    let pts = gaussian_mixture(4000, 2, 4, 100.0, 2.0, 21).points;
+    let mut rows = Vec::new();
+    for &k in &K_SWEEP {
+        let one = run_kmeans(&pts, k, 16, CommOption::WeightedMeans, 1, 0.0)?;
+        let two = run_kmeans(&pts, k, 16, CommOption::WeightedMeans, 2, 0.0)?;
+        rows.push((k, one.sim_time, two.sim_time));
+    }
+    Ok(Exp5c { rows })
+}
+
+impl Exp5c {
+    /// At the smallest k the second node must not help.
+    pub fn holds(&self) -> bool {
+        let (_, one, two) = self.rows.first().expect("non-empty");
+        two >= &(one * 0.98)
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "E5c k-means 1 vs 2 nodes (16 ranks, weighted means)\n\
+             k    1-node time   2-node time   2 nodes help?\n",
+        );
+        for &(k, one, two) in &self.rows {
+            s.push_str(&format!(
+                "{k:<5}{one:>11.6}s  {two:>11.6}s   {}\n",
+                if two < one * 0.98 { "yes" } else { "no" }
+            ));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6: latency hiding (extension module 6)
+// ---------------------------------------------------------------------
+
+/// E6: blocking vs overlapped halo exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp6 {
+    /// Simulated time, halos first.
+    pub blocking: f64,
+    /// Simulated time, interior overlapped with the halo flight.
+    pub overlapped: f64,
+    /// Absolute checksum difference (must be ~0).
+    pub checksum_delta: f64,
+}
+
+/// Run E6.
+pub fn exp6() -> Result<Exp6> {
+    let b = run_stencil(40_000, 8, 50, HaloVariant::BlockingFirst, 2)?;
+    let o = run_stencil(40_000, 8, 50, HaloVariant::Overlapped, 2)?;
+    Ok(Exp6 {
+        blocking: b.sim_time,
+        overlapped: o.sim_time,
+        checksum_delta: (b.checksum - o.checksum).abs(),
+    })
+}
+
+impl Exp6 {
+    /// Overlap must win without changing the numbers.
+    pub fn holds(&self) -> bool {
+        self.overlapped < self.blocking && self.checksum_delta < 1e-9
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E6 latency hiding (1-d stencil, 320k cells, 8 ranks on 2 nodes, 50 iters)\n\
+             blocking-first  {:.6} s\n\
+             overlapped      {:.6} s   ({:.1}% faster, identical results)\n",
+            self.blocking,
+            self.overlapped,
+            100.0 * (1.0 - self.overlapped / self.blocking)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7: top-k communication volumes (extension module 7)
+// ---------------------------------------------------------------------
+
+/// E7: traffic of the three top-k strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp7 {
+    /// (strategy label, total bytes, root-received bytes) rows.
+    pub rows: Vec<(String, u64, u64)>,
+}
+
+/// Run E7.
+pub fn exp7() -> Result<Exp7> {
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("gather-all", TopKStrategy::GatherAll),
+        ("local-prune", TopKStrategy::LocalPrune),
+        ("tree-merge", TopKStrategy::TreeMerge),
+    ] {
+        let rep = run_top_k(100_000, 8, 10, strategy, 7)?;
+        rows.push((label.to_string(), rep.comm_bytes, rep.root_recv_bytes));
+    }
+    Ok(Exp7 { rows })
+}
+
+impl Exp7 {
+    /// Gather-all must dwarf the pruned strategies; the tree must relieve
+    /// the root.
+    pub fn holds(&self) -> bool {
+        let by = |l: &str| {
+            self.rows
+                .iter()
+                .find(|(label, _, _)| label == l)
+                .map(|&(_, total, root)| (total, root))
+                .expect("row present")
+        };
+        let (ga_t, _) = by("gather-all");
+        let (lp_t, lp_r) = by("local-prune");
+        let (_, tm_r) = by("tree-merge");
+        ga_t > 100 * lp_t && lp_r > 2 * tm_r
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "E7 top-k strategies (100k records/rank, 8 ranks, k=10)\n\
+             strategy      total bytes   root received\n",
+        );
+        for (label, total, root) in &self.rows {
+            s.push_str(&format!("{label:<14}{total:>11}   {root:>13}
+"));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8: similarity self-join (extension module 8)
+// ---------------------------------------------------------------------
+
+/// E8: brute force vs ε-grid self-join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp8 {
+    /// Pairs found (identical across methods).
+    pub pairs: u64,
+    /// Candidates tested by brute force.
+    pub brute_candidates: u64,
+    /// Candidates tested by the grid.
+    pub grid_candidates: u64,
+    /// Simulated time, brute force.
+    pub brute_time: f64,
+    /// Simulated time, grid.
+    pub grid_time: f64,
+}
+
+/// Run E8.
+pub fn exp8() -> Result<Exp8> {
+    let pts = uniform_points(20_000, 2, 0.0, 100.0, 13);
+    let eps = 1.0;
+    let bf = run_self_join(&pts, eps, 8, JoinMethod::BruteForce)?;
+    let grid = run_self_join(&pts, eps, 8, JoinMethod::Grid)?;
+    if bf.pairs != grid.pairs {
+        return Err(pdc_mpi::Error::InvalidArgument(format!(
+            "join methods disagree: {} vs {}",
+            bf.pairs, grid.pairs
+        )));
+    }
+    Ok(Exp8 {
+        pairs: bf.pairs,
+        brute_candidates: bf.candidates,
+        grid_candidates: grid.candidates,
+        brute_time: bf.sim_time,
+        grid_time: grid.sim_time,
+    })
+}
+
+impl Exp8 {
+    /// The grid must prune hard and win in time.
+    pub fn holds(&self) -> bool {
+        self.grid_candidates * 20 < self.brute_candidates && self.grid_time < self.brute_time
+    }
+
+    /// Text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E8 similarity self-join (20k points, eps=1, 8 ranks) — {} pairs\n\
+             method       candidates        sim time\n\
+             brute force  {:>12}   {:.6} s\n\
+             eps-grid     {:>12}   {:.6} s   ({:.0}x fewer candidates)\n",
+            self.pairs,
+            self.brute_candidates,
+            self.brute_time,
+            self.grid_candidates,
+            self.grid_time,
+            self.brute_candidates as f64 / self.grid_candidates as f64,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// EQ4: terrible twins co-scheduling
+// ---------------------------------------------------------------------
+
+/// EQ4: the co-scheduling degradation matrix behind the quiz question.
+pub fn exp_q4() -> CoScheduleReport {
+    CoScheduleReport::build(&MachineModel::cluster_node(), 16)
+}
+
+/// Render EQ4.
+pub fn render_q4(rep: &CoScheduleReport) -> String {
+    let row = |label: &str, o: &pdc_cluster::cosched::PairingOutcome| {
+        format!("{label:<20}{:>10.2}x {:>10.2}x\n", o.slowdown_a, o.slowdown_b)
+    };
+    let mut s = String::from(
+        "EQ4 co-scheduling slowdowns (16+16 ranks on one 32-core node)\n\
+         pairing               job A       job B\n",
+    );
+    s.push_str(&row("compute + compute", &rep.compute_compute));
+    s.push_str(&row("compute + memory", &rep.compute_memory));
+    s.push_str(&row("memory  + memory", &rep.memory_memory));
+    s.push_str("Lesson: share a node with the compute-bound program.\n");
+    s
+}
+
+fn render_curve(title: &str, c: &ScalingCurve) -> String {
+    let mut s = format!("{title} — {}\nranks |      time   speedup   efficiency\n", c.label);
+    for pt in &c.points {
+        s.push_str(&format!(
+            "{:>5} | {:>9.6}s {:>8.2} {:>11.2}\n",
+            pt.p, pt.time, pt.speedup, pt.efficiency
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2a_shape_holds() {
+        let e = exp2a().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp2b_shape_holds() {
+        let e = exp2b().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp3a_shape_holds() {
+        let e = exp3a().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp3b_shape_holds() {
+        let e = exp3b().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp4a_shape_holds() {
+        let e = exp4a().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp4b_shape_holds() {
+        let e = exp4b().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp5a_shape_holds() {
+        let e = exp5a().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp5b_shape_holds() {
+        let e = exp5b().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp5c_shape_holds() {
+        let e = exp5c().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp6_shape_holds() {
+        let e = exp6().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp7_shape_holds() {
+        let e = exp7().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn exp8_shape_holds() {
+        let e = exp8().expect("runs");
+        assert!(e.holds(), "{}", e.render());
+    }
+
+    #[test]
+    fn q4_confirms_terrible_twins() {
+        let rep = exp_q4();
+        assert!(rep.terrible_twins_confirmed(), "{}", render_q4(&rep));
+    }
+}

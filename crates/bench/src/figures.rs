@@ -1,0 +1,118 @@
+//! Figures 1 and 2 of the paper.
+
+use pdc_cluster::metrics::ScalingCurve;
+use pdc_datagen::{asteroid_catalog, random_range_queries};
+use pdc_modules::module4::{run_range_queries, Engine};
+use pdc_mpi::Result;
+use pdc_pedagogy::quiz::figure2_rows;
+use serde::{Deserialize, Serialize};
+
+/// Figure 1: speedup vs cores for two programs on a 32-core node.
+///
+/// The paper's quiz shows a poorly scaling Program 1 (memory-bound) and a
+/// near-linear Program 2 (compute-bound), both using up to 20 of 32 cores.
+/// We realize them with the module 4 engines: the R-tree range query is
+/// memory-bound; the brute-force scan is compute-bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// Program 1: the memory-bound (R-tree) speedup curve.
+    pub program1: ScalingCurve,
+    /// Program 2: the compute-bound (brute force) speedup curve.
+    pub program2: ScalingCurve,
+    /// The quiz's correct answer.
+    pub answer: &'static str,
+}
+
+/// Rank counts plotted in Figure 1 (up to 20 of the node's 32 cores).
+pub const FIGURE1_CORES: [usize; 7] = [1, 2, 4, 8, 12, 16, 20];
+
+/// Regenerate Figure 1.
+pub fn figure1() -> Result<Figure1> {
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(400, 0.05, 12);
+    let sweep = |engine: Engine| -> Result<ScalingCurve> {
+        let mut samples = Vec::new();
+        for &p in &FIGURE1_CORES {
+            let rep = run_range_queries(&catalog, &queries, p, engine, 1)?;
+            samples.push((p, rep.sim_time));
+        }
+        Ok(ScalingCurve::from_times(
+            match engine {
+                Engine::RTree | Engine::KdTree => "Program 1 (memory-bound)",
+                Engine::BruteForce => "Program 2 (compute-bound)",
+            },
+            &samples,
+        ))
+    };
+    Ok(Figure1 {
+        program1: sweep(Engine::RTree)?,
+        program2: sweep(Engine::BruteForce)?,
+        answer: "Program 2 / Compute Node 2",
+    })
+}
+
+impl Figure1 {
+    /// Does the figure reproduce the paper's shape? Program 2 keeps
+    /// climbing; Program 1 flattens well below linear.
+    pub fn shape_holds(&self) -> bool {
+        let p2_final = self.program2.points.last().expect("non-empty");
+        let p1_final = self.program1.points.last().expect("non-empty");
+        p2_final.speedup > 0.8 * p2_final.p as f64
+            && p1_final.speedup < 0.6 * p1_final.p as f64
+            && self.program1.saturates(0.25)
+    }
+
+    /// Plain-text rendering of both panels.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Figure 1: speedup vs cores (two MPI programs on a 32-core node)\n\
+             cores | Program 1 (memory-bound) | Program 2 (compute-bound)\n",
+        );
+        for (a, b) in self.program1.points.iter().zip(&self.program2.points) {
+            s.push_str(&format!(
+                "{:>5} | {:>24.2} | {:>25.2}\n",
+                a.p, a.speedup, b.speedup
+            ));
+        }
+        s.push_str(&format!("Quiz answer: {}\n", self.answer));
+        s
+    }
+}
+
+/// Render Figure 2 (pre/post scores per student) as text.
+pub fn render_figure2() -> String {
+    let mut s = String::from("Figure 2: quiz scores pre/post module completion\n");
+    for (student, row) in figure2_rows() {
+        s.push_str(&format!("student {student:>2}: "));
+        for (q, cell) in row.iter().enumerate() {
+            match cell {
+                Some((pre, post)) => {
+                    s.push_str(&format!("Q{} {:>5.1}->{:>5.1}  ", q + 1, pre, post))
+                }
+                None => s.push_str(&format!("Q{}   --  --    ", q + 1)),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reproduces_the_quiz_shape() {
+        let f = figure1().expect("figure 1 runs");
+        assert!(f.shape_holds(), "{}", f.render());
+        assert_eq!(f.program1.points.len(), FIGURE1_CORES.len());
+    }
+
+    #[test]
+    fn figure2_renders_all_ten_students() {
+        let s = render_figure2();
+        assert_eq!(s.lines().count(), 11);
+        assert!(s.contains("student 10"));
+        assert!(s.contains("--"), "missing pairs are marked");
+    }
+}

@@ -1,0 +1,16 @@
+//! # pdc-bench — experiment drivers behind the `repro` binary and benches
+//!
+//! Each function regenerates one table, figure, or in-text experimental
+//! claim of the paper and returns it in a printable + serializable form.
+//! The `repro` binary (see `src/bin/repro.rs`) is the command-line front
+//! end; `EXPERIMENTS.md` records paper-vs-measured for every artifact.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod figures;
+
+pub use ablations::*;
+pub use experiments::*;
+pub use figures::*;

@@ -1,0 +1,219 @@
+//! Address-trace front end: virtual allocations and multi-byte accesses.
+//!
+//! Kernels that want their memory behaviour measured allocate [`VArray`]s
+//! from a [`Tracer`] and funnel every logical read/write through it. The
+//! tracer splits multi-byte accesses into line-granular cache accesses, so
+//! an 8-byte `f64` read that straddles a line boundary costs two accesses,
+//! exactly as hardware would.
+
+use crate::cache::{Hierarchy, HierarchyReport};
+
+/// A virtual allocation: base address + element size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VArray {
+    base: u64,
+    elem_bytes: u64,
+    len: u64,
+}
+
+impl VArray {
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices — catching stray kernel indexing in
+    /// tests is a feature.
+    pub fn addr(&self, i: usize) -> u64 {
+        assert!((i as u64) < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + i as u64 * self.elem_bytes
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        self.elem_bytes as usize
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Trace front end over a cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    hierarchy: Hierarchy,
+    next_base: u64,
+}
+
+impl Tracer {
+    /// Wrap a hierarchy; allocations start at a page-aligned base.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Self {
+            hierarchy,
+            next_base: 4096,
+        }
+    }
+
+    /// Reserve a virtual array of `len` elements of `elem_bytes` each.
+    /// Allocations are line-aligned and never overlap.
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> VArray {
+        assert!(elem_bytes > 0, "elements must have a size");
+        let line = self.hierarchy.l1.config().line_bytes as u64;
+        let base = self.next_base;
+        let bytes = (len as u64 * elem_bytes as u64).max(1);
+        self.next_base = (base + bytes).div_ceil(line) * line + line;
+        VArray {
+            base,
+            elem_bytes: elem_bytes as u64,
+            len: len as u64,
+        }
+    }
+
+    fn touch(&mut self, addr: u64, bytes: usize, write: bool) {
+        let line = self.hierarchy.l1.config().line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        for l in first..=last {
+            self.hierarchy.access_line(l * line, write);
+        }
+    }
+
+    /// Record a read of `bytes` bytes at `addr`.
+    pub fn read(&mut self, addr: u64, bytes: usize) {
+        self.touch(addr, bytes, false);
+    }
+
+    /// Record a write of `bytes` bytes at `addr`.
+    pub fn write(&mut self, addr: u64, bytes: usize) {
+        self.touch(addr, bytes, true);
+    }
+
+    /// Read element `i` of `a`.
+    pub fn read_elem(&mut self, a: &VArray, i: usize) {
+        self.read(a.addr(i), a.elem_bytes());
+    }
+
+    /// Write element `i` of `a`.
+    pub fn write_elem(&mut self, a: &VArray, i: usize) {
+        self.write(a.addr(i), a.elem_bytes());
+    }
+
+    /// Counters so far.
+    pub fn report(&self) -> HierarchyReport {
+        self.hierarchy.report()
+    }
+
+    /// Reset the hierarchy (allocations are kept).
+    pub fn reset_counters(&mut self) {
+        self.hierarchy.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, Hierarchy};
+
+    fn tracer() -> Tracer {
+        Tracer::new(Hierarchy::typical())
+    }
+
+    #[test]
+    fn allocations_do_not_overlap_and_are_line_aligned() {
+        let mut t = tracer();
+        let a = t.alloc(100, 8);
+        let b = t.alloc(100, 8);
+        assert!(a.addr(99) + 8 <= b.addr(0));
+        assert_eq!(b.addr(0) % 64, 0);
+    }
+
+    #[test]
+    fn sequential_scan_misses_once_per_line() {
+        let mut t = tracer();
+        let a = t.alloc(800, 8); // 100 lines of 8 f64s
+        for i in 0..800 {
+            t.read_elem(&a, i);
+        }
+        let r = t.report();
+        assert_eq!(r.l1.accesses, 800);
+        assert_eq!(r.l1.misses, 100, "one cold miss per 64-byte line");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut t = tracer();
+        let a = t.alloc(64, 1);
+        // 8-byte read at offset 60 crosses the line boundary.
+        t.read(a.addr(60), 8);
+        assert_eq!(t.report().l1.accesses, 2);
+    }
+
+    #[test]
+    fn small_working_set_reuses_lines() {
+        let mut t = tracer();
+        let a = t.alloc(512, 8); // 4 KiB fits L1 easily
+        for _ in 0..10 {
+            for i in 0..512 {
+                t.read_elem(&a, i);
+            }
+        }
+        let r = t.report();
+        assert_eq!(r.l1.misses, 64, "only cold misses");
+        assert!(r.l1.miss_rate() < 0.02);
+    }
+
+    #[test]
+    fn large_working_set_spills_to_l2_and_dram() {
+        // 8 MiB working set exceeds the 1 MiB L2.
+        let mut t = Tracer::new(Hierarchy::new(CacheConfig::l1d(), CacheConfig::l2()));
+        let n = 1 << 20; // 1M f64s = 8 MiB
+        let a = t.alloc(n, 8);
+        for _ in 0..2 {
+            for i in (0..n).step_by(8) {
+                t.read_elem(&a, i); // one access per line
+            }
+        }
+        let r = t.report();
+        assert!(r.l2.miss_rate() > 0.9, "L2 thrashes: {:?}", r.l2);
+        assert!(r.dram_accesses > (n / 8) as u64);
+    }
+
+    #[test]
+    fn writes_mark_lines_dirty_and_cause_writebacks() {
+        let mut t = tracer();
+        let n = 1 << 16; // 64K elements * 8B = 512 KiB > L1
+        let a = t.alloc(n, 8);
+        for i in 0..n {
+            t.write_elem(&a, i);
+        }
+        // Second pass evicts dirty lines.
+        for i in 0..n {
+            t.write_elem(&a, i);
+        }
+        assert!(t.report().l1.writebacks > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_is_caught() {
+        let mut t = tracer();
+        let a = t.alloc(4, 8);
+        t.read_elem(&a, 4);
+    }
+
+    #[test]
+    fn reset_counters_keeps_allocator_position() {
+        let mut t = tracer();
+        let a = t.alloc(8, 8);
+        t.read_elem(&a, 0);
+        t.reset_counters();
+        assert_eq!(t.report().l1.accesses, 0);
+        let b = t.alloc(8, 8);
+        assert!(b.addr(0) > a.addr(7), "allocator did not rewind");
+    }
+}

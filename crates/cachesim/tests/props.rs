@@ -1,0 +1,87 @@
+//! Property tests for the cache simulator: counter sanity, the LRU stack
+//! (inclusion) property over associativity, and reuse guarantees.
+
+use pdc_cachesim::{Cache, CacheConfig, Hierarchy, Tracer};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..1 << 16, any::<bool>()), 1..800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counters_are_consistent(trace in trace_strategy()) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        for &(addr, write) in &trace {
+            c.access_line(addr, write);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, trace.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.writebacks <= s.misses, "only misses can evict");
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    #[test]
+    fn more_ways_never_increase_misses(trace in trace_strategy()) {
+        // The LRU stack property per set: with the set count held fixed,
+        // doubling associativity can only remove misses.
+        let sets = 16;
+        let line = 64;
+        let mut narrow = Cache::new(CacheConfig {
+            size_bytes: sets * line * 2,
+            line_bytes: line,
+            ways: 2,
+        });
+        let mut wide = Cache::new(CacheConfig {
+            size_bytes: sets * line * 8,
+            line_bytes: line,
+            ways: 8,
+        });
+        for &(addr, write) in &trace {
+            narrow.access_line(addr, write);
+            wide.access_line(addr, write);
+        }
+        prop_assert!(
+            wide.stats().misses <= narrow.stats().misses,
+            "LRU inclusion violated: {} > {}",
+            wide.stats().misses,
+            narrow.stats().misses
+        );
+    }
+
+    #[test]
+    fn small_working_sets_fully_reuse(
+        n_lines in 1usize..64,  // at most 4 KiB of 64 B lines (fits 32 KiB L1)
+        passes in 2usize..5,
+    ) {
+        let mut h = Hierarchy::typical();
+        for _ in 0..passes {
+            for i in 0..n_lines {
+                h.access_line(i as u64 * 64, false);
+            }
+        }
+        let r = h.report();
+        prop_assert_eq!(r.l1.misses, n_lines as u64, "only cold misses");
+        prop_assert_eq!(r.dram_accesses, n_lines as u64);
+    }
+
+    #[test]
+    fn tracer_line_splitting_is_exact(
+        offsets in proptest::collection::vec((0usize..500, 1usize..32), 1..100),
+    ) {
+        let mut t = Tracer::new(Hierarchy::typical());
+        let a = t.alloc(1024, 1);
+        let mut expected = 0u64;
+        for &(off, len) in &offsets {
+            let addr = a.addr(off.min(1024 - len));
+            t.read(addr, len);
+            let first = addr / 64;
+            let last = (addr + len as u64 - 1) / 64;
+            expected += last - first + 1;
+        }
+        prop_assert_eq!(t.report().l1.accesses, expected);
+    }
+}

@@ -1,0 +1,323 @@
+//! Co-scheduling contention: the "terrible twins" model.
+//!
+//! The paper's Module 4 and the example quiz question (§IV-B, Figure 1) ask
+//! students to reason about which job should share a node with another
+//! user's job. The lesson: CPU cores are space-partitioned, so the contended
+//! resource is *memory bandwidth*. Co-scheduling two memory-bound jobs
+//! ("terrible twins", de Blanche & Lundqvist 2016) degrades both, while
+//! pairing a memory-bound job with a compute-bound one is nearly free.
+//!
+//! We model a node as a bandwidth pool allocated by *water-filling*: every
+//! rank asks for the bandwidth it would consume running flat-out; ranks with
+//! small demands are satisfied first and leftover bandwidth is split evenly
+//! among the hungry ones. Job time is then the roofline max of its compute
+//! time and its achieved memory time.
+
+use crate::machine::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// Work profile of one job on a single node: `ranks` ranks, each executing
+/// `flops_per_rank` floating-point operations over `bytes_per_rank` of DRAM
+/// traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Display name ("Program 1", "range-query/R-tree", ...).
+    pub name: String,
+    /// Ranks the job places on the node under study.
+    pub ranks: usize,
+    /// FLOP per rank.
+    pub flops_per_rank: f64,
+    /// DRAM bytes per rank.
+    pub bytes_per_rank: f64,
+}
+
+impl JobProfile {
+    /// A strongly compute-bound job: arithmetic intensity far above the
+    /// machine balance point.
+    pub fn compute_bound(name: impl Into<String>, ranks: usize, flops_per_rank: f64) -> Self {
+        Self {
+            name: name.into(),
+            ranks,
+            flops_per_rank,
+            // One byte touched per 100 flops: negligible bandwidth demand.
+            bytes_per_rank: flops_per_rank / 100.0,
+        }
+    }
+
+    /// A strongly memory-bound job: streams far more bytes than its flops
+    /// can hide.
+    pub fn memory_bound(name: impl Into<String>, ranks: usize, bytes_per_rank: f64) -> Self {
+        Self {
+            name: name.into(),
+            ranks,
+            flops_per_rank: bytes_per_rank / 16.0,
+            bytes_per_rank,
+        }
+    }
+
+    /// Pure compute time of one rank (no memory stalls).
+    pub fn compute_time(&self, m: &MachineModel) -> f64 {
+        self.flops_per_rank / m.flops_per_core
+    }
+
+    /// Bandwidth one rank would consume if memory were free:
+    /// `bytes / compute_time`, capped at the per-core limit.
+    pub fn bandwidth_demand(&self, m: &MachineModel) -> f64 {
+        let t = self.compute_time(m);
+        if t <= 0.0 {
+            return m.core_mem_bw;
+        }
+        (self.bytes_per_rank / t).min(m.core_mem_bw)
+    }
+
+    /// True if, running alone on `m`, the job is limited by memory rather
+    /// than compute.
+    pub fn is_memory_bound(&self, m: &MachineModel) -> bool {
+        let granted = grant_bandwidth(&[self], m);
+        let t_mem = self.bytes_per_rank / granted[0];
+        t_mem > self.compute_time(m)
+    }
+
+    /// Run time of the job alone on one node of `m`.
+    pub fn time_alone(&self, m: &MachineModel) -> f64 {
+        let granted = grant_bandwidth(&[self], m);
+        self.compute_time(m).max(self.bytes_per_rank / granted[0])
+    }
+}
+
+/// Water-fill the node's memory bandwidth over all ranks of all jobs.
+/// Returns the per-rank grant for each job (same order as `jobs`).
+fn grant_bandwidth(jobs: &[&JobProfile], m: &MachineModel) -> Vec<f64> {
+    let demands: Vec<(usize, f64, usize)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (i, j.bandwidth_demand(m), j.ranks))
+        .collect();
+    let total_ranks: usize = demands.iter().map(|&(_, _, r)| r).sum();
+    assert!(total_ranks > 0, "no ranks to schedule");
+
+    // Sort rank classes by per-rank demand; satisfy cheap ones first, then
+    // split the remainder evenly among still-unsatisfied ranks.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[a]
+            .1
+            .partial_cmp(&demands[b].1)
+            .expect("finite demands")
+    });
+
+    let mut remaining_bw = m.node_mem_bw;
+    let mut remaining_ranks = total_ranks;
+    let mut grants = vec![0.0; jobs.len()];
+    for &idx in &order {
+        let (_, demand, ranks) = demands[idx];
+        let fair = remaining_bw / remaining_ranks as f64;
+        let grant = demand.min(fair).min(m.core_mem_bw);
+        grants[idx] = grant;
+        remaining_bw -= grant * ranks as f64;
+        remaining_ranks -= ranks;
+    }
+    grants
+}
+
+/// Outcome of co-scheduling two jobs on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairingOutcome {
+    /// Name of the first job.
+    pub a: String,
+    /// Name of the second job.
+    pub b: String,
+    /// Slowdown of job `a`: co-scheduled time / alone time (1.0 = no harm).
+    pub slowdown_a: f64,
+    /// Slowdown of job `b`.
+    pub slowdown_b: f64,
+}
+
+impl PairingOutcome {
+    /// Worst slowdown suffered by either party.
+    pub fn worst(&self) -> f64 {
+        self.slowdown_a.max(self.slowdown_b)
+    }
+}
+
+/// Co-schedule any number of jobs on one node of `m`; returns each job's
+/// slowdown relative to running alone (order matches `jobs`).
+///
+/// # Panics
+/// Panics if the combined ranks exceed the node's cores.
+pub fn coschedule_many(jobs: &[&JobProfile], m: &MachineModel) -> Vec<f64> {
+    let total: usize = jobs.iter().map(|j| j.ranks).sum();
+    assert!(
+        total <= m.cores_per_node,
+        "co-scheduled jobs exceed the node's cores ({total} > {})",
+        m.cores_per_node
+    );
+    let grants = grant_bandwidth(jobs, m);
+    jobs.iter()
+        .zip(&grants)
+        .map(|(j, &bw)| {
+            let t = j.compute_time(m).max(j.bytes_per_rank / bw);
+            t / j.time_alone(m)
+        })
+        .collect()
+}
+
+/// Co-schedule jobs `a` and `b` on one node of `m` and report slowdowns.
+///
+/// # Panics
+/// Panics if the combined ranks exceed the node's cores (cores are
+/// space-shared on the paper's cluster, never time-shared).
+pub fn coschedule(a: &JobProfile, b: &JobProfile, m: &MachineModel) -> PairingOutcome {
+    assert!(
+        a.ranks + b.ranks <= m.cores_per_node,
+        "co-scheduled jobs exceed the node's cores ({} + {} > {})",
+        a.ranks,
+        b.ranks,
+        m.cores_per_node
+    );
+    let grants = grant_bandwidth(&[a, b], m);
+    let t_a = a.compute_time(m).max(a.bytes_per_rank / grants[0]);
+    let t_b = b.compute_time(m).max(b.bytes_per_rank / grants[1]);
+    PairingOutcome {
+        a: a.name.clone(),
+        b: b.name.clone(),
+        slowdown_a: t_a / a.time_alone(m),
+        slowdown_b: t_b / b.time_alone(m),
+    }
+}
+
+/// The full degradation matrix of the quiz-question scenario: all pairings
+/// of a compute-bound and a memory-bound program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoScheduleReport {
+    /// compute + compute sharing a node.
+    pub compute_compute: PairingOutcome,
+    /// compute + memory sharing a node.
+    pub compute_memory: PairingOutcome,
+    /// memory + memory sharing a node ("terrible twins").
+    pub memory_memory: PairingOutcome,
+}
+
+impl CoScheduleReport {
+    /// Build the report for a given machine with both jobs using
+    /// `ranks_each` ranks (the paper's scenario: 20-rank jobs on 32-core
+    /// nodes — the incoming job fits in the 12 idle cores? No: the quiz has
+    /// each program on its *own* node and asks which node the other user
+    /// should share, so both jobs use up to half the cores here).
+    ///
+    /// # Panics
+    /// Panics if `2 * ranks_each` exceeds the node's cores.
+    pub fn build(m: &MachineModel, ranks_each: usize) -> Self {
+        // Size work so one job alone takes on the order of a second.
+        let c = JobProfile::compute_bound("compute-bound", ranks_each, 16.0e9);
+        let mem = JobProfile::memory_bound("memory-bound", ranks_each, 12.0e9);
+        Self {
+            compute_compute: coschedule(&c, &c, m),
+            compute_memory: coschedule(&c, &mem, m),
+            memory_memory: coschedule(&mem, &mem, m),
+        }
+    }
+
+    /// The quiz answer: sharing with the compute-bound job must be the
+    /// safest option for a memory-bound newcomer.
+    pub fn terrible_twins_confirmed(&self) -> bool {
+        self.memory_memory.worst() > self.compute_memory.worst()
+            && self.compute_compute.worst() <= self.compute_memory.worst() + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineModel {
+        MachineModel::cluster_node()
+    }
+
+    #[test]
+    fn classification_matches_construction() {
+        let m = machine();
+        assert!(!JobProfile::compute_bound("c", 8, 1e9).is_memory_bound(&m));
+        assert!(JobProfile::memory_bound("m", 8, 1e9).is_memory_bound(&m));
+    }
+
+    #[test]
+    fn compute_jobs_coexist_harmlessly() {
+        let m = machine();
+        let c = JobProfile::compute_bound("c", 16, 16.0e9);
+        let out = coschedule(&c, &c, &m);
+        assert!(out.worst() < 1.01, "compute twins should not degrade: {out:?}");
+    }
+
+    #[test]
+    fn terrible_twins_degrade_each_other() {
+        let m = machine();
+        let j = JobProfile::memory_bound("m", 16, 12.0e9);
+        let out = coschedule(&j, &j, &m);
+        // 32 memory-hungry ranks on a 100 GB/s bus: each pair gets half of
+        // what it had alone, so ~2x slowdown.
+        assert!(out.slowdown_a > 1.5, "twins must degrade: {out:?}");
+        assert!((out.slowdown_a - out.slowdown_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_pairing_is_benign_for_both() {
+        let m = machine();
+        let c = JobProfile::compute_bound("c", 16, 16.0e9);
+        let mem = JobProfile::memory_bound("m", 16, 12.0e9);
+        let out = coschedule(&c, &mem, &m);
+        assert!(out.worst() < 1.25, "mixed pairing should be benign: {out:?}");
+    }
+
+    #[test]
+    fn report_confirms_quiz_answer() {
+        let rep = CoScheduleReport::build(&machine(), 16);
+        assert!(rep.terrible_twins_confirmed(), "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the node's cores")]
+    fn cores_are_never_oversubscribed() {
+        let m = machine();
+        let j = JobProfile::compute_bound("c", 20, 1e9);
+        let _ = coschedule(&j, &j, &m);
+    }
+
+    #[test]
+    fn many_way_coscheduling_matches_pairwise() {
+        let m = machine();
+        let a = JobProfile::memory_bound("a", 8, 4.0e9);
+        let b = JobProfile::compute_bound("b", 8, 8.0e9);
+        let pair = coschedule(&a, &b, &m);
+        let many = coschedule_many(&[&a, &b], &m);
+        assert!((many[0] - pair.slowdown_a).abs() < 1e-12);
+        assert!((many[1] - pair.slowdown_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_memory_jobs_degrade_worse_than_two() {
+        let m = machine();
+        let j = JobProfile::memory_bound("m", 8, 8.0e9);
+        let two = coschedule_many(&[&j, &j], &m);
+        let four = coschedule_many(&[&j, &j, &j, &j], &m);
+        assert!(four[0] > two[0], "more twins, more pain: {four:?} vs {two:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the node's cores")]
+    fn many_way_respects_core_limits() {
+        let m = machine();
+        let j = JobProfile::compute_bound("c", 12, 1e9);
+        let _ = coschedule_many(&[&j, &j, &j], &m);
+    }
+
+    #[test]
+    fn water_filling_conserves_bandwidth() {
+        let m = machine();
+        let a = JobProfile::memory_bound("a", 10, 1e9);
+        let b = JobProfile::memory_bound("b", 10, 1e9);
+        let grants = grant_bandwidth(&[&a, &b], &m);
+        let total: f64 = grants[0] * 10.0 + grants[1] * 10.0;
+        assert!(total <= m.node_mem_bw * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,34 @@
+//! # pdc-cluster — machine model, simulated time, scheduler, contention
+//!
+//! This crate is the *hardware substrate* of the reproduction. The paper runs
+//! its pedagogic modules on NAU's "Monsoon" cluster; we cannot assume a
+//! cluster, so every performance-shaped claim (strong scaling, memory-bound
+//! saturation, 1-node vs 2-node placement, co-scheduling degradation) is
+//! derived from an explicit, deterministic machine model instead.
+//!
+//! The crate provides:
+//!
+//! * [`MachineModel`] — nodes × cores, per-core and per-node memory
+//!   bandwidth, and an α–β (latency + size/bandwidth) network model with
+//!   distinct intra- and inter-node parameters.
+//! * [`Placement`] — how MPI ranks map onto nodes (block or round-robin),
+//!   which determines who shares a memory bus and who pays inter-node
+//!   message costs.
+//! * [`CostModel`] — the roofline-style kernel-time and message-time
+//!   calculator used by the `pdc-mpi` simulated clock.
+//! * [`metrics`] — speedup / efficiency / load-imbalance helpers shared by
+//!   every experiment.
+//! * [`cosched`] — the "terrible twins" co-scheduling model behind the
+//!   paper's example quiz question (Figure 1 and §IV-B).
+//! * [`slurm`] — a small batch scheduler (FIFO + backfill) reproducing the
+//!   ancillary SLURM module.
+
+#![warn(missing_docs)]
+
+pub mod cosched;
+pub mod machine;
+pub mod metrics;
+pub mod slurm;
+
+pub use cosched::{coschedule, coschedule_many, CoScheduleReport, JobProfile, PairingOutcome};
+pub use machine::{CostModel, MachineModel, Placement, PlacementPolicy};

@@ -1,0 +1,425 @@
+//! Machine model, rank placement, and the roofline/α–β cost model.
+//!
+//! The model deliberately stays simple enough to reason about in a classroom
+//! while still producing the qualitative behaviours the paper's modules
+//! teach:
+//!
+//! * compute-bound kernels scale linearly in the number of ranks;
+//! * memory-bound kernels scale only until the node's memory bus saturates
+//!   (`node_mem_bw / core_mem_bw` cores), then flatline;
+//! * messages cost `latency + bytes / bandwidth`, with inter-node messages
+//!   paying higher latency and lower bandwidth than intra-node ones;
+//! * spreading the same number of ranks over more nodes buys more aggregate
+//!   memory bandwidth (the Module 4 activity-3 lesson).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a cluster: homogeneous nodes on a network.
+///
+/// All quantities use SI base units: seconds, bytes, FLOP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Number of compute nodes available.
+    pub nodes: usize,
+    /// Physical cores per node. One MPI rank occupies one core.
+    pub cores_per_node: usize,
+    /// Sustained scalar floating-point rate of one core, FLOP/s.
+    pub flops_per_core: f64,
+    /// Maximum DRAM bandwidth a single core can draw, bytes/s.
+    pub core_mem_bw: f64,
+    /// Aggregate DRAM bandwidth of one node, bytes/s. Shared by all ranks
+    /// placed on the node; this sharing is what makes memory-bound programs
+    /// stop scaling.
+    pub node_mem_bw: f64,
+    /// One-way latency of an intra-node (shared-memory transport) message, s.
+    pub intra_latency: f64,
+    /// Bandwidth of intra-node messaging, bytes/s.
+    pub intra_bw: f64,
+    /// One-way latency of an inter-node (network) message, s.
+    pub inter_latency: f64,
+    /// Bandwidth of inter-node messaging, bytes/s.
+    pub inter_bw: f64,
+    /// Fixed software overhead charged to the sender per message, s.
+    pub send_overhead: f64,
+}
+
+impl MachineModel {
+    /// A model of one 32-core cluster node resembling the paper's testbed
+    /// (Monsoon nodes are dual-socket Xeons): 32 cores, ~16 GFLOP/s scalar
+    /// per core, 12 GB/s per-core DRAM bandwidth against a 100 GB/s bus.
+    ///
+    /// With these numbers a perfectly memory-bound kernel stops scaling at
+    /// `100/12 ≈ 8.3` ranks — the saturating curve of Figure 1(b).
+    pub fn cluster_node() -> Self {
+        Self {
+            nodes: 1,
+            cores_per_node: 32,
+            flops_per_core: 16.0e9,
+            core_mem_bw: 12.0e9,
+            node_mem_bw: 100.0e9,
+            intra_latency: 0.5e-6,
+            intra_bw: 20.0e9,
+            inter_latency: 2.0e-6,
+            inter_bw: 10.0e9,
+            send_overhead: 0.2e-6,
+        }
+    }
+
+    /// The same node type replicated `nodes` times on an InfiniBand-like
+    /// fabric — the multi-node experiments of Modules 4 and 5.
+    pub fn cluster(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::cluster_node()
+        }
+    }
+
+    /// Total cores in the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// A student laptop: 8 cores, modest single-channel memory. Useful for
+    /// showing how the same module behaves before the class moves to the
+    /// cluster model.
+    pub fn laptop() -> Self {
+        Self {
+            nodes: 1,
+            cores_per_node: 8,
+            flops_per_core: 8.0e9,
+            core_mem_bw: 10.0e9,
+            node_mem_bw: 25.0e9,
+            intra_latency: 0.3e-6,
+            intra_bw: 15.0e9,
+            inter_latency: 50.0e-6, // (no real fabric — loopback-ish)
+            inter_bw: 1.0e9,
+            send_overhead: 0.2e-6,
+        }
+    }
+
+    /// A bandwidth-rich fat node (HBM-class): memory-bound codes keep
+    /// scaling far longer — useful for "what if the hardware changed?"
+    /// discussions in Module 4.
+    pub fn fat_memory_node() -> Self {
+        Self {
+            node_mem_bw: 800.0e9,
+            core_mem_bw: 40.0e9,
+            ..Self::cluster_node()
+        }
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::cluster_node()
+    }
+}
+
+/// Policy for mapping ranks onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Fill each node before moving to the next (SLURM `--distribution=block`).
+    Block,
+    /// Deal ranks across nodes like cards (SLURM `--distribution=cyclic`).
+    RoundRobin,
+}
+
+/// A concrete assignment of `n_ranks` ranks onto the nodes of a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    node_of_rank: Vec<usize>,
+    ranks_per_node: Vec<usize>,
+}
+
+impl Placement {
+    /// Place `n_ranks` ranks on `nodes_used` nodes under `policy`.
+    ///
+    /// # Panics
+    /// Panics if `nodes_used == 0` or if the ranks do not fit on the
+    /// requested nodes given `cores_per_node`.
+    pub fn new(
+        n_ranks: usize,
+        nodes_used: usize,
+        cores_per_node: usize,
+        policy: PlacementPolicy,
+    ) -> Self {
+        assert!(nodes_used > 0, "placement requires at least one node");
+        assert!(
+            n_ranks <= nodes_used * cores_per_node,
+            "{n_ranks} ranks do not fit on {nodes_used} nodes of {cores_per_node} cores"
+        );
+        let mut node_of_rank = Vec::with_capacity(n_ranks);
+        match policy {
+            PlacementPolicy::Block => {
+                // Spread as evenly as possible, filling earlier nodes first.
+                let base = n_ranks / nodes_used;
+                let extra = n_ranks % nodes_used;
+                for node in 0..nodes_used {
+                    let count = base + usize::from(node < extra);
+                    node_of_rank.extend(std::iter::repeat_n(node, count));
+                }
+            }
+            PlacementPolicy::RoundRobin => {
+                for rank in 0..n_ranks {
+                    node_of_rank.push(rank % nodes_used);
+                }
+            }
+        }
+        let mut ranks_per_node = vec![0usize; nodes_used];
+        for &node in &node_of_rank {
+            ranks_per_node[node] += 1;
+        }
+        Self {
+            node_of_rank,
+            ranks_per_node,
+        }
+    }
+
+    /// All ranks on a single node.
+    pub fn single_node(n_ranks: usize, cores_per_node: usize) -> Self {
+        Self::new(n_ranks, 1, cores_per_node, PlacementPolicy::Block)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of_rank[rank]
+    }
+
+    /// Number of ranks sharing `rank`'s node (including `rank` itself).
+    pub fn sharers_of(&self, rank: usize) -> usize {
+        self.ranks_per_node[self.node_of(rank)]
+    }
+
+    /// Number of ranks placed.
+    pub fn n_ranks(&self) -> usize {
+        self.node_of_rank.len()
+    }
+
+    /// Number of nodes in use.
+    pub fn nodes_used(&self) -> usize {
+        self.ranks_per_node.len()
+    }
+
+    /// True if `a` and `b` live on the same node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// Roofline kernel-cost and α–β message-cost calculator bound to a machine
+/// and a placement. `pdc-mpi`'s simulated clock calls into this.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    machine: MachineModel,
+    placement: Placement,
+    /// Extra ranks contending for each node's memory bus beyond this job's
+    /// own ranks (used by the co-scheduling model).
+    external_sharers: Vec<usize>,
+}
+
+impl CostModel {
+    /// Build a cost model; `placement` must fit within `machine`.
+    ///
+    /// # Panics
+    /// Panics if the placement uses more nodes than the machine has.
+    pub fn new(machine: MachineModel, placement: Placement) -> Self {
+        assert!(
+            placement.nodes_used() <= machine.nodes,
+            "placement uses {} nodes but machine has {}",
+            placement.nodes_used(),
+            machine.nodes
+        );
+        let external_sharers = vec![0; placement.nodes_used()];
+        Self {
+            machine,
+            placement,
+            external_sharers,
+        }
+    }
+
+    /// Declare that `count` ranks of *another* job contend for memory
+    /// bandwidth on `node` (co-scheduling).
+    pub fn add_external_sharers(&mut self, node: usize, count: usize) {
+        self.external_sharers[node] += count;
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The rank-to-node placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Effective memory bandwidth available to one rank on `rank`'s node:
+    /// its core cap, or its fair share of the node bus, whichever is lower.
+    pub fn effective_mem_bw(&self, rank: usize) -> f64 {
+        let node = self.placement.node_of(rank);
+        let sharers = self.placement.sharers_of(rank) + self.external_sharers[node];
+        let fair_share = self.machine.node_mem_bw / sharers as f64;
+        self.machine.core_mem_bw.min(fair_share)
+    }
+
+    /// Time for `rank` to execute a kernel performing `flops` floating-point
+    /// operations over `bytes` of DRAM traffic: the roofline maximum of the
+    /// compute time and the memory time.
+    pub fn kernel_time(&self, rank: usize, flops: f64, bytes: f64) -> f64 {
+        debug_assert!(flops >= 0.0 && bytes >= 0.0);
+        let t_compute = flops / self.machine.flops_per_core;
+        let t_memory = bytes / self.effective_mem_bw(rank);
+        t_compute.max(t_memory)
+    }
+
+    /// One-way transfer time of a `bytes`-sized message from `src` to `dst`
+    /// (sender gap + wire latency).
+    pub fn message_time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        self.sender_gap(src, dst, bytes) + self.message_latency(src, dst)
+    }
+
+    /// Time the *sender* is occupied injecting a `bytes`-sized message
+    /// (the LogGP per-byte gap: `bytes / link bandwidth`). Serializing this
+    /// at the sender is what makes a linear broadcast pay `O(p·m/bw)` at
+    /// the root while a binomial tree pays `O(log p · m/bw)` per node.
+    pub fn sender_gap(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let bw = if self.placement.same_node(src, dst) {
+            self.machine.intra_bw
+        } else {
+            self.machine.inter_bw
+        };
+        bytes as f64 / bw
+    }
+
+    /// Wire latency from `src` to `dst` (charged at the receiver: a message
+    /// sent at time `t` is available at `t + latency`).
+    pub fn message_latency(&self, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        if self.placement.same_node(src, dst) {
+            self.machine.intra_latency
+        } else {
+            self.machine.inter_latency
+        }
+    }
+
+    /// Sender-side overhead per message.
+    pub fn send_overhead(&self) -> f64 {
+        self.machine.send_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_fills_evenly() {
+        let p = Placement::new(10, 3, 32, PlacementPolicy::Block);
+        assert_eq!(p.nodes_used(), 3);
+        // 10 = 4 + 3 + 3
+        assert_eq!(p.sharers_of(0), 4);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(3), 0);
+        assert_eq!(p.node_of(4), 1);
+        assert_eq!(p.node_of(9), 2);
+    }
+
+    #[test]
+    fn round_robin_placement_deals_ranks() {
+        let p = Placement::new(6, 3, 32, PlacementPolicy::RoundRobin);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(1), 1);
+        assert_eq!(p.node_of(2), 2);
+        assert_eq!(p.node_of(3), 0);
+        assert!(p.same_node(0, 3));
+        assert!(!p.same_node(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn placement_rejects_oversubscription() {
+        let _ = Placement::new(33, 1, 32, PlacementPolicy::Block);
+    }
+
+    #[test]
+    fn memory_bandwidth_saturates_with_sharers() {
+        let m = MachineModel::cluster_node();
+        // One rank alone: limited by its core, not the bus.
+        let cm1 = CostModel::new(m.clone(), Placement::single_node(1, 32));
+        assert_eq!(cm1.effective_mem_bw(0), m.core_mem_bw);
+        // 20 ranks: the 100 GB/s bus split 20 ways beats the 12 GB/s core cap.
+        let cm20 = CostModel::new(m.clone(), Placement::single_node(20, 32));
+        assert!((cm20.effective_mem_bw(0) - m.node_mem_bw / 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_nodes_double_aggregate_bandwidth() {
+        let m = MachineModel::cluster(2);
+        let one = CostModel::new(m.clone(), Placement::new(16, 1, 32, PlacementPolicy::Block));
+        let two = CostModel::new(m, Placement::new(16, 2, 32, PlacementPolicy::Block));
+        // 16 ranks on one node: 100/16 GB/s each. On two nodes: 100/8 each.
+        assert!(two.effective_mem_bw(0) > one.effective_mem_bw(0));
+    }
+
+    #[test]
+    fn kernel_time_is_roofline_max() {
+        let m = MachineModel::cluster_node();
+        let cm = CostModel::new(m.clone(), Placement::single_node(1, 32));
+        // Pure compute.
+        let t = cm.kernel_time(0, 16.0e9, 0.0);
+        assert!((t - 1.0).abs() < 1e-12);
+        // Pure memory: 12 GB at 12 GB/s.
+        let t = cm.kernel_time(0, 0.0, 12.0e9);
+        assert!((t - 1.0).abs() < 1e-9);
+        // Max of both.
+        let t = cm.kernel_time(0, 32.0e9, 12.0e9);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for m in [
+            MachineModel::laptop(),
+            MachineModel::cluster_node(),
+            MachineModel::fat_memory_node(),
+        ] {
+            assert!(m.cores_per_node > 0 && m.nodes > 0);
+            assert!(m.core_mem_bw <= m.node_mem_bw);
+            assert!(m.flops_per_core > 0.0);
+        }
+        // The fat node saturates much later than the standard node.
+        let std_knee = MachineModel::cluster_node();
+        let fat = MachineModel::fat_memory_node();
+        assert!(
+            fat.node_mem_bw / fat.core_mem_bw > std_knee.node_mem_bw / std_knee.core_mem_bw,
+            "fat node sustains more memory-bound ranks"
+        );
+    }
+
+    #[test]
+    fn inter_node_messages_cost_more() {
+        let m = MachineModel::cluster(2);
+        let cm = CostModel::new(m, Placement::new(4, 2, 32, PlacementPolicy::Block));
+        // Ranks 0,1 on node 0; ranks 2,3 on node 1.
+        let intra = cm.message_time(0, 1, 1 << 20);
+        let inter = cm.message_time(0, 2, 1 << 20);
+        assert!(inter > intra);
+        assert_eq!(cm.message_time(3, 3, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn external_sharers_reduce_bandwidth() {
+        let m = MachineModel::cluster_node();
+        let mut cm = CostModel::new(m.clone(), Placement::single_node(16, 32));
+        let before = cm.effective_mem_bw(0);
+        cm.add_external_sharers(0, 16);
+        let after = cm.effective_mem_bw(0);
+        assert!(after < before);
+        assert!((after - m.node_mem_bw / 32.0).abs() < 1e-6);
+    }
+}

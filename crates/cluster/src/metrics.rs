@@ -1,0 +1,215 @@
+//! Scaling and load-balance metrics used throughout the experiments.
+//!
+//! These are the quantities the modules ask students to compute and reason
+//! about: speedup, parallel efficiency, Karp–Flatt serial fraction, and the
+//! max/mean load-imbalance factor of Module 3.
+
+use serde::{Deserialize, Serialize};
+
+/// Speedup of a `p`-rank run over the 1-rank baseline: `t1 / tp`.
+///
+/// # Panics
+/// Panics if `tp` is not strictly positive.
+pub fn speedup(t1: f64, tp: f64) -> f64 {
+    assert!(tp > 0.0, "parallel time must be positive, got {tp}");
+    t1 / tp
+}
+
+/// Parallel efficiency: `speedup / p`.
+pub fn efficiency(t1: f64, tp: f64, p: usize) -> f64 {
+    assert!(p > 0, "rank count must be positive");
+    speedup(t1, tp) / p as f64
+}
+
+/// Karp–Flatt experimentally determined serial fraction:
+/// `(1/S - 1/p) / (1 - 1/p)` for `p > 1`. Close to 0 means near-perfect
+/// scaling; growing values reveal serialization or overhead.
+pub fn karp_flatt(t1: f64, tp: f64, p: usize) -> f64 {
+    assert!(p > 1, "Karp-Flatt requires p > 1");
+    let s = speedup(t1, tp);
+    let ip = 1.0 / p as f64;
+    (1.0 / s - ip) / (1.0 - ip)
+}
+
+/// Gustafson's scaled speedup for weak scaling: `p + (1 - p)·s`, where `s`
+/// is the serial fraction measured at `p` ranks. The weak-scaling analogue
+/// of Amdahl's law — used when discussing how the modules would behave if
+/// the per-rank problem size were held fixed instead of the total.
+pub fn gustafson_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction), "fraction in [0,1]");
+    assert!(p > 0, "rank count must be positive");
+    p as f64 + (1.0 - p as f64) * serial_fraction
+}
+
+/// Weak-scaling efficiency: `t1 / tp` with the per-rank problem size held
+/// constant (ideal = 1.0 at every p).
+pub fn weak_efficiency(t1: f64, tp: f64) -> f64 {
+    assert!(tp > 0.0, "parallel time must be positive");
+    t1 / tp
+}
+
+/// Load-imbalance factor of per-rank work amounts: `max / mean`.
+/// 1.0 is perfectly balanced; Module 3's exponential activity produces
+/// values well above 1.
+///
+/// # Panics
+/// Panics on an empty slice or an all-zero workload.
+pub fn imbalance_factor(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty(), "imbalance of empty workload");
+    let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    assert!(mean > 0.0, "mean workload must be positive");
+    max / mean
+}
+
+/// A single point on a strong-scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Number of ranks.
+    pub p: usize,
+    /// Measured (or simulated) time at `p` ranks, seconds.
+    pub time: f64,
+    /// Speedup relative to the 1-rank point of the same curve.
+    pub speedup: f64,
+    /// Parallel efficiency at `p` ranks.
+    pub efficiency: f64,
+}
+
+/// A labelled strong-scaling curve: times for increasing rank counts with
+/// derived speedup/efficiency columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingCurve {
+    /// Human-readable label ("brute force", "R-tree", ...).
+    pub label: String,
+    /// The measured points, ordered by increasing `p`.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScalingCurve {
+    /// Build a curve from `(p, time)` samples. The first sample is the
+    /// baseline; it does not need to be `p = 1`, in which case speedups are
+    /// relative speedups over the smallest configuration.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or not sorted by increasing `p`.
+    pub fn from_times(label: impl Into<String>, samples: &[(usize, f64)]) -> Self {
+        assert!(!samples.is_empty(), "scaling curve needs at least one point");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 < w[1].0),
+            "samples must be sorted by increasing rank count"
+        );
+        let (p0, t0) = samples[0];
+        let points = samples
+            .iter()
+            .map(|&(p, t)| ScalePoint {
+                p,
+                time: t,
+                speedup: t0 / t * p0 as f64,
+                efficiency: (t0 / t) * p0 as f64 / p as f64,
+            })
+            .collect();
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Largest speedup achieved anywhere on the curve.
+    pub fn max_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|pt| pt.speedup)
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Efficiency at the largest rank count.
+    pub fn final_efficiency(&self) -> f64 {
+        self.points.last().expect("non-empty curve").efficiency
+    }
+
+    /// True if the curve "saturates": the last point's speedup improves on
+    /// the midpoint's by less than `tol` (relative). Compute-bound curves
+    /// keep climbing; memory-bound curves flatten (Figure 1(b)).
+    pub fn saturates(&self, tol: f64) -> bool {
+        if self.points.len() < 3 {
+            return false;
+        }
+        let mid = &self.points[self.points.len() / 2];
+        let last = self.points.last().expect("non-empty");
+        (last.speedup - mid.speedup) / mid.speedup < tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency_basics() {
+        assert!((speedup(10.0, 2.5) - 4.0).abs() < 1e-12);
+        assert!((efficiency(10.0, 2.5, 4) - 1.0).abs() < 1e-12);
+        assert!((efficiency(10.0, 2.5, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn karp_flatt_perfect_scaling_is_zero() {
+        // t1 = 16, p = 16, tp = 1 => S = 16 => e = 0.
+        assert!(karp_flatt(16.0, 1.0, 16).abs() < 1e-12);
+        // Amdahl with 10% serial fraction recovers ~0.1.
+        let f = 0.1;
+        let p = 8;
+        let tp = f + (1.0 - f) / p as f64;
+        assert!((karp_flatt(1.0, tp, p) - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gustafson_limits() {
+        // No serial fraction: perfectly scaled speedup p.
+        assert!((gustafson_speedup(0.0, 16) - 16.0).abs() < 1e-12);
+        // All serial: no speedup.
+        assert!((gustafson_speedup(1.0, 16) - 1.0).abs() < 1e-12);
+        // 10% serial at 8 ranks: 8 - 0.7 = 7.3.
+        assert!((gustafson_speedup(0.1, 8) - 7.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_efficiency_is_time_ratio() {
+        assert!((weak_efficiency(2.0, 2.0) - 1.0).abs() < 1e-12);
+        assert!((weak_efficiency(2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_factor_detects_skew() {
+        assert!((imbalance_factor(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((imbalance_factor(&[4.0, 1.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn imbalance_rejects_empty() {
+        let _ = imbalance_factor(&[]);
+    }
+
+    #[test]
+    fn scaling_curve_derives_columns() {
+        let c = ScalingCurve::from_times("lin", &[(1, 8.0), (2, 4.0), (4, 2.0), (8, 1.0)]);
+        assert!((c.max_speedup() - 8.0).abs() < 1e-12);
+        assert!((c.final_efficiency() - 1.0).abs() < 1e-12);
+        assert!(!c.saturates(0.05));
+    }
+
+    #[test]
+    fn scaling_curve_detects_saturation() {
+        let c = ScalingCurve::from_times(
+            "mem",
+            &[(1, 8.0), (2, 4.0), (4, 2.0), (8, 1.9), (16, 1.85)],
+        );
+        assert!(c.saturates(0.20));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn scaling_curve_rejects_unsorted() {
+        let _ = ScalingCurve::from_times("bad", &[(4, 1.0), (2, 2.0)]);
+    }
+}

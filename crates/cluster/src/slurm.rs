@@ -1,0 +1,723 @@
+//! A SLURM-like batch scheduler (the paper's first ancillary module).
+//!
+//! Students on Monsoon submit job scripts (`#SBATCH --nodes --ntasks
+//! --time ...`) into a shared queue. This module reproduces the parts of
+//! that experience that matter pedagogically: writing a job script,
+//! queueing, FIFO order, EASY backfill, exclusive vs shared node access,
+//! and reading the resulting schedule (wait time, start time, node list).
+//!
+//! The simulation is event-driven over simulated seconds and fully
+//! deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A batch job script, mirroring the `#SBATCH` directives the ancillary
+/// module teaches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobScript {
+    /// Job name (`#SBATCH --job-name`).
+    pub name: String,
+    /// Nodes requested (`--nodes`).
+    pub nodes: usize,
+    /// Tasks (ranks) per node (`--ntasks-per-node`).
+    pub tasks_per_node: usize,
+    /// Wall-time limit in seconds (`--time`). The scheduler kills the job
+    /// at this limit.
+    pub time_limit: f64,
+    /// Request whole nodes (`--exclusive`) or allow core sharing.
+    pub exclusive: bool,
+    /// True runtime of the job in seconds (unknown to the scheduler until
+    /// the job finishes; used by the simulation).
+    pub actual_runtime: f64,
+    /// Submission time in seconds since the simulation epoch.
+    pub submit_time: f64,
+    /// Queue priority (`#SBATCH --priority`, larger = sooner); ties keep
+    /// submission order.
+    pub priority: i64,
+    /// Submission-order indices of jobs that must *complete* before this
+    /// one may start (`#SBATCH --dependency=afterok:...`) — the workflow
+    /// primitive scientific pipelines are built from.
+    pub after: Vec<usize>,
+}
+
+impl JobScript {
+    /// Convenience constructor for a shared-node job.
+    pub fn new(name: impl Into<String>, nodes: usize, tasks_per_node: usize) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            tasks_per_node,
+            time_limit: 3600.0,
+            exclusive: false,
+            actual_runtime: 60.0,
+            submit_time: 0.0,
+            priority: 0,
+            after: Vec::new(),
+        }
+    }
+
+    /// Set the wall-time limit (builder style).
+    pub fn with_time_limit(mut self, seconds: f64) -> Self {
+        self.time_limit = seconds;
+        self
+    }
+
+    /// Set the true runtime (builder style).
+    pub fn with_runtime(mut self, seconds: f64) -> Self {
+        self.actual_runtime = seconds;
+        self
+    }
+
+    /// Mark the job node-exclusive (builder style).
+    pub fn with_exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+
+    /// Set the submit time (builder style).
+    pub fn submitted_at(mut self, t: f64) -> Self {
+        self.submit_time = t;
+        self
+    }
+
+    /// Set the queue priority (builder style).
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Declare dependencies by submission index (builder style):
+    /// `--dependency=afterok`.
+    pub fn after(mut self, deps: &[usize]) -> Self {
+        self.after = deps.to_vec();
+        self
+    }
+
+    /// Total ranks the job runs.
+    pub fn total_tasks(&self) -> usize {
+        self.nodes * self.tasks_per_node
+    }
+
+    /// Render the script as the `#SBATCH` file students would write.
+    pub fn render(&self) -> String {
+        let mins = (self.time_limit / 60.0).ceil() as u64;
+        let mut s = String::from("#!/bin/bash\n");
+        s.push_str(&format!("#SBATCH --job-name={}\n", self.name));
+        s.push_str(&format!("#SBATCH --nodes={}\n", self.nodes));
+        s.push_str(&format!("#SBATCH --ntasks-per-node={}\n", self.tasks_per_node));
+        s.push_str(&format!("#SBATCH --time=00:{mins:02}:00\n"));
+        if self.exclusive {
+            s.push_str("#SBATCH --exclusive\n");
+        }
+        s.push_str(&format!(
+            "srun -n {} ./my_mpi_program\n",
+            self.total_tasks()
+        ));
+        s
+    }
+}
+
+/// How the job ultimately finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion within its limit.
+    Completed,
+    /// Hit its wall-time limit and was killed.
+    TimedOut,
+}
+
+/// A scheduled job in the simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledJob {
+    /// The submitted script.
+    pub script: JobScript,
+    /// Time the job started running.
+    pub start_time: f64,
+    /// Time the job left the machine.
+    pub end_time: f64,
+    /// Nodes allocated (indices into the cluster's node list).
+    pub nodes: Vec<usize>,
+    /// Completion status.
+    pub outcome: JobOutcome,
+}
+
+impl ScheduledJob {
+    /// Queue wait: start − submit.
+    pub fn wait_time(&self) -> f64 {
+        self.start_time - self.script.submit_time
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Strict first-in-first-out: the queue head blocks everyone behind it.
+    Fifo,
+    /// EASY backfill: later jobs may start early if they cannot delay the
+    /// queue head's reservation.
+    EasyBackfill,
+}
+
+/// The cluster scheduler simulation.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    nodes: usize,
+    cores_per_node: usize,
+    policy: Policy,
+    queue: Vec<JobScript>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    free_cores: usize,
+    exclusive_held: bool,
+}
+
+impl Scheduler {
+    /// New scheduler for `nodes` nodes of `cores_per_node` cores.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized cluster.
+    pub fn new(nodes: usize, cores_per_node: usize, policy: Policy) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "cluster must be non-empty");
+        Self {
+            nodes,
+            cores_per_node,
+            policy,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Submit a job script.
+    pub fn submit(&mut self, script: JobScript) {
+        assert!(
+            script.nodes <= self.nodes && script.tasks_per_node <= self.cores_per_node,
+            "job '{}' requests more than the cluster has",
+            script.name
+        );
+        self.queue.push(script);
+    }
+
+    /// Run the simulation to completion and return per-job schedules in
+    /// submission order.
+    pub fn run(&mut self) -> Vec<ScheduledJob> {
+        // Index jobs by submission order (dependencies refer to these
+        // indices), then sort the queue by submit time, stably.
+        let mut pending: Vec<(usize, JobScript)> =
+            self.queue.drain(..).enumerate().collect();
+        pending.sort_by(|a, b| {
+            a.1.submit_time
+                .partial_cmp(&b.1.submit_time)
+                .expect("finite submit times")
+        });
+
+        let mut node_state = vec![
+            NodeState {
+                free_cores: self.cores_per_node,
+                exclusive_held: false,
+            };
+            self.nodes
+        ];
+        // Running jobs keyed by end time (BTreeMap gives deterministic event
+        // order; f64 keys stored as ordered bits).
+        let mut running: BTreeMap<(u64, usize), (usize, ScheduledJob)> = BTreeMap::new();
+        let mut done: Vec<(usize, ScheduledJob)> = Vec::new();
+        let mut now = 0.0f64;
+        let mut next_key = 0usize;
+        let mut waiting: Vec<(usize, JobScript)> = pending;
+
+        loop {
+            // Retire everything that ends at or before `now`.
+            let ended: Vec<(u64, usize)> = running
+                .range(..=(now.to_bits(), usize::MAX))
+                .map(|(&k, _)| k)
+                .collect();
+            for k in ended {
+                let (idx, job) = running.remove(&k).expect("key just listed");
+                for &n in &job.nodes {
+                    node_state[n].free_cores += job.script.tasks_per_node;
+                    if job.script.exclusive {
+                        node_state[n].exclusive_held = false;
+                    }
+                }
+                done.push((idx, job));
+            }
+
+            // Try to start queued jobs whose submit time has arrived.
+            let mut started_any = true;
+            while started_any {
+                started_any = false;
+                let deps_done = |script: &JobScript| {
+                    script
+                        .after
+                        .iter()
+                        .all(|&dep| done.iter().any(|&(idx, ref j)| {
+                            idx == dep && j.end_time <= now
+                        }))
+                };
+                let mut arrived: Vec<usize> = (0..waiting.len())
+                    .filter(|&i| waiting[i].1.submit_time <= now && deps_done(&waiting[i].1))
+                    .collect();
+                if arrived.is_empty() {
+                    break;
+                }
+                // Queue order: priority first (descending), then original
+                // submission order (`waiting` is submit-sorted and stable).
+                arrived.sort_by_key(|&i| (-waiting[i].1.priority, waiting[i].0));
+                let head = arrived[0];
+                // Head-of-line job starts if it fits.
+                if let Some(alloc) = try_allocate(&node_state, &waiting[head].1, self.cores_per_node) {
+                    let (idx, script) = waiting.remove(head);
+                    start_job(
+                        &mut node_state,
+                        &mut running,
+                        &mut next_key,
+                        idx,
+                        script,
+                        alloc,
+                        now,
+                    );
+                    started_any = true;
+                    continue;
+                }
+                // Head blocked: with EASY backfill, later arrived jobs may
+                // start if they end before the head's earliest start.
+                if self.policy == Policy::EasyBackfill {
+                    let shadow = shadow_time(&node_state, &running, &waiting[head].1, self.cores_per_node);
+                    for &i in arrived.iter().skip(1) {
+                        let cand = &waiting[i].1;
+                        if now + cand.time_limit <= shadow {
+                            if let Some(alloc) = try_allocate(&node_state, cand, self.cores_per_node) {
+                                let (idx, script) = waiting.remove(i);
+                                start_job(
+                                    &mut node_state,
+                                    &mut running,
+                                    &mut next_key,
+                                    idx,
+                                    script,
+                                    alloc,
+                                    now,
+                                );
+                                started_any = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Advance time to the next event.
+            let next_end = running.keys().next().map(|&(bits, _)| f64::from_bits(bits));
+            let next_submit = waiting
+                .iter()
+                .map(|(_, s)| s.submit_time)
+                .filter(|&t| t > now)
+                .fold(f64::INFINITY, f64::min);
+            now = match (next_end, next_submit.is_finite()) {
+                (Some(e), true) => e.min(next_submit),
+                (Some(e), false) => e,
+                (None, true) => next_submit,
+                (None, false) => break,
+            };
+        }
+        assert!(
+            waiting.is_empty(),
+            "unsatisfiable dependencies left {} job(s) unscheduled",
+            waiting.len()
+        );
+
+        done.sort_by_key(|&(idx, _)| idx);
+        done.into_iter().map(|(_, j)| j).collect()
+    }
+}
+
+/// Find nodes that can host `script` right now. Returns node indices.
+fn try_allocate(
+    nodes: &[NodeState],
+    script: &JobScript,
+    cores_per_node: usize,
+) -> Option<Vec<usize>> {
+    let mut chosen = Vec::with_capacity(script.nodes);
+    for (i, st) in nodes.iter().enumerate() {
+        let fits = if script.exclusive {
+            st.free_cores == cores_per_node && !st.exclusive_held
+        } else {
+            !st.exclusive_held && st.free_cores >= script.tasks_per_node
+        };
+        if fits {
+            chosen.push(i);
+            if chosen.len() == script.nodes {
+                return Some(chosen);
+            }
+        }
+    }
+    None
+}
+
+fn start_job(
+    node_state: &mut [NodeState],
+    running: &mut BTreeMap<(u64, usize), (usize, ScheduledJob)>,
+    next_key: &mut usize,
+    idx: usize,
+    script: JobScript,
+    alloc: Vec<usize>,
+    now: f64,
+) {
+    for &n in &alloc {
+        node_state[n].free_cores -= script.tasks_per_node;
+        if script.exclusive {
+            node_state[n].exclusive_held = true;
+        }
+    }
+    let (runtime, outcome) = if script.actual_runtime > script.time_limit {
+        (script.time_limit, JobOutcome::TimedOut)
+    } else {
+        (script.actual_runtime, JobOutcome::Completed)
+    };
+    let end = now + runtime;
+    let job = ScheduledJob {
+        start_time: now,
+        end_time: end,
+        nodes: alloc,
+        outcome,
+        script,
+    };
+    running.insert((end.to_bits(), *next_key), (idx, job));
+    *next_key += 1;
+}
+
+/// Earliest time the blocked head job could start, assuming running jobs
+/// release their cores at their scheduled end times.
+fn shadow_time(
+    nodes: &[NodeState],
+    running: &BTreeMap<(u64, usize), (usize, ScheduledJob)>,
+    head: &JobScript,
+    cores_per_node: usize,
+) -> f64 {
+    // Simulate releases in end-time order until the head fits.
+    let mut state: Vec<NodeState> = nodes.to_vec();
+    for (&(bits, _), (_, job)) in running.iter() {
+        for &n in &job.nodes {
+            state[n].free_cores += job.script.tasks_per_node;
+            if job.script.exclusive {
+                state[n].exclusive_held = false;
+            }
+        }
+        let fits = state
+            .iter()
+            .filter(|st| {
+                if head.exclusive {
+                    st.free_cores == cores_per_node && !st.exclusive_held
+                } else {
+                    !st.exclusive_held && st.free_cores >= head.tasks_per_node
+                }
+            })
+            .count()
+            >= head.nodes;
+        if fits {
+            return f64::from_bits(bits);
+        }
+    }
+    f64::INFINITY
+}
+
+/// Summary statistics of a finished schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Latest end time over all jobs.
+    pub makespan: f64,
+    /// Mean queue wait over all jobs.
+    pub mean_wait: f64,
+    /// Core-seconds used divided by core-seconds available until the
+    /// makespan (exclusive jobs are charged the whole node).
+    pub utilization: f64,
+}
+
+/// Compute [`ScheduleMetrics`] for a schedule on a `nodes`×`cores_per_node`
+/// cluster.
+///
+/// # Panics
+/// Panics on an empty schedule or empty cluster.
+pub fn schedule_metrics(
+    schedule: &[ScheduledJob],
+    nodes: usize,
+    cores_per_node: usize,
+) -> ScheduleMetrics {
+    assert!(!schedule.is_empty(), "metrics of an empty schedule");
+    assert!(nodes > 0 && cores_per_node > 0, "empty cluster");
+    let makespan = schedule.iter().map(|j| j.end_time).fold(0.0, f64::max);
+    let mean_wait =
+        schedule.iter().map(ScheduledJob::wait_time).sum::<f64>() / schedule.len() as f64;
+    let used: f64 = schedule
+        .iter()
+        .map(|j| {
+            let cores = if j.script.exclusive {
+                j.nodes.len() * cores_per_node
+            } else {
+                j.nodes.len() * j.script.tasks_per_node
+            };
+            cores as f64 * (j.end_time - j.start_time)
+        })
+        .sum();
+    let available = (nodes * cores_per_node) as f64 * makespan;
+    ScheduleMetrics {
+        makespan,
+        mean_wait,
+        utilization: if available > 0.0 { used / available } else { 0.0 },
+    }
+}
+
+/// Render a finished schedule as a per-node Gantt strip over `width`
+/// columns (`#` = busy cores, `·` = idle). One row per node.
+pub fn render_schedule(schedule: &[ScheduledJob], nodes: usize, width: usize) -> String {
+    assert!(width > 0 && nodes > 0, "non-empty chart");
+    let makespan = schedule.iter().map(|j| j.end_time).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty schedule)\n");
+        return out;
+    }
+    let col_dt = makespan / width as f64;
+    for node in 0..nodes {
+        out.push_str(&format!("node {node:>2} │"));
+        for col in 0..width {
+            let t = (col as f64 + 0.5) * col_dt;
+            let busy = schedule
+                .iter()
+                .any(|j| j.nodes.contains(&node) && j.start_time <= t && t < j.end_time);
+            out.push(if busy { '#' } else { '·' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("         0s {:>width$.0}s\n", makespan, width = width - 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_gantt_shows_busy_and_idle() {
+        let mut sched = Scheduler::new(2, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 32).with_runtime(50.0).with_time_limit(60.0));
+        sched.submit(JobScript::new("b", 2, 32).with_runtime(50.0).with_time_limit(60.0));
+        let out = sched.run();
+        let chart = render_schedule(&out, 2, 20);
+        assert_eq!(chart.lines().count(), 3);
+        let node1 = chart.lines().nth(1).expect("two nodes");
+        assert!(node1.contains('·'), "node 1 idles while job a runs: {chart}");
+        assert!(node1.contains('#'), "node 1 joins for job b: {chart}");
+    }
+
+    #[test]
+    fn empty_schedule_renders_gracefully() {
+        assert!(render_schedule(&[], 2, 10).contains("empty"));
+    }
+
+    #[test]
+    fn render_produces_sbatch_directives() {
+        let s = JobScript::new("kmeans", 2, 16)
+            .with_time_limit(600.0)
+            .with_exclusive()
+            .render();
+        assert!(s.contains("#SBATCH --nodes=2"));
+        assert!(s.contains("#SBATCH --ntasks-per-node=16"));
+        assert!(s.contains("--exclusive"));
+        assert!(s.contains("srun -n 32"));
+    }
+
+    #[test]
+    fn single_job_starts_immediately() {
+        let mut sched = Scheduler::new(2, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 8).with_runtime(100.0));
+        let out = sched.run();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].start_time, 0.0);
+        assert_eq!(out[0].end_time, 100.0);
+        assert_eq!(out[0].outcome, JobOutcome::Completed);
+    }
+
+    #[test]
+    fn jobs_share_a_node_when_cores_allow() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 16).with_runtime(100.0));
+        sched.submit(JobScript::new("b", 1, 16).with_runtime(100.0));
+        let out = sched.run();
+        assert_eq!(out[0].start_time, 0.0);
+        assert_eq!(out[1].start_time, 0.0, "both fit on the shared node");
+    }
+
+    #[test]
+    fn exclusive_job_blocks_sharers() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 8).with_runtime(50.0).with_exclusive());
+        sched.submit(JobScript::new("b", 1, 8).with_runtime(50.0));
+        let out = sched.run();
+        assert_eq!(out[0].start_time, 0.0);
+        assert_eq!(out[1].start_time, 50.0, "exclusive job holds the node");
+    }
+
+    #[test]
+    fn fifo_head_blocks_backfillable_job() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("big2", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        let out = sched.run();
+        assert_eq!(out[2].start_time, 200.0, "FIFO: tiny waits for both big jobs");
+    }
+
+    #[test]
+    fn easy_backfill_slips_tiny_job_through() {
+        let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
+        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("big2", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        let out = sched.run();
+        // tiny (20s limit) ends before big's shadow time (100s) and uses idle cores... but
+        // big occupies all 32 cores, so tiny backfills only after big ends and
+        // before big2's reservation: start at 100 alongside big2? big2 takes
+        // all cores at 100. tiny must fit *before* big2's shadow; at t=0 no
+        // free cores exist, so tiny cannot backfill and runs at 200.
+        // Rebuild the scenario with spare cores instead:
+        assert_eq!(out[2].script.name, "tiny");
+
+        let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
+        sched.submit(JobScript::new("half", 1, 16).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        let out = sched.run();
+        assert_eq!(out[0].start_time, 0.0);
+        assert_eq!(out[1].start_time, 100.0, "big waits for half's cores");
+        assert_eq!(out[2].start_time, 0.0, "tiny backfills into the idle half-node");
+    }
+
+    #[test]
+    fn dependencies_gate_workflow_stages() {
+        // A three-stage pipeline: preprocess -> two analyses -> summarize.
+        let mut sched = Scheduler::new(2, 32, Policy::EasyBackfill);
+        sched.submit(JobScript::new("preprocess", 1, 8).with_runtime(100.0).with_time_limit(120.0)); // 0
+        sched.submit(
+            JobScript::new("analysis-a", 1, 16)
+                .with_runtime(50.0)
+                .with_time_limit(60.0)
+                .after(&[0]),
+        ); // 1
+        sched.submit(
+            JobScript::new("analysis-b", 1, 16)
+                .with_runtime(50.0)
+                .with_time_limit(60.0)
+                .after(&[0]),
+        ); // 2
+        sched.submit(
+            JobScript::new("summarize", 1, 4)
+                .with_runtime(10.0)
+                .with_time_limit(20.0)
+                .after(&[1, 2]),
+        ); // 3
+        let out = sched.run();
+        let find = |name: &str| out.iter().find(|j| j.script.name == name).expect("scheduled");
+        assert_eq!(find("preprocess").start_time, 0.0);
+        assert_eq!(find("analysis-a").start_time, 100.0);
+        assert_eq!(find("analysis-b").start_time, 100.0, "independent analyses overlap");
+        assert_eq!(find("summarize").start_time, 150.0);
+    }
+
+    #[test]
+    fn dependent_jobs_do_not_backfill_early() {
+        // Even though cores are free at t=0, the dependent job must wait.
+        let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
+        sched.submit(JobScript::new("stage1", 1, 4).with_runtime(50.0).with_time_limit(60.0));
+        sched.submit(
+            JobScript::new("stage2", 1, 4)
+                .with_runtime(10.0)
+                .with_time_limit(20.0)
+                .after(&[0]),
+        );
+        let out = sched.run();
+        assert_eq!(out[1].start_time, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable dependencies")]
+    fn cyclic_dependencies_are_reported() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 4).after(&[1]));
+        sched.submit(JobScript::new("b", 1, 4).after(&[0]));
+        let _ = sched.run();
+    }
+
+    #[test]
+    fn a_generous_time_limit_blocks_your_own_backfill() {
+        // The ancillary handout's exercise: the same short job backfills
+        // with an honest limit but waits with a padded one — the scheduler
+        // can only reason about limits, not true runtimes.
+        let schedule = |limit: f64| {
+            let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
+            sched.submit(JobScript::new("half", 1, 16).with_runtime(100.0).with_time_limit(120.0));
+            sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(120.0));
+            sched.submit(JobScript::new("mine", 1, 4).with_runtime(10.0).with_time_limit(limit));
+            let out = sched.run();
+            out.iter()
+                .find(|j| j.script.name == "mine")
+                .expect("scheduled")
+                .start_time
+        };
+        assert_eq!(schedule(20.0), 0.0, "honest limit: backfills immediately");
+        assert!(
+            schedule(500.0) > 0.0,
+            "padded limit: cannot fit before the reservation"
+        );
+    }
+
+    #[test]
+    fn overlong_jobs_are_killed_at_the_limit() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 8).with_runtime(500.0).with_time_limit(100.0));
+        let out = sched.run();
+        assert_eq!(out[0].outcome, JobOutcome::TimedOut);
+        assert_eq!(out[0].end_time, 100.0);
+    }
+
+    #[test]
+    fn priority_overrides_submission_order() {
+        let mut sched = Scheduler::new(1, 32, Policy::Fifo);
+        sched.submit(JobScript::new("blocker", 1, 32).with_runtime(100.0).with_time_limit(200.0));
+        sched.submit(JobScript::new("low", 1, 32).with_runtime(10.0).with_time_limit(20.0));
+        sched.submit(
+            JobScript::new("high", 1, 32)
+                .with_runtime(10.0)
+                .with_time_limit(20.0)
+                .with_priority(10),
+        );
+        let out = sched.run();
+        let find = |name: &str| out.iter().find(|j| j.script.name == name).expect("scheduled");
+        assert_eq!(find("high").start_time, 0.0, "high priority goes first");
+        assert_eq!(find("blocker").start_time, 10.0, "then submission order");
+        assert_eq!(find("low").start_time, 110.0);
+    }
+
+    #[test]
+    fn metrics_summarize_the_schedule() {
+        let mut sched = Scheduler::new(2, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 2, 32).with_runtime(100.0).with_time_limit(120.0));
+        sched.submit(JobScript::new("b", 1, 32).with_runtime(50.0).with_time_limit(60.0));
+        let out = sched.run();
+        let m = schedule_metrics(&out, 2, 32);
+        assert_eq!(m.makespan, 150.0);
+        // a: 64 cores x 100s; b: 32 x 50 => 8000 core-s of 64*150 = 9600.
+        assert!((m.utilization - 8000.0 / 9600.0).abs() < 1e-9);
+        assert!((m.mean_wait - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_submissions_wait_for_their_submit_time() {
+        let mut sched = Scheduler::new(2, 32, Policy::Fifo);
+        sched.submit(JobScript::new("a", 1, 8).with_runtime(10.0).submitted_at(50.0));
+        let out = sched.run();
+        assert_eq!(out[0].start_time, 50.0);
+        assert!((out[0].wait_time()).abs() < 1e-12);
+    }
+}

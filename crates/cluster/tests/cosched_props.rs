@@ -1,0 +1,60 @@
+//! Property tests for the co-scheduling model: water-filling conservation
+//! and slowdown sanity for arbitrary job shapes.
+
+use pdc_cluster::cosched::{coschedule, JobProfile};
+use pdc_cluster::MachineModel;
+use proptest::prelude::*;
+
+fn job_strategy() -> impl Strategy<Value = JobProfile> {
+    (1usize..16, 1.0e8f64..1.0e11, 1.0e6f64..1.0e11).prop_map(|(ranks, flops, bytes)| {
+        JobProfile {
+            name: "j".into(),
+            ranks,
+            flops_per_rank: flops,
+            bytes_per_rank: bytes,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coscheduling_never_speeds_anyone_up(a in job_strategy(), b in job_strategy()) {
+        let m = MachineModel::cluster_node();
+        let out = coschedule(&a, &b, &m);
+        prop_assert!(out.slowdown_a >= 1.0 - 1e-9, "slowdown_a {}", out.slowdown_a);
+        prop_assert!(out.slowdown_b >= 1.0 - 1e-9, "slowdown_b {}", out.slowdown_b);
+        prop_assert!(out.worst().is_finite());
+    }
+
+    #[test]
+    fn coscheduling_is_symmetric(a in job_strategy(), b in job_strategy()) {
+        let m = MachineModel::cluster_node();
+        let ab = coschedule(&a, &b, &m);
+        let ba = coschedule(&b, &a, &m);
+        prop_assert!((ab.slowdown_a - ba.slowdown_b).abs() < 1e-9);
+        prop_assert!((ab.slowdown_b - ba.slowdown_a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_is_bounded_by_fair_share(a in job_strategy(), b in job_strategy()) {
+        // In the worst case a job's bandwidth halves... more precisely it
+        // keeps at least node_bw/total_ranks per rank, so the memory time
+        // inflates by at most (alone_bw / fair_bw). Bound loosely: the
+        // slowdown can never exceed total_ranks.
+        let m = MachineModel::cluster_node();
+        let out = coschedule(&a, &b, &m);
+        let total = (a.ranks + b.ranks) as f64;
+        prop_assert!(out.worst() <= total, "worst {} > {}", out.worst(), total);
+    }
+
+    #[test]
+    fn compute_bound_jobs_are_never_harmed(ranks in 1usize..16, other in job_strategy()) {
+        let m = MachineModel::cluster_node();
+        let c = JobProfile::compute_bound("c", ranks, 1.0e10);
+        let out = coschedule(&c, &other, &m);
+        prop_assert!(out.slowdown_a < 1.05,
+            "a compute-bound job lost {}x to contention", out.slowdown_a);
+    }
+}

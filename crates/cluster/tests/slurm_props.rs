@@ -1,0 +1,132 @@
+//! Property tests for the batch scheduler: resource-safety invariants must
+//! hold for arbitrary job mixes under both policies.
+
+use pdc_cluster::slurm::{schedule_metrics, JobScript, Policy, ScheduledJob, Scheduler};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    nodes: usize,
+    tasks: usize,
+    runtime: f64,
+    limit: f64,
+    submit: f64,
+    exclusive: bool,
+    priority: i64,
+}
+
+fn job_strategy(max_nodes: usize, max_cores: usize) -> impl Strategy<Value = JobSpec> {
+    (
+        1..=max_nodes,
+        1..=max_cores,
+        1.0f64..200.0,
+        1.0f64..250.0,
+        0.0f64..100.0,
+        any::<bool>(),
+        -5i64..5,
+    )
+        .prop_map(
+            |(nodes, tasks, runtime, limit, submit, exclusive, priority)| JobSpec {
+                nodes,
+                tasks,
+                runtime,
+                limit,
+                submit,
+                exclusive,
+                priority,
+            },
+        )
+}
+
+/// Verify core capacity is never exceeded on any node at any instant, and
+/// exclusive jobs never share.
+fn check_no_oversubscription(
+    schedule: &[ScheduledJob],
+    nodes: usize,
+    cores_per_node: usize,
+) -> Result<(), String> {
+    // Sweep all event boundaries.
+    let mut times: Vec<f64> = schedule
+        .iter()
+        .flat_map(|j| [j.start_time, j.end_time])
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for &t in &times {
+        // Sample just after each boundary.
+        let probe = t + 1e-6;
+        for node in 0..nodes {
+            let active: Vec<&ScheduledJob> = schedule
+                .iter()
+                .filter(|j| {
+                    j.start_time <= probe && probe < j.end_time && j.nodes.contains(&node)
+                })
+                .collect();
+            let cores: usize = active.iter().map(|j| j.script.tasks_per_node).sum();
+            if cores > cores_per_node {
+                return Err(format!(
+                    "node {node} oversubscribed at t={probe}: {cores} cores"
+                ));
+            }
+            if active.iter().any(|j| j.script.exclusive) && active.len() > 1 {
+                return Err(format!("exclusive job shares node {node} at t={probe}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_invariants_hold_for_any_job_mix(
+        jobs in proptest::collection::vec(job_strategy(3, 16), 1..20),
+        backfill in any::<bool>(),
+    ) {
+        let policy = if backfill { Policy::EasyBackfill } else { Policy::Fifo };
+        let mut sched = Scheduler::new(3, 16, policy);
+        for (i, j) in jobs.iter().enumerate() {
+            sched.submit(
+                JobScript::new(format!("job{i}"), j.nodes, j.tasks)
+                    .with_runtime(j.runtime)
+                    .with_time_limit(j.limit)
+                    .submitted_at(j.submit)
+                    .with_priority(j.priority)
+                    .tap_exclusive(j.exclusive),
+            );
+        }
+        let out = sched.run();
+        prop_assert_eq!(out.len(), jobs.len(), "every job is scheduled exactly once");
+        for j in &out {
+            prop_assert!(j.start_time >= j.script.submit_time - 1e-9,
+                "job started before submission");
+            prop_assert!(j.end_time - j.start_time <= j.script.time_limit + 1e-9,
+                "job exceeded its wall-time limit");
+            prop_assert_eq!(j.nodes.len(), j.script.nodes, "allocation size");
+            let mut uniq = j.nodes.clone();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), j.nodes.len(), "no duplicate nodes");
+        }
+        if let Err(msg) = check_no_oversubscription(&out, 3, 16) {
+            prop_assert!(false, "{}", msg);
+        }
+        let m = schedule_metrics(&out, 3, 16);
+        prop_assert!(m.utilization <= 1.0 + 1e-9, "utilization {} > 1", m.utilization);
+        prop_assert!(m.makespan >= 0.0);
+    }
+}
+
+/// Builder helper so the proptest can toggle exclusivity fluently.
+trait TapExclusive {
+    fn tap_exclusive(self, on: bool) -> Self;
+}
+
+impl TapExclusive for JobScript {
+    fn tap_exclusive(self, on: bool) -> Self {
+        if on {
+            self.with_exclusive()
+        } else {
+            self
+        }
+    }
+}

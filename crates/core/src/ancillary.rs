@@ -1,0 +1,209 @@
+//! Ancillary modules: the SLURM introduction and the MPI warm-up
+//! exercises (paper §III-G).
+//!
+//! * [`slurm_intro`] walks through writing a job script, submitting it to
+//!   a (simulated) batch scheduler, and reading back the schedule — the
+//!   skills students reported struggling with ("dealing with how the
+//!   cluster works took more effort than I thought", §IV-D).
+//! * [`warmups`] are the gentle in-class exercises, each with a checked
+//!   reference solution: hello-world ranks, a token-passing sum, a
+//!   scatter/reduce array average, and a series estimate of π via
+//!   `MPI_Reduce`.
+
+use pdc_cluster::slurm::{JobScript, Policy, ScheduledJob, Scheduler};
+use pdc_mpi::{Op, Result, World};
+use serde::{Deserialize, Serialize};
+
+/// One step of the SLURM walkthrough: the script a student would submit
+/// and where the scheduler placed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlurmWalkthrough {
+    /// Rendered `#SBATCH` scripts, in submission order.
+    pub scripts: Vec<String>,
+    /// Resulting schedule (start/end/nodes per job).
+    pub schedule: Vec<ScheduledJob>,
+    /// Mean queue wait over all jobs, seconds.
+    pub mean_wait: f64,
+}
+
+/// The SLURM introduction: submit a mix of jobs to a small cluster under a
+/// chosen policy and show what happens — students compare FIFO vs backfill.
+pub fn slurm_intro(policy: Policy) -> SlurmWalkthrough {
+    let mut sched = Scheduler::new(2, 32, policy);
+    let jobs = vec![
+        JobScript::new("warmup-hello", 1, 4)
+            .with_runtime(30.0)
+            .with_time_limit(120.0),
+        JobScript::new("distance-matrix", 2, 32)
+            .with_runtime(600.0)
+            .with_time_limit(900.0)
+            .with_exclusive(),
+        JobScript::new("kmeans-sweep", 1, 16)
+            .with_runtime(300.0)
+            .with_time_limit(600.0),
+        JobScript::new("quick-debug", 1, 2)
+            .with_runtime(20.0)
+            .with_time_limit(60.0),
+    ];
+    let scripts = jobs.iter().map(JobScript::render).collect();
+    for j in jobs {
+        sched.submit(j);
+    }
+    let schedule = sched.run();
+    let mean_wait =
+        schedule.iter().map(ScheduledJob::wait_time).sum::<f64>() / schedule.len() as f64;
+    SlurmWalkthrough {
+        scripts,
+        schedule,
+        mean_wait,
+    }
+}
+
+/// Warm-up exercises, each returning a verifiable value.
+pub mod warmups {
+    use super::*;
+
+    /// Exercise 1: every rank reports "hello" with its rank and the world
+    /// size; returns the collected greetings in rank order.
+    pub fn hello_world(size: usize) -> Result<Vec<String>> {
+        let out = World::run_simple(size, |comm| {
+            Ok(format!(
+                "Hello from rank {} of {}",
+                comm.rank(),
+                comm.size()
+            ))
+        })?;
+        Ok(out.values)
+    }
+
+    /// Exercise 2: token-passing sum — rank 0 starts a token at 0, each
+    /// rank adds its id and forwards; rank 0 receives the total
+    /// `0 + 1 + ... + (p-1)` back.
+    pub fn token_ring_sum(size: usize) -> Result<u64> {
+        let out = World::run_simple(size, |comm| {
+            let p = comm.size();
+            let r = comm.rank();
+            if p == 1 {
+                return Ok(r as u64);
+            }
+            if r == 0 {
+                comm.send(&[0u64], 1, 0)?;
+                let (v, _) = comm.recv::<u64>(p - 1, 0)?;
+                Ok(v[0])
+            } else {
+                let (v, _) = comm.recv::<u64>(r - 1, 0)?;
+                comm.send(&[v[0] + r as u64], (r + 1) % p, 0)?;
+                Ok(0)
+            }
+        })?;
+        Ok(out.values[0])
+    }
+
+    /// Exercise 3: scatter an array, average locally, reduce the global
+    /// mean (the classic scatter/reduce idiom of Module 2).
+    pub fn distributed_mean(data: &[f64], size: usize) -> Result<f64> {
+        assert!(
+            data.len().is_multiple_of(size),
+            "exercise data must divide evenly over the ranks"
+        );
+        let data = data.to_vec();
+        let n = data.len();
+        let out = World::run_simple(size, move |comm| {
+            let chunk = comm.scatter(
+                if comm.rank() == 0 {
+                    Some(&data[..])
+                } else {
+                    None
+                },
+                0,
+            )?;
+            let local_sum: f64 = chunk.iter().sum();
+            let total = comm.reduce(&[local_sum], Op::Sum, 0)?;
+            Ok(total.map(|t| t[0] / n as f64))
+        })?;
+        Ok(out.values[0].expect("root computed the mean"))
+    }
+
+    /// Exercise 4: estimate π by integrating `4/(1+x²)` over `[0,1]` with
+    /// the midpoint rule, strided across ranks, reduced with `MPI_Reduce`
+    /// — the canonical MPI teaching example.
+    pub fn pi_estimate(intervals: usize, size: usize) -> Result<f64> {
+        let out = World::run_simple(size, move |comm| {
+            let h = 1.0 / intervals as f64;
+            let mut local = 0.0f64;
+            let mut i = comm.rank();
+            while i < intervals {
+                let x = h * (i as f64 + 0.5);
+                local += 4.0 / (1.0 + x * x);
+                i += comm.size();
+            }
+            let total = comm.reduce(&[local * h], Op::Sum, 0)?;
+            Ok(total.map(|t| t[0]))
+        })?;
+        Ok(out.values[0].expect("root holds pi"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_cluster::slurm::JobOutcome;
+
+    #[test]
+    fn slurm_intro_schedules_all_jobs() {
+        let w = slurm_intro(Policy::EasyBackfill);
+        assert_eq!(w.scripts.len(), 4);
+        assert_eq!(w.schedule.len(), 4);
+        assert!(w.scripts[1].contains("--exclusive"));
+        for j in &w.schedule {
+            assert_eq!(j.outcome, JobOutcome::Completed);
+        }
+    }
+
+    #[test]
+    fn backfill_reduces_mean_wait_over_fifo() {
+        let fifo = slurm_intro(Policy::Fifo);
+        let easy = slurm_intro(Policy::EasyBackfill);
+        assert!(
+            easy.mean_wait <= fifo.mean_wait,
+            "backfill {} vs fifo {}",
+            easy.mean_wait,
+            fifo.mean_wait
+        );
+    }
+
+    #[test]
+    fn hello_world_enumerates_ranks() {
+        let got = warmups::hello_world(5).expect("hello");
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[3], "Hello from rank 3 of 5");
+    }
+
+    #[test]
+    fn token_ring_sums_rank_ids() {
+        assert_eq!(warmups::token_ring_sum(6).expect("ring"), 15);
+        assert_eq!(warmups::token_ring_sum(1).expect("singleton"), 0);
+    }
+
+    #[test]
+    fn distributed_mean_matches_serial() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mean = warmups::distributed_mean(&data, 8).expect("mean");
+        assert!((mean - 31.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_exercise_data_is_rejected() {
+        let _ = warmups::distributed_mean(&[1.0; 10], 3);
+    }
+
+    #[test]
+    fn pi_estimate_converges() {
+        let pi = warmups::pi_estimate(100_000, 4).expect("pi");
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "pi ≈ {pi}");
+        // Rank-count invariant.
+        let pi2 = warmups::pi_estimate(100_000, 7).expect("pi");
+        assert!((pi - pi2).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,325 @@
+//! Module 6 (extension): latency hiding through nonblocking overlap.
+//!
+//! The paper's future work lists "modules that capture excluded concepts,
+//! such as increasing focus on communication and latency hiding" (§V).
+//! This module implements that follow-on: a 1-d heat-diffusion stencil
+//! whose halo exchange is performed either *blocking-first* (receive the
+//! halos, then compute everything) or *overlapped* (post nonblocking halo
+//! sends, compute the interior cells that need no halo, then receive the
+//! halos and finish the two boundary cells).
+//!
+//! Under the runtime's performance model a message is in flight from its
+//! send time; a receive only waits for the *remaining* transfer time. So
+//! computing the interior while halos travel genuinely hides the
+//! communication latency — exactly the lesson the module teaches, most
+//! visible with ranks spread over multiple nodes where latency is high.
+
+use pdc_cluster::PlacementPolicy;
+use pdc_mpi::{Comm, Op, Result, World, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Halo-exchange schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HaloVariant {
+    /// Exchange halos, then compute all cells.
+    BlockingFirst,
+    /// Post halo sends, compute the interior, then receive halos and
+    /// compute the two boundary cells.
+    Overlapped,
+}
+
+/// Report of one distributed stencil run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilReport {
+    /// Cells per rank.
+    pub n_per_rank: usize,
+    /// Ranks used.
+    pub ranks: usize,
+    /// Diffusion iterations.
+    pub iters: usize,
+    /// Variant executed.
+    pub variant: HaloVariant,
+    /// Sum of the final field (validation checksum, via `MPI_Reduce`).
+    pub checksum: f64,
+    /// Simulated makespan, seconds.
+    pub sim_time: f64,
+    /// MPI primitives the run exercised (`MPI_*` names).
+    pub primitives: Vec<String>,
+}
+
+/// Diffusion coefficient of the update `u[i] += α (u[i-1] − 2u[i] + u[i+1])`.
+pub const ALPHA: f64 = 0.25;
+
+/// Initial condition: a deterministic bumpy field over the global domain.
+fn initial(global_i: usize) -> f64 {
+    ((global_i as f64) * 0.01).sin() + 0.5 * ((global_i as f64) * 0.003).cos()
+}
+
+/// Sequential reference: the full domain on one address space, Dirichlet
+/// zero boundaries.
+pub fn sequential_stencil(n_total: usize, iters: usize) -> Vec<f64> {
+    let mut u: Vec<f64> = (0..n_total).map(initial).collect();
+    let mut next = u.clone();
+    for _ in 0..iters {
+        for i in 0..n_total {
+            let left = if i == 0 { 0.0 } else { u[i - 1] };
+            let right = if i + 1 == n_total { 0.0 } else { u[i + 1] };
+            next[i] = u[i] + ALPHA * (left - 2.0 * u[i] + right);
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u
+}
+
+/// Per-iteration compute charge for `cells` stencil updates (4 flops and
+/// 16 bytes of traffic per cell).
+fn charge_cells(comm: &mut Comm, cells: usize) {
+    comm.charge_kernel(cells as f64 * 4.0, cells as f64 * 16.0);
+}
+
+const LEFT_TAG: u32 = 1;
+const RIGHT_TAG: u32 = 2;
+
+/// One rank's body: returns its local field after `iters` steps.
+fn stencil_rank(
+    comm: &mut Comm,
+    n_per_rank: usize,
+    iters: usize,
+    variant: HaloVariant,
+) -> Result<Vec<f64>> {
+    let p = comm.size();
+    let r = comm.rank();
+    let offset = r * n_per_rank;
+    let mut u: Vec<f64> = (0..n_per_rank).map(|i| initial(offset + i)).collect();
+    let mut next = vec![0.0f64; n_per_rank];
+
+    for _ in 0..iters {
+        // Post halo sends (nonblocking in both variants; eager, so the
+        // transfer clock starts now).
+        let mut reqs = Vec::with_capacity(2);
+        if r > 0 {
+            reqs.push(comm.isend(&[u[0]], r - 1, LEFT_TAG)?);
+        }
+        if r + 1 < p {
+            reqs.push(comm.isend(&[u[n_per_rank - 1]], r + 1, RIGHT_TAG)?);
+        }
+
+        let recv_halos = |comm: &mut Comm| -> Result<(f64, f64)> {
+            // The halo to my left edge arrives from rank r-1's RIGHT send.
+            let left = if r > 0 {
+                comm.recv::<f64>(r - 1, RIGHT_TAG)?.0[0]
+            } else {
+                0.0
+            };
+            let right = if r + 1 < p {
+                comm.recv::<f64>(r + 1, LEFT_TAG)?.0[0]
+            } else {
+                0.0
+            };
+            Ok((left, right))
+        };
+
+        let update = |u: &[f64], next: &mut [f64], i: usize, left: f64, right: f64| {
+            next[i] = u[i] + ALPHA * (left - 2.0 * u[i] + right);
+        };
+
+        match variant {
+            HaloVariant::BlockingFirst => {
+                let (left, right) = recv_halos(comm)?;
+                for i in 0..n_per_rank {
+                    let l = if i == 0 { left } else { u[i - 1] };
+                    let rv = if i + 1 == n_per_rank { right } else { u[i + 1] };
+                    update(&u, &mut next, i, l, rv);
+                }
+                charge_cells(comm, n_per_rank);
+            }
+            HaloVariant::Overlapped => {
+                // Interior first: cells 1..n-1 need no halo.
+                for i in 1..n_per_rank.saturating_sub(1) {
+                    update(&u, &mut next, i, u[i - 1], u[i + 1]);
+                }
+                charge_cells(comm, n_per_rank.saturating_sub(2));
+                // Halos should have arrived "for free" while we computed.
+                let (left, right) = recv_halos(comm)?;
+                if n_per_rank == 1 {
+                    update(&u, &mut next, 0, left, right);
+                } else {
+                    update(&u, &mut next, 0, left, u[1]);
+                    update(&u, &mut next, n_per_rank - 1, u[n_per_rank - 2], right);
+                }
+                charge_cells(comm, 2.min(n_per_rank));
+            }
+        }
+        comm.wait_all_sends(reqs)?;
+        std::mem::swap(&mut u, &mut next);
+    }
+    Ok(u)
+}
+
+/// Run the distributed stencil and report checksum and simulated time.
+pub fn run_stencil(
+    n_per_rank: usize,
+    ranks: usize,
+    iters: usize,
+    variant: HaloVariant,
+    nodes: usize,
+) -> Result<StencilReport> {
+    run_stencil_placed(n_per_rank, ranks, iters, variant, nodes, PlacementPolicy::Block)
+}
+
+/// Like [`run_stencil`] but with an explicit rank→node policy. Round-robin
+/// placement turns *every* halo edge into an inter-node message — the
+/// placement-locality ablation.
+pub fn run_stencil_placed(
+    n_per_rank: usize,
+    ranks: usize,
+    iters: usize,
+    variant: HaloVariant,
+    nodes: usize,
+    policy: PlacementPolicy,
+) -> Result<StencilReport> {
+    assert!(n_per_rank > 0, "each rank needs at least one cell");
+    let cfg = if nodes > 1 {
+        WorldConfig::new(ranks).on_nodes(nodes).with_policy(policy)
+    } else {
+        WorldConfig::new(ranks)
+    };
+    let out = World::run(cfg, move |comm| {
+        let u = stencil_rank(comm, n_per_rank, iters, variant)?;
+        let local_sum: f64 = u.iter().sum();
+        let total = comm.reduce(&[local_sum], Op::Sum, 0)?;
+        Ok((u, total.map(|t| t[0])))
+    })?;
+    let checksum = out.values[0].1.expect("rank 0 holds the reduction");
+    Ok(StencilReport {
+        n_per_rank,
+        ranks,
+        iters,
+        variant,
+        checksum,
+        sim_time: out.sim_time,
+        primitives: crate::primitive_names(&out),
+    })
+}
+
+/// The distributed field, concatenated in rank order (for validation).
+pub fn run_stencil_field(
+    n_per_rank: usize,
+    ranks: usize,
+    iters: usize,
+    variant: HaloVariant,
+) -> Result<Vec<f64>> {
+    let out = World::run(WorldConfig::new(ranks), move |comm| {
+        let u = stencil_rank(comm, n_per_rank, iters, variant)?;
+        comm.gather(&u, 0)
+    })?;
+    Ok(out.values[0].clone().expect("rank 0 gathered the field"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stencil_diffuses_and_conserves_shape() {
+        let u0: Vec<f64> = (0..100).map(initial).collect();
+        let u = sequential_stencil(100, 50);
+        // Dirichlet boundaries leak energy: the field flattens over time.
+        let amp0 = u0.iter().cloned().fold(f64::MIN, f64::max);
+        let amp = u.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(amp <= amp0 + 1e-12);
+        assert!(u.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn both_variants_match_the_sequential_field_exactly() {
+        for variant in [HaloVariant::BlockingFirst, HaloVariant::Overlapped] {
+            for ranks in [1, 2, 4, 5] {
+                let n_per = 20;
+                let field = run_stencil_field(n_per, ranks, 30, variant)
+                    .unwrap_or_else(|e| panic!("{variant:?} p={ranks}: {e}"));
+                let reference = sequential_stencil(n_per * ranks, 30);
+                assert_eq!(field.len(), reference.len());
+                for (i, (a, b)) in field.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "{variant:?} p={ranks} cell {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_ranks_still_work() {
+        let field = run_stencil_field(1, 6, 10, HaloVariant::Overlapped).expect("n=1 per rank");
+        let reference = sequential_stencil(6, 10);
+        for (a, b) in field.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlap_hides_inter_node_latency() {
+        // On two nodes the halo crossing the node boundary pays 2 µs
+        // latency per iteration; overlapping buys it back.
+        let blocking = run_stencil(40_000, 8, 50, HaloVariant::BlockingFirst, 2).expect("blocking");
+        let overlapped = run_stencil(40_000, 8, 50, HaloVariant::Overlapped, 2).expect("overlap");
+        assert!(
+            overlapped.sim_time < blocking.sim_time,
+            "overlap {} vs blocking {}",
+            overlapped.sim_time,
+            blocking.sim_time
+        );
+        assert!((overlapped.checksum - blocking.checksum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_is_rank_count_invariant() {
+        let base = run_stencil(30, 1, 20, HaloVariant::BlockingFirst, 1)
+            .expect("p=1")
+            .checksum;
+        for ranks in [2, 3, 6] {
+            let c = run_stencil(30, ranks, 20, HaloVariant::Overlapped, 1)
+                .unwrap_or_else(|e| panic!("p={ranks}: {e}"));
+            // Different global sizes (30*ranks cells) — compare against the
+            // sequential reference of the same size instead.
+            let reference: f64 = sequential_stencil(30 * ranks, 20).iter().sum();
+            assert!(
+                (c.checksum - reference).abs() < 1e-9,
+                "p={ranks}: {} vs {}",
+                c.checksum,
+                reference
+            );
+        }
+        let reference: f64 = sequential_stencil(30, 20).iter().sum();
+        assert!((base - reference).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stencil_weak_scaling_is_flat() {
+        // Weak scaling: per-rank cells held constant, ranks grow. The halo
+        // cost is O(1) per rank per iteration, so time should stay nearly
+        // flat (weak efficiency close to 1) — the Gustafson story.
+        use pdc_cluster::metrics::weak_efficiency;
+        let t1 = run_stencil(50_000, 1, 20, HaloVariant::Overlapped, 1)
+            .expect("p=1")
+            .sim_time;
+        let t16 = run_stencil(50_000, 16, 20, HaloVariant::Overlapped, 1)
+            .expect("p=16")
+            .sim_time;
+        let eff = weak_efficiency(t1, t16);
+        assert!(
+            eff > 0.5,
+            "weak efficiency {eff:.2} collapsed (t1={t1:.6}, t16={t16:.6})"
+        );
+    }
+
+    #[test]
+    fn stencil_reports_nonblocking_primitives() {
+        let rep = run_stencil(16, 4, 5, HaloVariant::Overlapped, 1).expect("runs");
+        assert!(rep.primitives.contains(&"MPI_Isend".to_string()));
+        assert!(rep.primitives.contains(&"MPI_Wait".to_string()));
+        assert!(rep.primitives.contains(&"MPI_Reduce".to_string()));
+    }
+}

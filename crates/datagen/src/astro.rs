@@ -1,0 +1,136 @@
+//! Asteroid-like 2-d catalog and range-query workloads (Module 4).
+//!
+//! The module's motivating example: *"Return all asteroids with a light
+//! curve amplitude between 0.2–1.0 and a rotation period between 30–100
+//! hours."* We synthesize a catalog with log-uniform amplitude and period
+//! (matching the heavy-tailed distributions of real light-curve surveys)
+//! plus a generator of random query rectangles with controllable extent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Asteroid {
+    /// Light-curve amplitude, magnitudes (0.01 – 2.0, log-uniform).
+    pub amplitude: f64,
+    /// Rotation period, hours (0.5 – 1000, log-uniform).
+    pub period: f64,
+}
+
+impl Asteroid {
+    /// The (amplitude, period) pair as a 2-d point.
+    pub fn as_point(&self) -> [f64; 2] {
+        [self.amplitude, self.period]
+    }
+}
+
+/// Amplitude domain of the synthetic catalog.
+pub const AMPLITUDE_RANGE: (f64, f64) = (0.01, 2.0);
+/// Period domain of the synthetic catalog, hours.
+pub const PERIOD_RANGE: (f64, f64) = (0.5, 1000.0);
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    rng.gen_range(llo..lhi).exp()
+}
+
+/// Generate `n` synthetic asteroids.
+pub fn asteroid_catalog(n: usize, seed: u64) -> Vec<Asteroid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Asteroid {
+            amplitude: log_uniform(&mut rng, AMPLITUDE_RANGE.0, AMPLITUDE_RANGE.1),
+            period: log_uniform(&mut rng, PERIOD_RANGE.0, PERIOD_RANGE.1),
+        })
+        .collect()
+}
+
+/// Generate `n` random query rectangles `[(amin, pmin), (amax, pmax)]` whose
+/// side lengths span `frac` of each (log) domain — larger `frac`, more
+/// matches per query.
+///
+/// # Panics
+/// Panics unless `0 < frac <= 1`.
+pub fn random_range_queries(n: usize, frac: f64, seed: u64) -> Vec<([f64; 2], [f64; 2])> {
+    assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1], got {frac}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let (alo, ahi) = AMPLITUDE_RANGE;
+            let (plo, phi) = PERIOD_RANGE;
+            // Pick a log-space window of width frac * domain.
+            let aw = (ahi.ln() - alo.ln()) * frac;
+            let pw = (phi.ln() - plo.ln()) * frac;
+            let a0 = rng.gen_range(alo.ln()..(ahi.ln() - aw));
+            let p0 = rng.gen_range(plo.ln()..(phi.ln() - pw));
+            (
+                [a0.exp(), p0.exp()],
+                [(a0 + aw).exp(), (p0 + pw).exp()],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_stays_in_domain_and_is_seeded() {
+        let c = asteroid_catalog(500, 4);
+        assert_eq!(c.len(), 500);
+        for a in &c {
+            assert!((AMPLITUDE_RANGE.0..=AMPLITUDE_RANGE.1).contains(&a.amplitude));
+            assert!((PERIOD_RANGE.0..=PERIOD_RANGE.1).contains(&a.period));
+        }
+        assert_eq!(c, asteroid_catalog(500, 4));
+        assert_ne!(c, asteroid_catalog(500, 5));
+    }
+
+    #[test]
+    fn log_uniform_fills_decades() {
+        // Both the sub-hour and the >100h regime must be populated.
+        let c = asteroid_catalog(5000, 8);
+        assert!(c.iter().any(|a| a.period < 2.0));
+        assert!(c.iter().any(|a| a.period > 100.0));
+    }
+
+    #[test]
+    fn queries_are_well_formed_boxes() {
+        for (lo, hi) in random_range_queries(200, 0.3, 17) {
+            assert!(lo[0] < hi[0] && lo[1] < hi[1]);
+            assert!(lo[0] >= AMPLITUDE_RANGE.0 * 0.999);
+            assert!(hi[1] <= PERIOD_RANGE.1 * 1.001);
+        }
+    }
+
+    #[test]
+    fn query_extent_controls_selectivity() {
+        let catalog = asteroid_catalog(2000, 1);
+        let hits = |frac: f64| -> usize {
+            random_range_queries(50, frac, 2)
+                .iter()
+                .map(|(lo, hi)| {
+                    catalog
+                        .iter()
+                        .filter(|a| {
+                            a.amplitude >= lo[0]
+                                && a.amplitude <= hi[0]
+                                && a.period >= lo[1]
+                                && a.period <= hi[1]
+                        })
+                        .count()
+                })
+                .sum()
+        };
+        assert!(hits(0.5) > hits(0.1), "wider queries match more");
+    }
+
+    #[test]
+    #[should_panic(expected = "frac")]
+    fn zero_extent_queries_are_rejected() {
+        let _ = random_range_queries(1, 0.0, 0);
+    }
+}

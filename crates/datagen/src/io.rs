@@ -1,0 +1,143 @@
+//! Dataset file I/O: the course distributes its datasets as plain text
+//! files on the cluster's shared filesystem; these helpers read and write
+//! the same simple formats (CSV rows of `f64`) so generated datasets can be
+//! saved, inspected, and reloaded byte-for-byte.
+
+use crate::points::Dataset;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Serialize a dataset as CSV (one point per line, full `f64` precision).
+pub fn dataset_to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    for point in data.iter() {
+        let mut first = true;
+        for v in point {
+            if !first {
+                out.push(',');
+            }
+            // RFC-compliant shortest roundtrip formatting of f64.
+            write!(out, "{v:?}").expect("writing to a String cannot fail");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a CSV string into a dataset. Every row must have the same number
+/// of columns; blank lines and `#` comments are skipped.
+pub fn dataset_from_csv(text: &str) -> io::Result<Dataset> {
+    let mut values = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Vec<f64> = line
+            .split(',')
+            .map(|f| {
+                f.trim().parse::<f64>().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: bad float {f:?}: {e}", lineno + 1),
+                    )
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        match dim {
+            None => dim = Some(row.len()),
+            Some(d) if d != row.len() => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {} columns, expected {d}", lineno + 1, row.len()),
+                ));
+            }
+            _ => {}
+        }
+        values.extend(row);
+    }
+    let dim = dim.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "CSV contains no data rows")
+    })?;
+    Ok(Dataset::from_flat(dim, values))
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_dataset(path: impl AsRef<Path>, data: &Dataset) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(dataset_to_csv(data).as_bytes())?;
+    w.flush()
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let mut text = String::new();
+    for line in io::BufReader::new(file).lines() {
+        text.push_str(&line?);
+        text.push('\n');
+    }
+    dataset_from_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::uniform_points;
+
+    #[test]
+    fn csv_roundtrips_exactly() {
+        let d = uniform_points(50, 7, -3.0, 9.0, 17);
+        let text = dataset_to_csv(&d);
+        let back = dataset_from_csv(&text).expect("parses");
+        assert_eq!(back, d, "full-precision roundtrip");
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blanks() {
+        let text = "# header\n1.0,2.0\n\n3.5,-4.25\n";
+        let d = dataset_from_csv(text).expect("parses");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(1), &[3.5, -4.25]);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = dataset_from_csv("1.0,2.0\n3.0\n").expect_err("ragged");
+        assert!(err.to_string().contains("columns"));
+    }
+
+    #[test]
+    fn bad_floats_are_reported_with_line_numbers() {
+        let err = dataset_from_csv("1.0,2.0\n1.0,banana\n").expect_err("bad float");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(dataset_from_csv("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_works() {
+        let d = uniform_points(20, 3, 0.0, 1.0, 5);
+        let dir = std::env::temp_dir().join("pdc_datagen_io_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("points.csv");
+        write_dataset(&path, &d).expect("writes");
+        let back = read_dataset(&path).expect("reads");
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let d = Dataset::from_flat(2, vec![f64::MAX, f64::MIN_POSITIVE, -0.0, 1e-300]);
+        let back = dataset_from_csv(&dataset_to_csv(&d)).expect("parses");
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,24 @@
+//! # pdc-datagen — reproducible synthetic datasets
+//!
+//! The paper's modules run on course-provided datasets we do not have: a
+//! 90-dimensional feature-vector file (Module 2), uniform and exponential
+//! scalar data (Module 3), an asteroid-like 2-d catalog with light-curve
+//! amplitude and rotation period (Module 4), and a clusterable 2-d dataset
+//! (Module 5). This crate generates statistically equivalent datasets from
+//! explicit seeds, so every experiment in the reproduction is
+//! deterministic.
+//!
+//! All generators take a `u64` seed and are pure functions of their
+//! arguments.
+
+#![warn(missing_docs)]
+
+pub mod astro;
+pub mod io;
+pub mod points;
+pub mod scalar;
+
+pub use astro::{asteroid_catalog, random_range_queries, Asteroid};
+pub use io::{dataset_from_csv, dataset_to_csv, read_dataset, write_dataset};
+pub use points::{feature_vectors, gaussian_mixture, uniform_points, Dataset, LabeledDataset};
+pub use scalar::{exponential_f64, uniform_f64, zipf_f64};

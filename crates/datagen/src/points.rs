@@ -1,0 +1,207 @@
+//! Multi-dimensional point datasets (Modules 2 and 5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major collection of `dim`-dimensional points.
+///
+/// Stored flat for cache-friendly traversal; `point(i)` views row `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Wrap a flat buffer. `data.len()` must be a multiple of `dim`.
+    ///
+    /// # Panics
+    /// Panics on a ragged buffer or zero dimension.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0, "points need at least one dimension");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer of {} values is not a whole number of {dim}-d points",
+            data.len()
+        );
+        Self { dim, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True if the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row view of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over point rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Squared Euclidean distance between points `i` and `j`.
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        self.point(i)
+            .iter()
+            .zip(self.point(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Take a contiguous sub-range of points (used when distributing data
+    /// across ranks).
+    pub fn slice_points(&self, start: usize, count: usize) -> Dataset {
+        let lo = start * self.dim;
+        let hi = (start + count) * self.dim;
+        Dataset::from_flat(self.dim, self.data[lo..hi].to_vec())
+    }
+}
+
+/// A dataset with ground-truth cluster labels (for validating k-means).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledDataset {
+    /// The points.
+    pub points: Dataset,
+    /// True generating component of each point.
+    pub labels: Vec<usize>,
+    /// Centers the components were drawn around.
+    pub centers: Dataset,
+}
+
+/// `n` points uniform in the `dim`-dimensional cube `[lo, hi)^dim`.
+pub fn uniform_points(n: usize, dim: usize, lo: f64, hi: f64, seed: u64) -> Dataset {
+    assert!(lo < hi, "uniform range must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..n * dim).map(|_| rng.gen_range(lo..hi)).collect();
+    Dataset::from_flat(dim, data)
+}
+
+/// The Module 2 stand-in dataset: `n` feature vectors of 90 dimensions,
+/// values in `[0, 1)` — statistically equivalent to the course's 90-d file.
+pub fn feature_vectors(n: usize, seed: u64) -> Dataset {
+    uniform_points(n, 90, 0.0, 1.0, seed)
+}
+
+/// A Gaussian mixture: `k` centers uniform in `[0, extent)^dim`, `n` points
+/// assigned round-robin to components and perturbed by `spread`-σ noise.
+/// Ground truth labels/centers are returned for cluster validation.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn gaussian_mixture(
+    n: usize,
+    dim: usize,
+    k: usize,
+    extent: f64,
+    spread: f64,
+    seed: u64,
+) -> LabeledDataset {
+    assert!(k > 0 && k <= n, "need 1 <= k <= n, got k={k} n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f64> = (0..k * dim).map(|_| rng.gen_range(0.0..extent)).collect();
+    let noise = Normal::new(0.0, spread).expect("finite spread");
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c);
+        for d in 0..dim {
+            data.push(centers[c * dim + d] + noise.sample(&mut rng));
+        }
+    }
+    LabeledDataset {
+        points: Dataset::from_flat(dim, data),
+        labels,
+        centers: Dataset::from_flat(dim, centers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_views_rows() {
+        let d = Dataset::from_flat(3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.iter().count(), 2);
+        assert!((d.dist2(0, 1) - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_points_extracts_rows() {
+        let d = uniform_points(10, 4, 0.0, 1.0, 3);
+        let s = d.slice_points(2, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.point(0), d.point(2));
+        assert_eq!(s.point(4), d.point(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_flat_buffer_is_rejected() {
+        let _ = Dataset::from_flat(3, vec![1.0; 7]);
+    }
+
+    #[test]
+    fn feature_vectors_are_90d_and_seeded() {
+        let d = feature_vectors(50, 9);
+        assert_eq!(d.dim(), 90);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d, feature_vectors(50, 9));
+        assert!(d.flat().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_mixture_clusters_around_centers() {
+        let lm = gaussian_mixture(600, 2, 3, 100.0, 0.5, 21);
+        assert_eq!(lm.points.len(), 600);
+        assert_eq!(lm.centers.len(), 3);
+        // Each point sits near its labelled center (within ~6 sigma).
+        for (i, &label) in lm.labels.iter().enumerate() {
+            let d2: f64 = lm
+                .points
+                .point(i)
+                .iter()
+                .zip(lm.centers.point(label))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(d2.sqrt() < 6.0 * 0.5 * 2.0, "point {i} strayed {d2}");
+        }
+    }
+
+    #[test]
+    fn gaussian_mixture_balances_components() {
+        let lm = gaussian_mixture(100, 2, 4, 10.0, 0.1, 5);
+        for c in 0..4 {
+            assert_eq!(lm.labels.iter().filter(|&&l| l == c).count(), 25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn mixture_rejects_zero_k() {
+        let _ = gaussian_mixture(10, 2, 0, 1.0, 0.1, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Scalar distributions for the distribution-sort module.
+//!
+//! Module 3's three activities hinge on the input distribution: uniform
+//! data balances equal-width buckets; exponential data skews them badly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+
+/// `n` doubles uniformly distributed on `[lo, hi)`.
+///
+/// # Panics
+/// Panics if `lo >= hi`.
+pub fn uniform_f64(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` doubles drawn from an exponential distribution with rate `lambda`
+/// (mean `1/lambda`). Heavily skewed toward small values — the Module 3
+/// load-imbalance workload.
+///
+/// # Panics
+/// Panics if `lambda` is not strictly positive.
+pub fn exponential_f64(n: usize, lambda: f64, seed: u64) -> Vec<f64> {
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let exp = Exp::new(lambda).expect("validated rate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| exp.sample(&mut rng)).collect()
+}
+
+/// `n` draws from a Zipf-like distribution over ranks `1..=n_items`
+/// (`P(k) ∝ k^-s`), returned as f64 ranks — the classic database skew
+/// (top-k queries, hot keys).
+///
+/// # Panics
+/// Panics if `n_items == 0` or `s < 0`.
+pub fn zipf_f64(n: usize, n_items: usize, s: f64, seed: u64) -> Vec<f64> {
+    assert!(n_items > 0, "need at least one item");
+    assert!(s >= 0.0, "exponent must be non-negative");
+    // Inverse-CDF sampling over the (small) discrete support.
+    let weights: Vec<f64> = (1..=n_items).map(|k| (k as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n_items);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let k = cdf.partition_point(|&c| c < u);
+            (k + 1).min(n_items) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range_and_is_seeded() {
+        let a = uniform_f64(1000, -2.0, 3.0, 42);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|&x| (-2.0..3.0).contains(&x)));
+        assert_eq!(a, uniform_f64(1000, -2.0, 3.0, 42), "same seed, same data");
+        assert_ne!(a, uniform_f64(1000, -2.0, 3.0, 43), "different seed differs");
+    }
+
+    #[test]
+    fn uniform_mean_is_near_center() {
+        let a = uniform_f64(20_000, 0.0, 1.0, 7);
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive_and_skewed() {
+        let a = exponential_f64(20_000, 2.0, 11);
+        assert!(a.iter().all(|&x| x >= 0.0));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} should approach 1/λ");
+        // Far more mass below the mean than above: the skew that breaks
+        // equal-width buckets.
+        let below = a.iter().filter(|&&x| x < mean).count();
+        assert!(below as f64 > 0.6 * a.len() as f64);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let a = zipf_f64(20_000, 100, 1.2, 3);
+        assert!(a.iter().all(|&x| (1.0..=100.0).contains(&x)));
+        let ones = a.iter().filter(|&&x| x == 1.0).count();
+        let hundreds = a.iter().filter(|&&x| x == 100.0).count();
+        assert!(ones > 20 * (hundreds + 1), "rank 1 dominates: {ones} vs {hundreds}");
+        assert_eq!(a, zipf_f64(20_000, 100, 1.2, 3), "seeded");
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform_over_items() {
+        let a = zipf_f64(50_000, 10, 0.0, 7);
+        for k in 1..=10 {
+            let c = a.iter().filter(|&&x| x == k as f64).count();
+            assert!((c as f64 - 5000.0).abs() < 500.0, "item {k}: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_empty_range() {
+        let _ = uniform_f64(1, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_bad_rate() {
+        let _ = exponential_f64(1, 0.0, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the dataset generators: range, determinism, and
+//! distribution-shape invariants the modules rely on.
+
+use pdc_datagen::{
+    asteroid_catalog, exponential_f64, gaussian_mixture, random_range_queries, uniform_f64,
+    uniform_points,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_respects_bounds_and_seed(
+        n in 0usize..2000,
+        lo in -100.0f64..100.0,
+        width in 0.001f64..200.0,
+        seed in 0u64..1000,
+    ) {
+        let hi = lo + width;
+        let a = uniform_f64(n, lo, hi, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&x| (lo..hi).contains(&x)));
+        prop_assert_eq!(a, uniform_f64(n, lo, hi, seed));
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_with_plausible_mean(
+        lambda in 0.01f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let a = exponential_f64(5000, lambda, seed);
+        prop_assert!(a.iter().all(|&x| x >= 0.0));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        let expected = 1.0 / lambda;
+        prop_assert!((mean - expected).abs() < expected * 0.2,
+            "mean {} vs 1/λ {}", mean, expected);
+    }
+
+    #[test]
+    fn points_are_rectangular_and_deterministic(
+        n in 0usize..300,
+        dim in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let d = uniform_points(n, dim, -1.0, 1.0, seed);
+        prop_assert_eq!(d.len(), n);
+        prop_assert_eq!(d.dim(), dim);
+        prop_assert_eq!(d.flat().len(), n * dim);
+        prop_assert_eq!(d.clone(), uniform_points(n, dim, -1.0, 1.0, seed));
+    }
+
+    #[test]
+    fn mixture_labels_are_consistent(
+        n in 1usize..300,
+        k in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let k = k.min(n);
+        let lm = gaussian_mixture(n, 2, k, 50.0, 0.5, seed);
+        prop_assert_eq!(lm.labels.len(), n);
+        prop_assert!(lm.labels.iter().all(|&l| l < k));
+        prop_assert_eq!(lm.centers.len(), k);
+        // Round-robin assignment balances to within one point.
+        for c in 0..k {
+            let count = lm.labels.iter().filter(|&&l| l == c).count();
+            prop_assert!((count as i64 - (n / k) as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn catalog_and_queries_are_compatible(
+        n in 1usize..2000,
+        frac in 0.01f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let cat = asteroid_catalog(n, seed);
+        let qs = random_range_queries(20, frac, seed + 1);
+        for (lo, hi) in qs {
+            prop_assert!(lo[0] <= hi[0] && lo[1] <= hi[1]);
+        }
+        prop_assert!(cat.iter().all(|a| a.amplitude > 0.0 && a.period > 0.0));
+    }
+}

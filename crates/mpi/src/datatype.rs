@@ -1,0 +1,177 @@
+//! Typed message payloads: the analogue of MPI datatypes.
+//!
+//! MPI sends untyped buffers described by a datatype handle; we keep the
+//! same wire model (byte buffers + runtime type tags so mismatches are
+//! *detected*, not undefined behaviour) behind a safe, typed API. All
+//! encodings are little-endian and fixed-width, so `Status::count` — the
+//! analogue of `MPI_Get_count` — is exact.
+
+use bytes::{Bytes, BytesMut};
+
+/// A fixed-size element type that can travel in a message.
+///
+/// Implementations exist for every primitive numeric type, `bool`, fixed
+/// arrays of datatypes, and [`Loc`] (the `MPI_MINLOC`/`MAXLOC` carrier).
+pub trait Datatype: Copy + Send + 'static {
+    /// Stable name used for runtime type checking (appears in
+    /// [`Error::TypeMismatch`](crate::Error::TypeMismatch) messages).
+    const NAME: &'static str;
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Append the little-endian encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one element from exactly `Self::SIZE` bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != Self::SIZE`; callers guarantee the slice.
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_numeric_datatype {
+    ($($t:ty),*) => {$(
+        impl Datatype for $t {
+            const NAME: &'static str = stringify!($t);
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("caller sized the slice"))
+            }
+        }
+    )*};
+}
+
+impl_numeric_datatype!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl Datatype for bool {
+    const NAME: &'static str = "bool";
+    const SIZE: usize = 1;
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&[u8::from(*self)]);
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+impl<T: Datatype, const N: usize> Datatype for [T; N] {
+    const NAME: &'static str = "array";
+    const SIZE: usize = T::SIZE * N;
+    fn encode(&self, buf: &mut BytesMut) {
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        std::array::from_fn(|i| T::decode(&bytes[i * T::SIZE..(i + 1) * T::SIZE]))
+    }
+}
+
+/// Value–index pair for `MinLoc`/`MaxLoc` reductions (e.g. "which rank holds
+/// the largest bucket" in Module 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Loc {
+    /// The compared value.
+    pub value: f64,
+    /// Owner index (usually a rank).
+    pub index: u64,
+}
+
+impl Loc {
+    /// Construct a value–index pair.
+    pub fn new(value: f64, index: u64) -> Self {
+        Self { value, index }
+    }
+}
+
+impl Datatype for Loc {
+    const NAME: &'static str = "Loc";
+    const SIZE: usize = 16;
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&self.value.to_le_bytes());
+        buf.extend_from_slice(&self.index.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        Self {
+            value: f64::from_le_bytes(bytes[0..8].try_into().expect("sized")),
+            index: u64::from_le_bytes(bytes[8..16].try_into().expect("sized")),
+        }
+    }
+}
+
+/// Encode a slice of elements into a contiguous payload.
+pub fn encode_slice<T: Datatype>(data: &[T]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * T::SIZE);
+    for item in data {
+        item.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload into a vector of elements.
+///
+/// # Panics
+/// Panics if the payload is not a whole number of elements; the runtime
+/// checks this (returning [`Error::Truncated`](crate::Error::Truncated))
+/// before calling.
+pub fn decode_vec<T: Datatype>(payload: &[u8]) -> Vec<T> {
+    assert!(
+        payload.len().is_multiple_of(T::SIZE),
+        "payload of {} bytes is not a whole number of {} elements",
+        payload.len(),
+        T::NAME
+    );
+    payload.chunks_exact(T::SIZE).map(T::decode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Datatype + PartialEq + std::fmt::Debug>(data: &[T]) {
+        let bytes = encode_slice(data);
+        assert_eq!(bytes.len(), data.len() * T::SIZE);
+        let back: Vec<T> = decode_vec(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip::<u8>(&[0, 1, 255]);
+        roundtrip::<i32>(&[i32::MIN, -1, 0, 7, i32::MAX]);
+        roundtrip::<u64>(&[0, u64::MAX]);
+        roundtrip::<f64>(&[0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE]);
+        roundtrip::<f32>(&[1.0e-8, 3.5]);
+        roundtrip::<bool>(&[true, false, true]);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        roundtrip::<[f64; 3]>(&[[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]]);
+        assert_eq!(<[f64; 3]>::SIZE, 24);
+    }
+
+    #[test]
+    fn loc_roundtrips() {
+        roundtrip::<Loc>(&[Loc::new(3.25, 7), Loc::new(-1.0, u64::MAX)]);
+    }
+
+    #[test]
+    fn empty_slice_roundtrips() {
+        roundtrip::<f64>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn decode_rejects_ragged_payload() {
+        let _: Vec<f64> = decode_vec(&[0u8; 7]);
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        let bytes = encode_slice(&[f64::NAN]);
+        let back: Vec<f64> = decode_vec(&bytes);
+        assert!(back[0].is_nan());
+    }
+}

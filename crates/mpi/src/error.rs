@@ -1,0 +1,85 @@
+//! Error type for the message-passing runtime.
+
+use std::fmt;
+
+/// Errors surfaced by runtime primitives.
+///
+/// MPI reports errors through return codes; we use `Result` throughout. The
+/// interesting variants for the pedagogic modules are [`Error::Deadlock`]
+/// (Module 1's blocking-ring lesson, detected by the watchdog) and
+/// [`Error::TypeMismatch`] / [`Error::Truncated`] (classic student bugs the
+/// runtime turns into actionable diagnostics instead of garbage data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The watchdog observed every rank blocked with no progress: the
+    /// program has deadlocked (e.g. all ranks in a blocking ring `send`).
+    Deadlock,
+    /// A receive matched a message whose element type differs from the
+    /// receiver's type parameter.
+    TypeMismatch {
+        /// Type the receiver asked for.
+        expected: &'static str,
+        /// Type the sender actually sent.
+        found: &'static str,
+    },
+    /// A message arrived whose payload is not a whole number of elements of
+    /// the receive type, or exceeds a bounded receive buffer.
+    Truncated {
+        /// Bytes in the matched message.
+        message_bytes: usize,
+        /// Capacity of the receive buffer in bytes.
+        buffer_bytes: usize,
+    },
+    /// A rank's closure panicked; the panic was contained to that rank.
+    RankPanicked(usize),
+    /// Caller error: bad rank index, mismatched collective arguments, ...
+    InvalidArgument(String),
+    /// The world was torn down while an operation was in flight.
+    WorldShutDown,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deadlock => write!(
+                f,
+                "deadlock detected: every rank is blocked and no message has moved"
+            ),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "datatype mismatch: receiving {expected} but message holds {found}")
+            }
+            Error::Truncated {
+                message_bytes,
+                buffer_bytes,
+            } => write!(
+                f,
+                "message truncated: {message_bytes} bytes do not fit a {buffer_bytes}-byte buffer"
+            ),
+            Error::RankPanicked(r) => write!(f, "rank {r} panicked"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::WorldShutDown => write!(f, "world shut down during an operation"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across the runtime.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::TypeMismatch {
+            expected: "f64",
+            found: "i32",
+        };
+        let s = e.to_string();
+        assert!(s.contains("f64") && s.contains("i32"));
+        assert!(Error::Deadlock.to_string().contains("deadlock"));
+        assert!(Error::RankPanicked(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,405 @@
+//! Per-rank mailboxes, message matching, and the deadlock watchdog's shared
+//! progress state.
+//!
+//! Each rank owns a [`Mailbox`]: an unbounded channel endpoint plus a
+//! pending queue of messages that arrived but have not matched a receive
+//! yet (MPI's "unexpected message queue"). Matching follows MPI's rules:
+//! messages from the same (source, tag) pair are matched in send order;
+//! wildcards take the earliest-arrived match.
+//!
+//! [`Progress`] is the shared state the watchdog samples to detect
+//! deadlock: if every live rank is blocked and no envelope has moved since
+//! the previous sample, the program cannot progress and the world is
+//! poisoned — every blocked primitive then returns [`Error::Deadlock`].
+
+use crate::envelope::{Envelope, MatchSpec, SourceSel, Status};
+use crate::error::{Error, Result};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How often blocked primitives re-check the poison flag.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Shared world state used for progress tracking and deadlock detection.
+#[derive(Debug)]
+pub struct Progress {
+    /// Envelopes enqueued or matched since the world started; any movement
+    /// counts as progress.
+    pub deliveries: AtomicU64,
+    /// Ranks currently blocked inside a primitive.
+    pub blocked: AtomicUsize,
+    /// Ranks that have finished their closure (successfully or not).
+    pub done: AtomicUsize,
+    /// Set by the watchdog when deadlock is detected; every blocked
+    /// primitive observes it and errors out.
+    pub poisoned: AtomicBool,
+    /// World size.
+    pub size: usize,
+}
+
+impl Progress {
+    /// Fresh progress state for a world of `size` ranks.
+    pub fn new(size: usize) -> Self {
+        Self {
+            deliveries: AtomicU64::new(0),
+            blocked: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            size,
+        }
+    }
+
+    /// Record envelope movement (enqueue or match).
+    pub fn bump(&self) {
+        self.deliveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Is the world poisoned?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// RAII guard marking the current rank as blocked.
+    pub fn enter_blocked(&self) -> BlockedGuard<'_> {
+        self.blocked.fetch_add(1, Ordering::SeqCst);
+        BlockedGuard { progress: self }
+    }
+}
+
+/// Guard that decrements the blocked count on drop.
+pub struct BlockedGuard<'a> {
+    progress: &'a Progress,
+}
+
+impl Drop for BlockedGuard<'_> {
+    fn drop(&mut self) {
+        self.progress.blocked.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Watchdog loop body: runs until all ranks are done or deadlock is found.
+///
+/// Two consecutive samples, `interval` apart, in which (a) every not-done
+/// rank is blocked, (b) at least one rank is blocked, and (c) no envelope
+/// moved, constitute deadlock.
+pub fn watchdog(progress: &Progress, interval: Duration) {
+    let mut prev_deliveries = u64::MAX;
+    // Tick finely so the watchdog exits within ~2 ms of world completion
+    // (its thread gates `World::run`'s return); deadlock *sampling* still
+    // happens only once per `interval`.
+    let tick = Duration::from_millis(2).min(interval);
+    let mut since_sample = Duration::ZERO;
+    loop {
+        std::thread::sleep(tick);
+        let done = progress.done.load(Ordering::SeqCst);
+        if done == progress.size || progress.is_poisoned() {
+            return;
+        }
+        since_sample += tick;
+        if since_sample < interval {
+            continue;
+        }
+        since_sample = Duration::ZERO;
+        let blocked = progress.blocked.load(Ordering::SeqCst);
+        let deliveries = progress.deliveries.load(Ordering::SeqCst);
+        let all_stuck = blocked > 0 && blocked + done == progress.size;
+        if all_stuck && deliveries == prev_deliveries {
+            progress.poisoned.store(true, Ordering::SeqCst);
+            return;
+        }
+        prev_deliveries = deliveries;
+    }
+}
+
+/// One rank's receive side.
+#[derive(Debug)]
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Wrap a channel endpoint.
+    pub fn new(rx: Receiver<Envelope>) -> Self {
+        Self {
+            rx,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Drain everything currently sitting in the channel into the pending
+    /// queue (non-blocking).
+    fn drain_channel(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Non-blocking match attempt.
+    ///
+    /// Exact-source receives match the earliest *arrival* (channels are
+    /// FIFO, so per-(src,tag) send order is preserved, as MPI requires).
+    /// `ANY_SOURCE` receives match the pending envelope with the smallest
+    /// *simulated send time*: MPI leaves wildcard choice unspecified, and
+    /// picking the sim-earliest message keeps the simulated clock causal
+    /// for master/worker patterns instead of letting wall-clock thread
+    /// interleaving ratchet the receiver's clock forward.
+    pub fn try_match(&mut self, spec: &MatchSpec, progress: &Progress) -> Option<Envelope> {
+        self.drain_channel();
+        let wildcard = matches!(spec, MatchSpec::User(SourceSel::Any, _));
+        let idx = if wildcard {
+            self.pending
+                .iter()
+                .enumerate()
+                .filter(|(_, env)| spec.matches(env))
+                .min_by(|(ia, a), (ib, b)| {
+                    a.send_time
+                        .partial_cmp(&b.send_time)
+                        .expect("finite send times")
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)?
+        } else {
+            self.pending.iter().position(|env| spec.matches(env))?
+        };
+        progress.bump();
+        self.pending.remove(idx)
+    }
+
+    /// Blocking match: waits for a satisfying envelope, returning
+    /// [`Error::Deadlock`] if the watchdog poisons the world while waiting.
+    pub fn recv_matching(&mut self, spec: &MatchSpec, progress: &Progress) -> Result<Envelope> {
+        if let Some(env) = self.try_match(spec, progress) {
+            return Ok(env);
+        }
+        let _guard = progress.enter_blocked();
+        loop {
+            if progress.is_poisoned() {
+                return Err(Error::Deadlock);
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => {
+                    self.pending.push_back(env);
+                    // The new arrival may or may not be ours; re-scan.
+                    if let Some(env) = self.try_match(spec, progress) {
+                        return Ok(env);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Re-scan: another arrival may have been drained into
+                    // pending by a concurrent probe path.
+                    if let Some(env) = self.try_match(spec, progress) {
+                        return Ok(env);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All senders dropped: drain leftovers then fail,
+                    // reporting deadlock as the root cause when poisoned.
+                    if let Some(env) = self.try_match(spec, progress) {
+                        return Ok(env);
+                    }
+                    if progress.is_poisoned() {
+                        return Err(Error::Deadlock);
+                    }
+                    return Err(Error::WorldShutDown);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking peek: the status of the earliest satisfying user
+    /// envelope, if one is already here (the analogue of `MPI_Iprobe`).
+    pub fn peek_matching(&mut self, spec: &MatchSpec) -> Option<Status> {
+        self.drain_channel();
+        self.pending
+            .iter()
+            .find(|env| spec.matches(env))
+            .map(Status::of)
+    }
+
+    /// Blocking peek: waits until a satisfying user envelope exists and
+    /// returns its [`Status`] without consuming it (the analogue of
+    /// `MPI_Probe`).
+    pub fn probe_matching(&mut self, spec: &MatchSpec, progress: &Progress) -> Result<Status> {
+        self.drain_channel();
+        if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
+            return Ok(Status::of(&self.pending[idx]));
+        }
+        let _guard = progress.enter_blocked();
+        loop {
+            if progress.is_poisoned() {
+                return Err(Error::Deadlock);
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => {
+                    self.pending.push_back(env);
+                    if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
+                        return Ok(Status::of(&self.pending[idx]));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if progress.is_poisoned() {
+                        return Err(Error::Deadlock);
+                    }
+                    return Err(Error::WorldShutDown);
+                }
+            }
+        }
+    }
+}
+
+/// Sender handles to every rank's mailbox.
+pub type Outboxes = Vec<Sender<Envelope>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::encode_slice;
+    use crate::envelope::{MsgClass, SourceSel, TagSel};
+    use crossbeam::channel::unbounded;
+
+    fn env(src: usize, tag: u32, val: i32) -> Envelope {
+        Envelope {
+            src,
+            class: MsgClass::User(tag),
+            type_name: "i32",
+            type_size: 4,
+            payload: encode_slice(&[val]),
+            send_time: 0.0,
+            ack: None,
+        }
+    }
+
+    #[test]
+    fn messages_match_in_arrival_order() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(0, 1, 10)).expect("open channel");
+        tx.send(env(0, 1, 20)).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Tag(1));
+        let first = mb.try_match(&spec, &progress).expect("message pending");
+        assert_eq!(crate::datatype::decode_vec::<i32>(&first.payload), vec![10]);
+        let second = mb.try_match(&spec, &progress).expect("message pending");
+        assert_eq!(crate::datatype::decode_vec::<i32>(&second.payload), vec![20]);
+        assert!(mb.try_match(&spec, &progress).is_none());
+    }
+
+    #[test]
+    fn non_matching_messages_stay_queued() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(0, 5, 1)).expect("open channel");
+        tx.send(env(1, 7, 2)).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Rank(1), TagSel::Any);
+        let got = mb.try_match(&spec, &progress).expect("src-1 message");
+        assert_eq!(got.src, 1);
+        // The src-0 message is still there for later.
+        let spec0 = MatchSpec::User(SourceSel::Any, TagSel::Tag(5));
+        assert!(mb.try_match(&spec0, &progress).is_some());
+    }
+
+    #[test]
+    fn wildcard_takes_earliest_arrival() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(2, 9, 1)).expect("open channel");
+        tx.send(env(1, 9, 2)).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        assert_eq!(mb.try_match(&spec, &progress).expect("pending").src, 2);
+    }
+
+    #[test]
+    fn blocking_recv_returns_when_message_arrives() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(env(0, 3, 42)).expect("open channel");
+        });
+        let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Tag(3));
+        let got = mb.recv_matching(&spec, &progress).expect("arrives");
+        assert_eq!(crate::datatype::decode_vec::<i32>(&got.payload), vec![42]);
+        handle.join().expect("sender thread");
+    }
+
+    #[test]
+    fn poisoned_world_unblocks_receivers() {
+        let (_tx, rx) = unbounded::<Envelope>();
+        let progress = Progress::new(1);
+        progress.poisoned.store(true, Ordering::SeqCst);
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        assert_eq!(
+            mb.recv_matching(&spec, &progress).expect_err("poisoned"),
+            Error::Deadlock
+        );
+    }
+
+    #[test]
+    fn disconnected_channel_is_shutdown_not_hang() {
+        let (tx, rx) = unbounded::<Envelope>();
+        drop(tx);
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        assert_eq!(
+            mb.recv_matching(&spec, &progress).expect_err("closed"),
+            Error::WorldShutDown
+        );
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(4, 8, 5)).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        let peeked = mb.probe_matching(&spec, &progress).expect("pending");
+        assert_eq!(peeked.source, 4);
+        assert!(mb.try_match(&spec, &progress).is_some(), "still consumable");
+    }
+
+    #[test]
+    fn watchdog_poisons_a_stuck_world() {
+        let progress = Progress::new(2);
+        // Both ranks report blocked; nothing moves.
+        progress.blocked.store(2, Ordering::SeqCst);
+        watchdog(&progress, Duration::from_millis(5));
+        assert!(progress.is_poisoned());
+    }
+
+    #[test]
+    fn watchdog_exits_when_world_completes() {
+        let progress = Progress::new(2);
+        progress.done.store(2, Ordering::SeqCst);
+        watchdog(&progress, Duration::from_millis(5));
+        assert!(!progress.is_poisoned());
+    }
+
+    #[test]
+    fn watchdog_spares_a_progressing_world() {
+        let progress = std::sync::Arc::new(Progress::new(1));
+        let p2 = progress.clone();
+        // One rank blocked but envelopes keep moving.
+        progress.blocked.store(1, Ordering::SeqCst);
+        let mover = std::thread::spawn(move || {
+            for _ in 0..40 {
+                p2.bump();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            p2.done.store(1, Ordering::SeqCst);
+            p2.blocked.store(0, Ordering::SeqCst);
+        });
+        watchdog(&progress, Duration::from_millis(5));
+        assert!(!progress.is_poisoned());
+        mover.join().expect("mover thread");
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-rank communication instrumentation.
+//!
+//! Every public primitive invocation is counted; collectives additionally
+//! account the point-to-point traffic they generate. The counters feed two
+//! reproduction artifacts: **Table II** (which MPI primitives each module
+//! uses) via [`CommStats::used_primitives`], and the communication-volume
+//! reasoning of Modules 3 and 5 via the byte counters.
+
+/// Every user-facing primitive the runtime exposes, named after its MPI
+/// counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Primitive {
+    Send,
+    Recv,
+    Isend,
+    Irecv,
+    Wait,
+    Sendrecv,
+    Ssend,
+    Probe,
+    Iprobe,
+    GetCount,
+    Barrier,
+    Bcast,
+    Scatter,
+    Scatterv,
+    Gather,
+    Gatherv,
+    Allgather,
+    Allgatherv,
+    Reduce,
+    Allreduce,
+    Alltoall,
+    Alltoallv,
+    Scan,
+    Exscan,
+    ReduceScatter,
+    CommSplit,
+}
+
+impl Primitive {
+    /// All primitives, in display order (the order of Table II plus the
+    /// extras the runtime offers).
+    pub const ALL: [Primitive; 26] = [
+        Primitive::Send,
+        Primitive::Recv,
+        Primitive::Isend,
+        Primitive::Irecv,
+        Primitive::Wait,
+        Primitive::Sendrecv,
+        Primitive::Ssend,
+        Primitive::Probe,
+        Primitive::Iprobe,
+        Primitive::GetCount,
+        Primitive::Barrier,
+        Primitive::Bcast,
+        Primitive::Scatter,
+        Primitive::Scatterv,
+        Primitive::Gather,
+        Primitive::Gatherv,
+        Primitive::Allgather,
+        Primitive::Allgatherv,
+        Primitive::Reduce,
+        Primitive::Allreduce,
+        Primitive::Alltoall,
+        Primitive::Alltoallv,
+        Primitive::Scan,
+        Primitive::Exscan,
+        Primitive::ReduceScatter,
+        Primitive::CommSplit,
+    ];
+
+    /// The `MPI_*` spelling, for reports that mirror the paper's tables.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            Primitive::Send => "MPI_Send",
+            Primitive::Recv => "MPI_Recv",
+            Primitive::Isend => "MPI_Isend",
+            Primitive::Irecv => "MPI_Irecv",
+            Primitive::Wait => "MPI_Wait",
+            Primitive::Sendrecv => "MPI_Sendrecv",
+            Primitive::Ssend => "MPI_Ssend",
+            Primitive::Probe => "MPI_Probe",
+            Primitive::Iprobe => "MPI_Iprobe",
+            Primitive::GetCount => "MPI_Get_count",
+            Primitive::Barrier => "MPI_Barrier",
+            Primitive::Bcast => "MPI_Bcast",
+            Primitive::Scatter => "MPI_Scatter",
+            Primitive::Scatterv => "MPI_Scatterv",
+            Primitive::Gather => "MPI_Gather",
+            Primitive::Gatherv => "MPI_Gatherv",
+            Primitive::Allgather => "MPI_Allgather",
+            Primitive::Allgatherv => "MPI_Allgatherv",
+            Primitive::Reduce => "MPI_Reduce",
+            Primitive::Allreduce => "MPI_Allreduce",
+            Primitive::Alltoall => "MPI_Alltoall",
+            Primitive::Alltoallv => "MPI_Alltoallv",
+            Primitive::Scan => "MPI_Scan",
+            Primitive::Exscan => "MPI_Exscan",
+            Primitive::ReduceScatter => "MPI_Reduce_scatter_block",
+            Primitive::CommSplit => "MPI_Comm_split",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+/// Snapshot of one rank's communication activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    calls: Vec<u64>,
+    /// Point-to-point messages physically sent (including those generated
+    /// inside collectives).
+    pub msgs_sent: u64,
+    /// Bytes physically sent.
+    pub bytes_sent: u64,
+    /// Messages physically received.
+    pub msgs_received: u64,
+    /// Bytes physically received.
+    pub bytes_received: u64,
+    /// Simulated seconds this rank spent inside communication primitives
+    /// (transfer + synchronization wait).
+    pub sim_comm_time: f64,
+    /// Simulated seconds this rank spent in explicitly charged computation.
+    pub sim_compute_time: f64,
+}
+
+impl CommStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self {
+            calls: vec![0; Primitive::ALL.len()],
+            ..Self::default()
+        }
+    }
+
+    /// Record one invocation of `p`.
+    pub fn record_call(&mut self, p: Primitive) {
+        if self.calls.is_empty() {
+            self.calls = vec![0; Primitive::ALL.len()];
+        }
+        self.calls[p.index()] += 1;
+    }
+
+    /// Number of times `p` was invoked.
+    pub fn calls(&self, p: Primitive) -> u64 {
+        self.calls.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// The set of primitives invoked at least once, in display order.
+    pub fn used_primitives(&self) -> Vec<Primitive> {
+        Primitive::ALL
+            .iter()
+            .copied()
+            .filter(|&p| self.calls(p) > 0)
+            .collect()
+    }
+
+    /// Merge another rank's statistics into this one (for world-level
+    /// aggregation).
+    pub fn merge(&mut self, other: &CommStats) {
+        if self.calls.is_empty() {
+            self.calls = vec![0; Primitive::ALL.len()];
+        }
+        for (i, c) in other.calls.iter().enumerate() {
+            self.calls[i] += c;
+        }
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_received += other.msgs_received;
+        self.bytes_received += other.bytes_received;
+        self.sim_comm_time += other.sim_comm_time;
+        self.sim_compute_time += other.sim_compute_time;
+    }
+
+    /// Fraction of simulated time spent communicating (0 when nothing was
+    /// charged at all).
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.sim_comm_time + self.sim_compute_time;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.sim_comm_time / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_accumulate() {
+        let mut s = CommStats::new();
+        assert_eq!(s.calls(Primitive::Send), 0);
+        s.record_call(Primitive::Send);
+        s.record_call(Primitive::Send);
+        s.record_call(Primitive::Reduce);
+        assert_eq!(s.calls(Primitive::Send), 2);
+        assert_eq!(s.calls(Primitive::Reduce), 1);
+        assert_eq!(
+            s.used_primitives(),
+            vec![Primitive::Send, Primitive::Reduce]
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = CommStats::new();
+        a.record_call(Primitive::Bcast);
+        a.bytes_sent = 100;
+        a.sim_comm_time = 1.0;
+        let mut b = CommStats::new();
+        b.record_call(Primitive::Bcast);
+        b.record_call(Primitive::Recv);
+        b.bytes_sent = 50;
+        b.sim_compute_time = 2.0;
+        a.merge(&b);
+        assert_eq!(a.calls(Primitive::Bcast), 2);
+        assert_eq!(a.calls(Primitive::Recv), 1);
+        assert_eq!(a.bytes_sent, 150);
+        assert!((a.comm_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpi_names_cover_all_primitives() {
+        for p in Primitive::ALL {
+            assert!(p.mpi_name().starts_with("MPI_"));
+        }
+    }
+
+    #[test]
+    fn comm_fraction_of_idle_rank_is_zero() {
+        assert_eq!(CommStats::new().comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Derived communicators: the analogue of `MPI_Comm_split`.
+//!
+//! [`Comm::split`] partitions the world by *color* (ranks with the same
+//! color form one sub-communicator) with ordering controlled by *key*
+//! (ties broken by world rank), exactly like `MPI_Comm_split`. The
+//! resulting [`SubComm`] is a passive descriptor — operations on it go
+//! through the owning rank's [`Comm`] (`sub_barrier`, `sub_bcast`,
+//! `sub_reduce`, `sub_allreduce`, `sub_gather`), which keeps the borrow
+//! discipline simple and mirrors how MPI calls always take both a
+//! communicator handle and execute on the calling process.
+//!
+//! Every sub-communicator carries a *context id* baked into its internal
+//! message tags, so concurrent collectives on different communicators can
+//! never cross-match — MPI's communicator-isolation guarantee.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::reduce::{fold_into, Op, Reducible};
+use crate::stats::Primitive;
+
+/// Tag stride per collective on a sub-communicator (matches the world's).
+const COLL_TAG_STRIDE: u64 = 1024;
+
+/// A derived communicator produced by [`Comm::split`].
+#[derive(Debug, Clone)]
+pub struct SubComm {
+    /// World ranks of the members, in sub-rank order.
+    members: Vec<usize>,
+    /// This rank's position within `members`.
+    my_idx: usize,
+    /// Context id isolating this communicator's internal tag space.
+    ctx: u64,
+    /// Collective sequence counter (advances identically on all members).
+    seq: u64,
+}
+
+impl SubComm {
+    /// This rank's id within the sub-communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World ranks of the members, in sub-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Translate a sub-rank to a world rank.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range sub-rank.
+    pub fn world_rank(&self, sub_rank: usize) -> usize {
+        self.members[sub_rank]
+    }
+
+    fn next_base(&mut self) -> u64 {
+        let base = (self.ctx << 40) | (self.seq * COLL_TAG_STRIDE);
+        self.seq += 1;
+        base
+    }
+
+    fn validate_root(&self, root: usize) -> Result<()> {
+        if root >= self.size() {
+            return Err(Error::InvalidArgument(format!(
+                "root {root} out of range for sub-communicator of size {}",
+                self.size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Comm<'_> {
+    /// `MPI_Comm_split`: partition the world by `color`; member order
+    /// within each partition follows `key` (ties by world rank). Must be
+    /// called by every rank of the world.
+    pub fn split(&mut self, color: u32, key: i64) -> Result<SubComm> {
+        self.record(Primitive::CommSplit);
+        // Exchange (color, key) triples; the allgather gives a consistent
+        // global view on every rank.
+        let mine = [color as i64, key, self.rank() as i64];
+        let all = self.allgather(&mine)?;
+        let mut members: Vec<(i64, usize)> = all
+            .chunks_exact(3)
+            .filter(|t| t[0] == color as i64)
+            .map(|t| (t[1], t[2] as usize))
+            .collect();
+        members.sort_unstable();
+        let members: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
+        let my_idx = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("caller is a member of its own color");
+        let ctx = self.next_sub_ctx();
+        Ok(SubComm {
+            members,
+            my_idx,
+            ctx,
+            seq: 0,
+        })
+    }
+
+    /// Barrier over a sub-communicator (dissemination).
+    pub fn sub_barrier(&mut self, sc: &mut SubComm) -> Result<()> {
+        self.record(Primitive::Barrier);
+        let base = sc.next_base();
+        let p = sc.size();
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < p {
+            let to = sc.members[(sc.my_idx + dist) % p];
+            let from = sc.members[(sc.my_idx + p - dist) % p];
+            self.coll_send::<u8>(&[], to, base + round)?;
+            let _ = self.coll_recv::<u8>(from, base + round)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast over a sub-communicator. `root` is a *sub-rank*.
+    pub fn sub_bcast<T: Datatype>(
+        &mut self,
+        sc: &mut SubComm,
+        data: Option<&[T]>,
+        root: usize,
+    ) -> Result<Vec<T>> {
+        sc.validate_root(root)?;
+        self.record(Primitive::Bcast);
+        let base = sc.next_base();
+        let p = sc.size();
+        let vrank = (sc.my_idx + p - root) % p;
+        let mut buf: Vec<T> = if sc.my_idx == root {
+            data.ok_or_else(|| Error::InvalidArgument("sub_bcast root must supply data".into()))?
+                .to_vec()
+        } else {
+            Vec::new()
+        };
+        let mut mask = 1usize;
+        let mut recv_bit = 0u64;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = sc.members[(vrank - mask + root) % p];
+                buf = self.coll_recv::<T>(parent, base + recv_bit)?;
+                break;
+            }
+            mask <<= 1;
+            recv_bit += 1;
+        }
+        if vrank == 0 {
+            mask = 1;
+            while mask < p {
+                mask <<= 1;
+            }
+        }
+        let mut bit = mask >> 1;
+        while bit > 0 {
+            if vrank + bit < p {
+                let child = sc.members[(vrank + bit + root) % p];
+                self.coll_send(&buf, child, base + bit.trailing_zeros() as u64)?;
+            }
+            bit >>= 1;
+        }
+        Ok(buf)
+    }
+
+    /// Reduction over a sub-communicator with a custom combiner; the
+    /// sub-rank `root` receives the result.
+    pub fn sub_reduce_with<T: Datatype, F: Fn(&T, &T) -> T>(
+        &mut self,
+        sc: &mut SubComm,
+        data: &[T],
+        root: usize,
+        combine: F,
+    ) -> Result<Option<Vec<T>>> {
+        sc.validate_root(root)?;
+        self.record(Primitive::Reduce);
+        let base = sc.next_base();
+        self.sub_reduce_tree(sc, data, root, base, &combine)
+    }
+
+    fn sub_reduce_tree<T: Datatype, F: Fn(&T, &T) -> T>(
+        &mut self,
+        sc: &SubComm,
+        data: &[T],
+        root: usize,
+        base: u64,
+        combine: &F,
+    ) -> Result<Option<Vec<T>>> {
+        let p = sc.size();
+        let vrank = (sc.my_idx + p - root) % p;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        let mut round = 0u64;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = sc.members[(vrank - mask + root) % p];
+                self.coll_send(&acc, parent, base + round)?;
+                return Ok(None);
+            }
+            let child = vrank + mask;
+            if child < p {
+                let part = self.coll_recv::<T>(sc.members[(child + root) % p], base + round)?;
+                if part.len() != acc.len() {
+                    return Err(Error::InvalidArgument(
+                        "sub_reduce contributions differ in length".into(),
+                    ));
+                }
+                fold_into(&mut acc, &part, combine);
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Reduction over a sub-communicator with a built-in operator.
+    pub fn sub_reduce<T: Datatype + Reducible>(
+        &mut self,
+        sc: &mut SubComm,
+        data: &[T],
+        op: Op,
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
+        self.sub_reduce_with(sc, data, root, move |a, b| T::reduce(op, *a, *b))
+    }
+
+    /// Allreduce over a sub-communicator.
+    pub fn sub_allreduce<T: Datatype + Reducible>(
+        &mut self,
+        sc: &mut SubComm,
+        data: &[T],
+        op: Op,
+    ) -> Result<Vec<T>> {
+        self.record(Primitive::Allreduce);
+        let base = sc.next_base();
+        let reduced =
+            self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| T::reduce(op, *a, *b))?;
+        // Broadcast phase with a shifted tag sub-range.
+        let p = sc.size();
+        let mut buf = reduced.unwrap_or_default();
+        let mut mask = 1usize;
+        let mut recv_bit = 0u64;
+        while mask < p {
+            if sc.my_idx & mask != 0 {
+                let parent = sc.members[sc.my_idx - mask];
+                buf = self.coll_recv::<T>(parent, base + 512 + recv_bit)?;
+                break;
+            }
+            mask <<= 1;
+            recv_bit += 1;
+        }
+        if sc.my_idx == 0 {
+            mask = 1;
+            while mask < p {
+                mask <<= 1;
+            }
+        }
+        let mut bit = mask >> 1;
+        while bit > 0 {
+            if sc.my_idx + bit < p {
+                let child = sc.members[sc.my_idx + bit];
+                self.coll_send(&buf, child, base + 512 + bit.trailing_zeros() as u64)?;
+            }
+            bit >>= 1;
+        }
+        Ok(buf)
+    }
+
+    /// Gather equal-length contributions to sub-rank `root`.
+    pub fn sub_gather<T: Datatype>(
+        &mut self,
+        sc: &mut SubComm,
+        data: &[T],
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
+        sc.validate_root(root)?;
+        self.record(Primitive::Gather);
+        let base = sc.next_base();
+        if sc.my_idx == root {
+            let expect = data.len();
+            let mut out = Vec::with_capacity(expect * sc.size());
+            for idx in 0..sc.size() {
+                let part = if idx == root {
+                    data.to_vec()
+                } else {
+                    self.coll_recv::<T>(sc.members[idx], base)?
+                };
+                if part.len() != expect {
+                    return Err(Error::InvalidArgument(
+                        "sub_gather contributions differ in length".into(),
+                    ));
+                }
+                out.extend_from_slice(&part);
+            }
+            Ok(Some(out))
+        } else {
+            self.coll_send(data, sc.members[root], base)?;
+            Ok(None)
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Cartesian process topologies: the analogues of `MPI_Dims_create`,
+//! `MPI_Cart_create`, `MPI_Cart_coords`, `MPI_Cart_rank`, and
+//! `MPI_Cart_shift`.
+//!
+//! Stencil-style codes (like the latency-hiding module) index their
+//! neighbours through a grid of ranks; these helpers provide the standard
+//! row-major rank↔coordinate mapping and neighbour shifts, with optional
+//! per-dimension periodicity.
+
+use crate::comm::Comm;
+use crate::error::{Error, Result};
+
+/// Factor `nnodes` into `ndims` dimensions as evenly as possible
+/// (descending, like `MPI_Dims_create` with all-zero hints).
+///
+/// # Panics
+/// Panics if `nnodes == 0` or `ndims == 0`.
+pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
+    assert!(nnodes > 0 && ndims > 0, "need positive node and dim counts");
+    let mut dims = vec![1usize; ndims];
+    let mut remaining = nnodes;
+    // Peel prime factors largest-first onto the currently smallest dim.
+    let mut factors = Vec::new();
+    let mut f = 2;
+    while f * f <= remaining {
+        while remaining.is_multiple_of(f) {
+            factors.push(f);
+            remaining /= f;
+        }
+        f += 1;
+    }
+    if remaining > 1 {
+        factors.push(remaining);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for factor in factors {
+        let smallest = (0..ndims)
+            .min_by_key(|&i| dims[i])
+            .expect("ndims > 0");
+        dims[smallest] *= factor;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// A Cartesian view over the ranks `0..size` (row-major order, as MPI
+/// prescribes: the last dimension varies fastest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartTopology {
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartTopology {
+    /// Build a topology; the product of `dims` must equal `size`.
+    pub fn new(size: usize, dims: &[usize], periodic: &[bool]) -> Result<Self> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(Error::InvalidArgument(
+                "dims and periodic must be non-empty and equal-length".into(),
+            ));
+        }
+        let product: usize = dims.iter().product();
+        if product != size {
+            return Err(Error::InvalidArgument(format!(
+                "grid {dims:?} has {product} cells but the world has {size} ranks"
+            )));
+        }
+        Ok(Self {
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Coordinates of `rank` (row-major; `MPI_Cart_coords`).
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside the grid.
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        let size: usize = self.dims.iter().product();
+        assert!(rank < size, "rank {rank} outside a {size}-cell grid");
+        let mut rest = rank;
+        let mut out = vec![0usize; self.ndims()];
+        for d in (0..self.ndims()).rev() {
+            out[d] = rest % self.dims[d];
+            rest /= self.dims[d];
+        }
+        out
+    }
+
+    /// Rank at `coords` (`MPI_Cart_rank`). Periodic dimensions wrap;
+    /// out-of-range coordinates on non-periodic dimensions return `None`.
+    pub fn rank_of(&self, coords: &[isize]) -> Option<usize> {
+        if coords.len() != self.ndims() {
+            return None;
+        }
+        let mut rank = 0usize;
+        for (d, &coord) in coords.iter().enumerate() {
+            let extent = self.dims[d] as isize;
+            let c = if self.periodic[d] {
+                coord.rem_euclid(extent)
+            } else if (0..extent).contains(&coord) {
+                coord
+            } else {
+                return None;
+            };
+            rank = rank * self.dims[d] + c as usize;
+        }
+        Some(rank)
+    }
+
+    /// Neighbour pair for a shift of `disp` along `dim` from `rank`
+    /// (`MPI_Cart_shift`): `(source, destination)` — the rank you receive
+    /// from and the rank you send to. `None` plays `MPI_PROC_NULL`.
+    pub fn shift(&self, rank: usize, dim: usize, disp: isize) -> (Option<usize>, Option<usize>) {
+        assert!(dim < self.ndims(), "dimension {dim} out of range");
+        let coords: Vec<isize> = self.coords(rank).iter().map(|&c| c as isize).collect();
+        let mut to = coords.clone();
+        to[dim] += disp;
+        let mut from = coords;
+        from[dim] -= disp;
+        (self.rank_of(&from), self.rank_of(&to))
+    }
+}
+
+impl Comm<'_> {
+    /// Build a Cartesian view of this world (`MPI_Cart_create` with
+    /// `reorder = false`). Purely local: the mapping is deterministic, so
+    /// no communication is needed.
+    pub fn cart(&self, dims: &[usize], periodic: &[bool]) -> Result<CartTopology> {
+        CartTopology::new(self.size(), dims, periodic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_balances_factorizations() {
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(24, 3), vec![4, 3, 2]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+        assert_eq!(dims_create(8, 1), vec![8]);
+    }
+
+    #[test]
+    fn dims_create_product_is_always_exact() {
+        for n in 1..=64usize {
+            for d in 1..=3usize {
+                let dims = dims_create(n, d);
+                assert_eq!(dims.iter().product::<usize>(), n, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_coords_roundtrip() {
+        let t = CartTopology::new(12, &[3, 4], &[false, false]).expect("fits");
+        // MPI row-major: rank = c0*4 + c1.
+        assert_eq!(t.coords(0), vec![0, 0]);
+        assert_eq!(t.coords(5), vec![1, 1]);
+        assert_eq!(t.coords(11), vec![2, 3]);
+        for rank in 0..12 {
+            let c: Vec<isize> = t.coords(rank).iter().map(|&x| x as isize).collect();
+            assert_eq!(t.rank_of(&c), Some(rank));
+        }
+    }
+
+    #[test]
+    fn shift_respects_boundaries() {
+        let t = CartTopology::new(12, &[3, 4], &[false, false]).expect("fits");
+        // Rank 0 at (0,0): shifting -1 along dim 0 falls off the grid.
+        let (src, dst) = t.shift(0, 0, 1);
+        assert_eq!(src, None, "no rank above the top row");
+        assert_eq!(dst, Some(4), "one row down");
+        // Interior rank 5 at (1,1).
+        let (src, dst) = t.shift(5, 1, 1);
+        assert_eq!(src, Some(4));
+        assert_eq!(dst, Some(6));
+    }
+
+    #[test]
+    fn periodic_dimensions_wrap() {
+        let t = CartTopology::new(12, &[3, 4], &[true, true]).expect("fits");
+        let (src, dst) = t.shift(0, 0, 1);
+        assert_eq!(src, Some(8), "wraps to the bottom row");
+        assert_eq!(dst, Some(4));
+        let (src, dst) = t.shift(3, 1, 1); // (0,3) shifting right wraps to (0,0)
+        assert_eq!(src, Some(2));
+        assert_eq!(dst, Some(0));
+    }
+
+    #[test]
+    fn bad_grids_are_rejected() {
+        assert!(CartTopology::new(12, &[5, 3], &[false, false]).is_err());
+        assert!(CartTopology::new(12, &[3, 4], &[false]).is_err());
+        assert!(CartTopology::new(12, &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! World bootstrap: spawn one thread per rank, run the closure, collect
+//! results, statistics, and simulated times.
+
+use crate::comm::Comm;
+use crate::error::{Error, Result};
+use crate::mailbox::{watchdog, Mailbox, Progress};
+use crate::stats::CommStats;
+use crate::trace::Timeline;
+use crossbeam::channel::unbounded;
+use pdc_cluster::{CostModel, MachineModel, Placement, PlacementPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a world launch.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub size: usize,
+    /// Payloads strictly larger than this many bytes use the rendezvous
+    /// protocol for `send`. Default: everything is eager (buffered), like
+    /// typical MPI defaults for small messages. Set it to 0 to make every
+    /// `send` synchronous — the classic way to expose the blocking-ring
+    /// deadlock of Module 1.
+    pub eager_threshold: usize,
+    /// Hardware the simulated clock charges against.
+    pub machine: MachineModel,
+    /// Nodes to spread the ranks over (block placement). Must be within
+    /// the machine's node count.
+    pub nodes_used: usize,
+    /// Rank→node distribution policy.
+    pub placement_policy: PlacementPolicy,
+    /// Watchdog sampling interval; `None` disables deadlock detection.
+    pub watchdog: Option<Duration>,
+    /// Record per-rank execution traces (see [`crate::trace`]).
+    pub tracing: bool,
+}
+
+impl WorldConfig {
+    /// A world of `size` ranks on a single simulated cluster node.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a world needs at least one rank");
+        let mut machine = MachineModel::cluster_node();
+        // Let any requested size fit on one node; the model stays otherwise
+        // identical. (Real clusters would spill to more nodes — use
+        // `on_nodes` to model that explicitly.)
+        machine.cores_per_node = machine.cores_per_node.max(size);
+        Self {
+            size,
+            eager_threshold: usize::MAX,
+            machine,
+            nodes_used: 1,
+            placement_policy: PlacementPolicy::Block,
+            watchdog: Some(Duration::from_millis(100)),
+            tracing: false,
+        }
+    }
+
+    /// Spread the ranks over `nodes` nodes of a multi-node machine
+    /// (builder style).
+    ///
+    /// # Panics
+    /// Panics if the ranks do not fit.
+    pub fn on_nodes(mut self, nodes: usize) -> Self {
+        let mut machine = MachineModel::cluster(nodes);
+        let needed = self.size.div_ceil(nodes);
+        machine.cores_per_node = machine.cores_per_node.max(needed);
+        self.machine = machine;
+        self.nodes_used = nodes;
+        self
+    }
+
+    /// Use a custom machine model (builder style).
+    pub fn with_machine(mut self, machine: MachineModel, nodes_used: usize) -> Self {
+        self.machine = machine;
+        self.nodes_used = nodes_used;
+        self
+    }
+
+    /// Set the eager/rendezvous threshold in bytes (builder style).
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = bytes;
+        self
+    }
+
+    /// Set or disable the deadlock watchdog (builder style).
+    pub fn with_watchdog(mut self, interval: Option<Duration>) -> Self {
+        self.watchdog = interval;
+        self
+    }
+
+    /// Set the rank→node distribution policy (builder style). Only
+    /// meaningful with more than one node.
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.placement_policy = policy;
+        self
+    }
+
+    /// Record per-rank execution traces (builder style); retrieve them
+    /// from [`RunOutput::traces`] and render with
+    /// [`crate::trace::render_timeline`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+}
+
+/// Everything a finished world reports.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    /// Per-rank closure return values, indexed by rank.
+    pub values: Vec<T>,
+    /// Per-rank communication statistics, indexed by rank.
+    pub stats: Vec<CommStats>,
+    /// Simulated makespan: the maximum final clock over all ranks, seconds.
+    pub sim_time: f64,
+    /// Real wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Per-rank execution traces (empty unless
+    /// [`WorldConfig::with_tracing`] was set).
+    pub traces: Vec<Timeline>,
+}
+
+impl<T> RunOutput<T> {
+    /// Aggregate statistics over all ranks.
+    pub fn total_stats(&self) -> CommStats {
+        let mut total = CommStats::new();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Total bytes physically sent by all ranks.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+}
+
+/// Entry point to the runtime.
+pub struct World;
+
+impl World {
+    /// Launch `cfg.size` ranks, each running `f`, and wait for all of them.
+    ///
+    /// Each rank executes on its own OS thread with a private address space
+    /// (nothing is shared except messages). Returns per-rank values and
+    /// statistics, or the first error any rank produced. A panic in one
+    /// rank is contained and reported as [`Error::RankPanicked`].
+    pub fn run<T, F>(cfg: WorldConfig, f: F) -> Result<RunOutput<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
+        assert!(cfg.size > 0, "a world needs at least one rank");
+        let placement = Placement::new(
+            cfg.size,
+            cfg.nodes_used,
+            cfg.machine.cores_per_node,
+            cfg.placement_policy,
+        );
+        let cost = Arc::new(CostModel::new(cfg.machine.clone(), placement));
+        let progress = Progress::new(cfg.size);
+
+        let mut outboxes = Vec::with_capacity(cfg.size);
+        let mut inboxes = Vec::with_capacity(cfg.size);
+        for _ in 0..cfg.size {
+            let (tx, rx) = unbounded();
+            outboxes.push(tx);
+            inboxes.push(rx);
+        }
+
+        let started = Instant::now();
+        type RankOutcome<T> = (Result<T>, CommStats, f64, Timeline);
+        let mut slots: Vec<Option<RankOutcome<T>>> = (0..cfg.size).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.size);
+            for (rank, rx) in inboxes.into_iter().enumerate() {
+                let outboxes = &outboxes;
+                let progress = &progress;
+                let cost = Arc::clone(&cost);
+                let f = &f;
+                let eager = cfg.eager_threshold;
+                let tracing = cfg.tracing;
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(
+                        rank,
+                        outboxes,
+                        progress,
+                        Mailbox::new(rx),
+                        cost,
+                        eager,
+                        tracing,
+                    );
+                    let value =
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                            Ok(result) => result,
+                            Err(_) => Err(Error::RankPanicked(rank)),
+                        };
+                    progress.done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let (stats, sim_time, trace) = comm.into_report();
+                    (value, stats, sim_time, trace)
+                }));
+            }
+            if let Some(interval) = cfg.watchdog {
+                let progress = &progress;
+                scope.spawn(move || watchdog(progress, interval));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                let outcome = handle.join().unwrap_or_else(|_| {
+                    (Err(Error::RankPanicked(rank)), CommStats::new(), 0.0, Vec::new())
+                });
+                slots[rank] = Some(outcome);
+            }
+            // Unblock the watchdog promptly if it is still sleeping: setting
+            // done to size makes its next sample exit. (Already true here.)
+        });
+
+        let mut values = Vec::with_capacity(cfg.size);
+        let mut stats = Vec::with_capacity(cfg.size);
+        let mut traces = Vec::with_capacity(cfg.size);
+        let mut sim_time = 0.0f64;
+        let mut first_error: Option<Error> = None;
+        let mut deadlock_seen = false;
+        for slot in slots {
+            let (value, st, t, trace) = slot.expect("every rank produced a slot");
+            sim_time = sim_time.max(t);
+            stats.push(st);
+            traces.push(trace);
+            match value {
+                Ok(v) => values.push(v),
+                Err(Error::Deadlock) => deadlock_seen = true,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if deadlock_seen {
+            return Err(Error::Deadlock);
+        }
+        Ok(RunOutput {
+            values,
+            stats,
+            sim_time,
+            wall_time: started.elapsed(),
+            traces,
+        })
+    }
+
+    /// Convenience: run with the default single-node configuration.
+    pub fn run_simple<T, F>(size: usize, f: F) -> Result<RunOutput<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
+        Self::run(WorldConfig::new(size), f)
+    }
+}

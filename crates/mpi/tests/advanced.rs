@@ -1,0 +1,367 @@
+//! Tests for the extended runtime features: prefix scans, reduce-scatter,
+//! and derived communicators (`MPI_Comm_split`).
+
+use pdc_mpi::{Op, World};
+
+#[test]
+fn scan_computes_inclusive_prefixes() {
+    for p in [1, 2, 3, 5, 8] {
+        let out = World::run_simple(p, |comm| {
+            comm.scan(&[comm.rank() as u64 + 1, 1], Op::Sum)
+        })
+        .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        for (rank, v) in out.values.iter().enumerate() {
+            let expect: u64 = (1..=rank as u64 + 1).sum();
+            assert_eq!(v[0], expect, "p={p} rank={rank}");
+            assert_eq!(v[1], rank as u64 + 1);
+        }
+    }
+}
+
+#[test]
+fn scan_respects_noncommutative_order() {
+    // Decimal concatenation with explicit lengths — associative but not
+    // commutative, so it only works if ranks fold strictly left-to-right.
+    // Elements are (value, digit_count) pairs.
+    let out = World::run_simple(4, |comm| {
+        let digit = [[(comm.rank() + 1) as u64, 1u64]];
+        comm.scan_with(&digit, |a: &[u64; 2], b: &[u64; 2]| {
+            [a[0] * 10u64.pow(b[1] as u32) + b[0], a[1] + b[1]]
+        })
+    })
+    .expect("scan runs");
+    assert_eq!(out.values[0][0], [1, 1]);
+    assert_eq!(out.values[1][0], [12, 2]);
+    assert_eq!(out.values[2][0], [123, 3]);
+    assert_eq!(out.values[3][0], [1234, 4]);
+}
+
+#[test]
+fn exscan_shifts_the_prefix() {
+    let out = World::run_simple(6, |comm| {
+        comm.exscan(&[comm.rank() as u64 + 1], Op::Sum)
+    })
+    .expect("exscan runs");
+    assert!(out.values[0].is_none(), "rank 0 gets nothing");
+    for (rank, v) in out.values.iter().enumerate().skip(1) {
+        let expect: u64 = (1..=rank as u64).sum();
+        assert_eq!(v.as_ref().expect("non-zero rank")[0], expect);
+    }
+}
+
+#[test]
+fn exscan_is_the_classic_offset_calculator() {
+    // The textbook use: each rank owns a variable-sized block; exscan of
+    // the sizes yields every rank's output offset.
+    let out = World::run_simple(5, |comm| {
+        let my_len = [(comm.rank() * 3 + 1) as u64];
+        let offset = comm.exscan(&my_len, Op::Sum)?.map_or(0, |v| v[0]);
+        Ok(offset)
+    })
+    .expect("runs");
+    assert_eq!(out.values, vec![0, 1, 5, 12, 22]);
+}
+
+#[test]
+fn reduce_scatter_block_distributes_the_reduction() {
+    let p = 4;
+    let out = World::run_simple(p, |comm| {
+        // Contribution: [rank, rank, rank, rank] per destination block of 2.
+        let data: Vec<u64> = (0..comm.size() * 2)
+            .map(|i| (comm.rank() * 100 + i) as u64)
+            .collect();
+        comm.reduce_scatter_block(&data, Op::Sum)
+    })
+    .expect("runs");
+    // Sum over ranks r of (100r + i) = 100*6 + 4i for element i.
+    for (rank, v) in out.values.iter().enumerate() {
+        assert_eq!(v.len(), 2);
+        let i0 = (rank * 2) as u64;
+        assert_eq!(v[0], 600 + 4 * i0);
+        assert_eq!(v[1], 600 + 4 * (i0 + 1));
+    }
+}
+
+#[test]
+fn reduce_scatter_block_rejects_uneven_input() {
+    let err = World::run_simple(3, |comm| {
+        comm.reduce_scatter_block(&[1u64; 4], Op::Sum)
+    })
+    .expect_err("4 does not divide over 3");
+    assert!(matches!(err, pdc_mpi::Error::InvalidArgument(_)));
+}
+
+#[test]
+fn split_partitions_by_color_with_key_order() {
+    let out = World::run_simple(6, |comm| {
+        // Even/odd split, with descending-key ordering inside each half.
+        let color = (comm.rank() % 2) as u32;
+        let key = -(comm.rank() as i64);
+        let sc = comm.split(color, key)?;
+        Ok((sc.rank(), sc.size(), sc.members().to_vec()))
+    })
+    .expect("split runs");
+    // Evens {0,2,4} sorted by descending rank: [4, 2, 0].
+    assert_eq!(out.values[4], (0, 3, vec![4, 2, 0]));
+    assert_eq!(out.values[2], (1, 3, vec![4, 2, 0]));
+    assert_eq!(out.values[0], (2, 3, vec![4, 2, 0]));
+    // Odds {1,3,5}: [5, 3, 1].
+    assert_eq!(out.values[5], (0, 3, vec![5, 3, 1]));
+    assert_eq!(out.values[1], (2, 3, vec![5, 3, 1]));
+}
+
+#[test]
+fn sub_collectives_stay_inside_their_partition() {
+    let out = World::run_simple(8, |comm| {
+        let color = (comm.rank() / 4) as u32; // two quads
+        let mut sc = comm.split(color, comm.rank() as i64)?;
+        comm.sub_barrier(&mut sc)?;
+        // Each quad reduces its own world ranks.
+        let total = comm.sub_allreduce(&mut sc, &[comm.rank() as u64], Op::Sum)?;
+        // Broadcast the sub-leader's id within the quad.
+        let my_id = [comm.rank() as u64];
+        let payload = if sc.rank() == 0 { Some(&my_id[..]) } else { None };
+        let leader = comm.sub_bcast(&mut sc, payload, 0)?;
+        Ok((total[0], leader[0]))
+    })
+    .expect("sub collectives run");
+    for rank in 0..8 {
+        let (total, leader) = out.values[rank];
+        if rank < 4 {
+            assert_eq!(total, 6, "sum of ranks 0..=3, rank {rank}");
+            assert_eq!(leader, 0);
+        } else {
+            assert_eq!(total, 22, "sum of ranks 4..=7, rank {rank}");
+            assert_eq!(leader, 4);
+        }
+    }
+}
+
+#[test]
+fn sub_reduce_and_gather_deliver_to_the_sub_root() {
+    let out = World::run_simple(6, |comm| {
+        let color = (comm.rank() % 3) as u32; // three pairs
+        let mut sc = comm.split(color, comm.rank() as i64)?;
+        let reduced = comm.sub_reduce(&mut sc, &[1u64], Op::Sum, 1)?;
+        let gathered = comm.sub_gather(&mut sc, &[comm.rank() as u32], 0)?;
+        Ok((reduced, gathered))
+    })
+    .expect("runs");
+    for rank in 0..6 {
+        let (reduced, gathered) = &out.values[rank];
+        // Sub-rank 1 of each pair is the world rank >= 3.
+        if rank >= 3 {
+            assert_eq!(reduced.as_ref().expect("sub root")[0], 2);
+            assert!(gathered.is_none());
+        } else {
+            assert!(reduced.is_none());
+            let g = gathered.as_ref().expect("sub rank 0");
+            assert_eq!(g, &vec![rank as u32, (rank + 3) as u32]);
+        }
+    }
+}
+
+#[test]
+fn concurrent_subcomm_collectives_do_not_cross_match() {
+    // Both halves run a pipeline of different collectives with identical
+    // sequence numbers; context isolation must keep them apart.
+    let out = World::run_simple(8, |comm| {
+        let color = (comm.rank() / 4) as u32;
+        let mut sc = comm.split(color, comm.rank() as i64)?;
+        let mut acc = 0u64;
+        for round in 0..10u64 {
+            let v = comm.sub_allreduce(&mut sc, &[round + comm.rank() as u64], Op::Max)?;
+            acc += v[0];
+        }
+        Ok(acc)
+    })
+    .expect("runs");
+    // Max contribution per round: (round + 3) in the low half, (round + 7)
+    // in the high half; summed over rounds 0..10.
+    let low: u64 = (0..10).map(|r| r + 3).sum();
+    let high: u64 = (0..10).map(|r| r + 7).sum();
+    for rank in 0..8 {
+        assert_eq!(out.values[rank], if rank < 4 { low } else { high });
+    }
+}
+
+#[test]
+fn singleton_subcomm_works() {
+    let out = World::run_simple(3, |comm| {
+        // Every rank its own color: three singleton communicators.
+        let mut sc = comm.split(comm.rank() as u32, 0)?;
+        assert_eq!(sc.size(), 1);
+        comm.sub_barrier(&mut sc)?;
+        let v = comm.sub_allreduce(&mut sc, &[comm.rank() as u64], Op::Sum)?;
+        Ok(v[0])
+    })
+    .expect("runs");
+    assert_eq!(out.values, vec![0, 1, 2]);
+}
+
+#[test]
+fn split_and_world_collectives_interleave_safely() {
+    let out = World::run_simple(4, |comm| {
+        let mut sc = comm.split((comm.rank() % 2) as u32, 0)?;
+        let sub = comm.sub_allreduce(&mut sc, &[1u64], Op::Sum)?;
+        let world = comm.allreduce(&[1u64], Op::Sum)?;
+        let sub2 = comm.sub_allreduce(&mut sc, &[10u64], Op::Sum)?;
+        Ok((sub[0], world[0], sub2[0]))
+    })
+    .expect("runs");
+    for v in &out.values {
+        assert_eq!(*v, (2, 4, 20));
+    }
+}
+
+#[test]
+fn iprobe_reports_pending_without_consuming() {
+    let out = World::run_simple(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[5i32, 6], 1, 9)?;
+            Ok(0)
+        } else {
+            // Poll until the message shows up.
+            let st = loop {
+                if let Some(st) = comm.iprobe(0, 9)? {
+                    break st;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            };
+            assert_eq!(st.count::<i32>().expect("same type"), 2);
+            // Still receivable afterwards.
+            let (v, _) = comm.recv::<i32>(0, 9)?;
+            Ok(v[0] + v[1])
+        }
+    })
+    .expect("iprobe runs");
+    assert_eq!(out.values[1], 11);
+}
+
+#[test]
+fn iprobe_returns_none_when_nothing_matches() {
+    let out = World::run_simple(2, |comm| {
+        if comm.rank() == 1 {
+            // Nothing was ever sent with tag 42.
+            Ok(comm.iprobe(0, 42)?.is_none())
+        } else {
+            Ok(true)
+        }
+    })
+    .expect("runs");
+    assert!(out.values[1]);
+}
+
+#[test]
+fn wildcard_matching_prefers_earliest_simulated_send() {
+    use pdc_mpi::{ANY_SOURCE, ANY_TAG};
+    // Rank 1 sends "late" in simulated time (after 1 simulated second);
+    // rank 2 sends at sim ~0 but is delayed in *real* time. The wildcard
+    // receive must pick rank 2's message once both are pending.
+    let out = World::run_simple(3, |comm| match comm.rank() {
+        0 => {
+            // Let both messages land in the mailbox first.
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let (v, st) = comm.recv::<u64>(ANY_SOURCE, ANY_TAG)?;
+            Ok((v[0], st.source))
+        }
+        1 => {
+            comm.charge_flops(16.0e9); // 1 simulated second
+            comm.send(&[1u64], 0, 0)?;
+            Ok((0, 0))
+        }
+        _ => {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            comm.send(&[2u64], 0, 0)?;
+            Ok((0, 0))
+        }
+    })
+    .expect("runs");
+    assert_eq!(out.values[0], (2, 2), "sim-earliest message wins the wildcard");
+}
+
+#[test]
+fn sub_collectives_validate_roots() {
+    let err = World::run_simple(4, |comm| {
+        let mut sc = comm.split(0, comm.rank() as i64)?;
+        comm.sub_bcast::<u8>(&mut sc, None, 99)
+    })
+    .expect_err("root 99 is out of range");
+    assert!(matches!(err, pdc_mpi::Error::InvalidArgument(_)));
+}
+
+#[test]
+fn collectives_detect_type_mismatch() {
+    // Rank 0 broadcasts f64 while others expect i32: the internal type tag
+    // must catch it rather than reinterpret bytes.
+    let err = World::run_simple(2, |comm| {
+        if comm.rank() == 0 {
+            let _ = comm.bcast::<f64>(Some(&[1.0]), 0)?;
+            Ok(0)
+        } else {
+            let v = comm.bcast::<i32>(None, 0)?;
+            Ok(v[0])
+        }
+    })
+    .expect_err("mismatched bcast types");
+    assert!(matches!(err, pdc_mpi::Error::TypeMismatch { .. }));
+}
+
+#[test]
+fn scan_of_singleton_world_is_identity() {
+    let out = World::run_simple(1, |comm| comm.scan(&[41u64, 1], Op::Sum)).expect("runs");
+    assert_eq!(out.values[0], vec![41, 1]);
+}
+
+#[test]
+fn cartesian_shift_pairs_with_sendrecv() {
+    // A 2x3 torus: shifting along each dimension with sendrecv moves every
+    // rank's payload to the right neighbour.
+    use pdc_mpi::ANY_TAG;
+    let _ = ANY_TAG; // the shift uses exact tags
+    let out = World::run_simple(6, |comm| {
+        let cart = comm.cart(&[2, 3], &[true, true])?;
+        let (src, dst) = cart.shift(comm.rank(), 1, 1);
+        let (dst, src) = (dst.expect("torus"), src.expect("torus"));
+        let (got, _) =
+            comm.sendrecv::<u64, u64>(&[comm.rank() as u64], dst, 5, src, 5)?;
+        Ok((src, got[0]))
+    })
+    .expect("torus shift");
+    for (rank, &(src, got)) in out.values.iter().enumerate() {
+        assert_eq!(got as usize, src, "rank {rank} received its left neighbour's id");
+    }
+}
+
+#[test]
+fn allgatherv_circulates_ragged_blocks() {
+    let out = World::run_simple(5, |comm| {
+        let mine = vec![comm.rank() as u32; comm.rank() + 1];
+        comm.allgatherv(&mine)
+    })
+    .expect("allgatherv runs");
+    for v in &out.values {
+        assert_eq!(v.len(), 5);
+        for (rank, block) in v.iter().enumerate() {
+            assert_eq!(block, &vec![rank as u32; rank + 1]);
+        }
+    }
+}
+
+#[test]
+fn allgatherv_handles_empty_contributions() {
+    let out = World::run_simple(4, |comm| {
+        let mine: Vec<f64> = if comm.rank() % 2 == 0 {
+            Vec::new()
+        } else {
+            vec![comm.rank() as f64]
+        };
+        comm.allgatherv(&mine)
+    })
+    .expect("runs");
+    for v in &out.values {
+        assert!(v[0].is_empty() && v[2].is_empty());
+        assert_eq!(v[1], vec![1.0]);
+        assert_eq!(v[3], vec![3.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Collective operations checked against sequential references at several
+//! world sizes, including non-powers-of-two and size 1.
+
+use pdc_mpi::{Loc, Op, World};
+
+const SIZES: [usize; 5] = [1, 2, 3, 5, 8];
+
+#[test]
+fn barrier_completes_at_every_size() {
+    for &p in &SIZES {
+        World::run_simple(p, |comm| {
+            for _ in 0..3 {
+                comm.barrier()?;
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("barrier failed at p={p}: {e}"));
+    }
+}
+
+#[test]
+fn bcast_delivers_to_every_rank_from_every_root() {
+    for &p in &SIZES {
+        for root in 0..p {
+            let out = World::run_simple(p, move |comm| {
+                let data = if comm.rank() == root {
+                    Some(vec![root as f64, 2.0, 3.0])
+                } else {
+                    None
+                };
+                comm.bcast(data.as_deref(), root)
+            })
+            .unwrap_or_else(|e| panic!("bcast failed at p={p} root={root}: {e}"));
+            for v in &out.values {
+                assert_eq!(v, &vec![root as f64, 2.0, 3.0]);
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_splits_evenly() {
+    for &p in &SIZES {
+        let out = World::run_simple(p, move |comm| {
+            let data: Option<Vec<u64>> = if comm.rank() == 0 {
+                Some((0..(3 * comm.size() as u64)).collect())
+            } else {
+                None
+            };
+            comm.scatter(data.as_deref(), 0)
+        })
+        .unwrap_or_else(|e| panic!("scatter failed at p={p}: {e}"));
+        for (rank, chunk) in out.values.iter().enumerate() {
+            let lo = 3 * rank as u64;
+            assert_eq!(chunk, &vec![lo, lo + 1, lo + 2]);
+        }
+    }
+}
+
+#[test]
+fn scatterv_respects_uneven_counts() {
+    let out = World::run_simple(4, |comm| {
+        let counts = [1usize, 0, 4, 2];
+        let data: Option<Vec<i32>> = if comm.rank() == 0 {
+            Some((0..7).collect())
+        } else {
+            None
+        };
+        let c = if comm.rank() == 0 {
+            Some(&counts[..])
+        } else {
+            None
+        };
+        comm.scatterv(data.as_deref(), c, 0)
+    })
+    .expect("scatterv");
+    assert_eq!(out.values[0], vec![0]);
+    assert_eq!(out.values[1], Vec::<i32>::new());
+    assert_eq!(out.values[2], vec![1, 2, 3, 4]);
+    assert_eq!(out.values[3], vec![5, 6]);
+}
+
+#[test]
+fn gather_concatenates_in_rank_order() {
+    for &p in &SIZES {
+        let out = World::run_simple(p, |comm| {
+            let mine = vec![comm.rank() as u32 * 10, comm.rank() as u32 * 10 + 1];
+            comm.gather(&mine, 0)
+        })
+        .unwrap_or_else(|e| panic!("gather failed at p={p}: {e}"));
+        let gathered = out.values[0].as_ref().expect("root holds the result");
+        let expected: Vec<u32> = (0..p as u32).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+        assert_eq!(gathered, &expected);
+        for v in &out.values[1..] {
+            assert!(v.is_none(), "non-roots get None");
+        }
+    }
+}
+
+#[test]
+fn gatherv_preserves_ragged_lengths() {
+    let out = World::run_simple(4, |comm| {
+        let mine = vec![comm.rank() as u8; comm.rank()];
+        comm.gatherv(&mine, 2)
+    })
+    .expect("gatherv");
+    let parts = out.values[2].as_ref().expect("root 2 holds the result");
+    assert_eq!(parts.len(), 4);
+    for (rank, part) in parts.iter().enumerate() {
+        assert_eq!(part, &vec![rank as u8; rank]);
+    }
+}
+
+#[test]
+fn allgather_gives_everyone_everything() {
+    for &p in &SIZES {
+        let out = World::run_simple(p, |comm| {
+            comm.allgather(&[comm.rank() as i64, -(comm.rank() as i64)])
+        })
+        .unwrap_or_else(|e| panic!("allgather failed at p={p}: {e}"));
+        let expected: Vec<i64> = (0..p as i64).flat_map(|r| [r, -r]).collect();
+        for v in &out.values {
+            assert_eq!(v, &expected);
+        }
+    }
+}
+
+#[test]
+fn reduce_sums_elementwise_for_every_root() {
+    for &p in &SIZES {
+        for root in 0..p {
+            let out = World::run_simple(p, move |comm| {
+                let mine = vec![comm.rank() as u64, 1, 2 * comm.rank() as u64];
+                comm.reduce(&mine, Op::Sum, root)
+            })
+            .unwrap_or_else(|e| panic!("reduce failed at p={p} root={root}: {e}"));
+            let total = out.values[root].as_ref().expect("root holds result");
+            let rank_sum: u64 = (0..p as u64).sum();
+            assert_eq!(total, &vec![rank_sum, p as u64, 2 * rank_sum]);
+        }
+    }
+}
+
+#[test]
+fn reduce_min_max_prod() {
+    let out = World::run_simple(5, |comm| {
+        let r = comm.rank() as i64 + 1;
+        let min = comm.reduce(&[r], Op::Min, 0)?;
+        let max = comm.reduce(&[r], Op::Max, 0)?;
+        let prod = comm.reduce(&[r], Op::Prod, 0)?;
+        Ok((min, max, prod))
+    })
+    .expect("reduce ops");
+    let (min, max, prod) = &out.values[0];
+    assert_eq!(min.as_ref().expect("root")[0], 1);
+    assert_eq!(max.as_ref().expect("root")[0], 5);
+    assert_eq!(prod.as_ref().expect("root")[0], 120);
+}
+
+#[test]
+fn allreduce_agrees_on_every_rank() {
+    for &p in &SIZES {
+        let out = World::run_simple(p, |comm| {
+            comm.allreduce(&[comm.rank() as f64 + 0.5], Op::Sum)
+        })
+        .unwrap_or_else(|e| panic!("allreduce failed at p={p}: {e}"));
+        let expected = (0..p).map(|r| r as f64 + 0.5).sum::<f64>();
+        for v in &out.values {
+            assert!((v[0] - expected).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn allreduce_maxloc_finds_the_owner() {
+    let out = World::run_simple(6, |comm| {
+        // Rank 4 holds the largest value.
+        let value = if comm.rank() == 4 { 100.0 } else { comm.rank() as f64 };
+        let loc = Loc::new(value, comm.rank() as u64);
+        comm.allreduce(&[loc], Op::Max)
+    })
+    .expect("maxloc");
+    for v in &out.values {
+        assert_eq!(v[0].index, 4);
+        assert_eq!(v[0].value, 100.0);
+    }
+}
+
+#[test]
+fn reduce_with_custom_operator() {
+    // Custom op: keep the lexicographically-larger (value, tiebreak) pair.
+    let out = World::run_simple(4, |comm| {
+        let mine = [comm.rank() as u64 % 2, comm.rank() as u64];
+        comm.allreduce_with(&mine, |a, b| if a > b { *a } else { *b })
+    })
+    .expect("custom op");
+    for v in &out.values {
+        assert_eq!(v, &vec![1, 3]);
+    }
+}
+
+#[test]
+fn alltoall_transposes_blocks() {
+    for &p in &SIZES {
+        let out = World::run_simple(p, |comm| {
+            // Block for rank d is [rank*1000 + d].
+            let data: Vec<u64> = (0..comm.size())
+                .map(|d| comm.rank() as u64 * 1000 + d as u64)
+                .collect();
+            comm.alltoall(&data)
+        })
+        .unwrap_or_else(|e| panic!("alltoall failed at p={p}: {e}"));
+        for (rank, v) in out.values.iter().enumerate() {
+            let expected: Vec<u64> = (0..p).map(|s| s as u64 * 1000 + rank as u64).collect();
+            assert_eq!(v, &expected);
+        }
+    }
+}
+
+#[test]
+fn alltoallv_moves_ragged_blocks() {
+    let out = World::run_simple(3, |comm| {
+        // Rank r sends r copies of its id to each destination d, plus d extra.
+        let data: Vec<Vec<u32>> = (0..comm.size())
+            .map(|d| vec![comm.rank() as u32; comm.rank() + d])
+            .collect();
+        comm.alltoallv(data)
+    })
+    .expect("alltoallv");
+    for (rank, v) in out.values.iter().enumerate() {
+        for (src, block) in v.iter().enumerate() {
+            assert_eq!(block, &vec![src as u32; src + rank]);
+        }
+    }
+}
+
+#[test]
+fn consecutive_collectives_do_not_cross_match() {
+    // Two bcasts and a reduce back-to-back with different payloads; any
+    // tag-space collision would mix them up.
+    let out = World::run_simple(7, |comm| {
+        let a = comm.bcast(if comm.rank() == 0 { Some(&[1u64][..]) } else { None }, 0)?;
+        let b = comm.bcast(if comm.rank() == 3 { Some(&[2u64][..]) } else { None }, 3)?;
+        let c = comm.allreduce(&[comm.rank() as u64], Op::Sum)?;
+        Ok((a[0], b[0], c[0]))
+    })
+    .expect("pipeline of collectives");
+    for v in &out.values {
+        assert_eq!(*v, (1, 2, 21));
+    }
+}
+
+#[test]
+fn world_of_one_supports_all_collectives() {
+    let out = World::run_simple(1, |comm| {
+        comm.barrier()?;
+        let b = comm.bcast(Some(&[9i32][..]), 0)?;
+        let s = comm.scatter(Some(&[4i32][..]), 0)?;
+        let g = comm.gather(&s, 0)?.expect("root");
+        let _ = comm.reduce(&b, Op::Sum, 0)?.expect("root");
+        let ar = comm.allreduce(&g, Op::Max)?;
+        let ag = comm.allgather(&ar)?;
+        let a2a = comm.alltoall(&ag)?;
+        Ok(a2a[0])
+    })
+    .expect("singleton world");
+    assert_eq!(out.values[0], 4);
+}
+
+#[test]
+fn collective_argument_errors_are_reported() {
+    let err = World::run_simple(3, |comm| {
+        // 4 elements cannot scatter over 3 ranks.
+        let data: Option<Vec<u8>> = if comm.rank() == 0 {
+            Some(vec![0; 4])
+        } else {
+            None
+        };
+        comm.scatter(data.as_deref(), 0)
+    })
+    .expect_err("uneven scatter");
+    assert!(matches!(err, pdc_mpi::Error::InvalidArgument(_)));
+}

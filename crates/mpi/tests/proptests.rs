@@ -1,0 +1,128 @@
+//! Property-based tests: collectives must agree with sequential references
+//! for arbitrary inputs, world sizes, and roots.
+
+use pdc_mpi::{Op, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_sum_matches_sequential(
+        p in 1usize..8,
+        values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..20),
+    ) {
+        let len = values.len();
+        let values = std::sync::Arc::new(values);
+        let v2 = values.clone();
+        let out = World::run_simple(p, move |comm| {
+            // Every rank contributes values scaled by its rank+1.
+            let mine: Vec<f64> = v2.iter().map(|x| x * (comm.rank() + 1) as f64).collect();
+            comm.allreduce(&mine, Op::Sum)
+        }).expect("world");
+        let scale: f64 = (1..=p).map(|r| r as f64).sum();
+        for v in &out.values {
+            prop_assert_eq!(v.len(), len);
+            for (got, base) in v.iter().zip(values.iter()) {
+                let expect = base * scale;
+                prop_assert!((got - expect).abs() <= 1e-6 * expect.abs().max(1.0),
+                    "got {} expect {}", got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_min_max_match_sequential(
+        p in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let out = World::run_simple(p, move |comm| {
+            // Deterministic pseudo-random per-rank value.
+            let x = ((seed + comm.rank() as u64 * 2654435761) % 10007) as i64 - 5000;
+            let min = comm.allreduce(&[x], Op::Min)?;
+            let max = comm.allreduce(&[x], Op::Max)?;
+            Ok((x, min[0], max[0]))
+        }).expect("world");
+        let xs: Vec<i64> = out.values.iter().map(|&(x, _, _)| x).collect();
+        let true_min = *xs.iter().min().expect("non-empty");
+        let true_max = *xs.iter().max().expect("non-empty");
+        for &(_, min, max) in &out.values {
+            prop_assert_eq!(min, true_min);
+            prop_assert_eq!(max, true_max);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_is_identity(
+        p in 1usize..8,
+        chunk in 1usize..16,
+        root in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let root = root % p;
+        let out = World::run_simple(p, move |comm| {
+            let mine: Vec<u64> = (0..chunk)
+                .map(|i| seed + (comm.rank() * chunk + i) as u64)
+                .collect();
+            let gathered = comm.gather(&mine, root)?;
+            let back = comm.scatter(gathered.as_deref(), root)?;
+            Ok((mine, back))
+        }).expect("world");
+        for (mine, back) in &out.values {
+            prop_assert_eq!(mine, back, "scatter(gather(x)) == x");
+        }
+    }
+
+    #[test]
+    fn alltoall_applied_twice_is_identity(
+        p in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let out = World::run_simple(p, move |comm| {
+            let data: Vec<u64> = (0..comm.size())
+                .map(|d| seed + (comm.rank() * 31 + d) as u64)
+                .collect();
+            let once = comm.alltoall(&data)?;
+            let twice = comm.alltoall(&once)?;
+            Ok((data, twice))
+        }).expect("world");
+        for (data, twice) in &out.values {
+            prop_assert_eq!(data, twice, "alltoall is an involution on blocks of 1");
+        }
+    }
+
+    #[test]
+    fn allgather_matches_gather_plus_bcast(
+        p in 1usize..8,
+        chunk in 1usize..8,
+    ) {
+        let out = World::run_simple(p, move |comm| {
+            let mine: Vec<i32> = (0..chunk).map(|i| (comm.rank() * 100 + i) as i32).collect();
+            let ag = comm.allgather(&mine)?;
+            let g = comm.gather(&mine, 0)?;
+            let gb = comm.bcast(g.as_deref(), 0)?;
+            Ok((ag, gb))
+        }).expect("world");
+        for (ag, gb) in &out.values {
+            prop_assert_eq!(ag, gb);
+        }
+    }
+
+    #[test]
+    fn bcast_from_random_root_reaches_everyone(
+        p in 1usize..10,
+        root in 0usize..10,
+        payload in proptest::collection::vec(any::<i64>(), 0..32),
+    ) {
+        let root = root % p;
+        let payload = std::sync::Arc::new(payload);
+        let p2 = payload.clone();
+        let out = World::run_simple(p, move |comm| {
+            let data = if comm.rank() == root { Some(p2.to_vec()) } else { None };
+            comm.bcast(data.as_deref(), root)
+        }).expect("world");
+        for v in &out.values {
+            prop_assert_eq!(v, payload.as_ref());
+        }
+    }
+}

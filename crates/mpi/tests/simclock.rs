@@ -1,0 +1,194 @@
+//! Behaviour of the simulated performance clock: deterministic, placement-
+//! aware, and reproducing the scaling shapes the modules teach.
+
+use pdc_mpi::{Op, World, WorldConfig};
+use pdc_cluster::metrics::ScalingCurve;
+
+/// Simulated time of a perfectly parallel compute-bound kernel at `p` ranks.
+fn compute_bound_time(p: usize, total_flops: f64) -> f64 {
+    let out = World::run_simple(p, move |comm| {
+        comm.charge_flops(total_flops / comm.size() as f64);
+        Ok(())
+    })
+    .expect("compute world");
+    out.sim_time
+}
+
+/// Simulated time of a memory-bound kernel at `p` ranks on one node.
+fn memory_bound_time(p: usize, total_bytes: f64) -> f64 {
+    let out = World::run_simple(p, move |comm| {
+        comm.charge_mem(total_bytes / comm.size() as f64);
+        Ok(())
+    })
+    .expect("memory world");
+    out.sim_time
+}
+
+#[test]
+fn sim_time_is_deterministic() {
+    let t1 = compute_bound_time(5, 1.0e10);
+    let t2 = compute_bound_time(5, 1.0e10);
+    assert_eq!(t1, t2, "same program, same simulated time");
+}
+
+#[test]
+fn compute_bound_kernels_scale_linearly() {
+    let samples: Vec<(usize, f64)> = [1, 2, 4, 8, 16]
+        .iter()
+        .map(|&p| (p, compute_bound_time(p, 1.6e10)))
+        .collect();
+    let curve = ScalingCurve::from_times("compute", &samples);
+    // Perfect scaling: speedup at p=16 is 16.
+    let last = curve.points.last().expect("non-empty");
+    assert!((last.speedup - 16.0).abs() < 1e-6, "speedup {}", last.speedup);
+    assert!(!curve.saturates(0.2));
+}
+
+#[test]
+fn memory_bound_kernels_saturate_on_one_node() {
+    let samples: Vec<(usize, f64)> = [1, 2, 4, 8, 16, 20]
+        .iter()
+        .map(|&p| (p, memory_bound_time(p, 1.2e10)))
+        .collect();
+    let curve = ScalingCurve::from_times("memory", &samples);
+    let last = curve.points.last().expect("non-empty");
+    // The 100 GB/s bus over a 12 GB/s core cap saturates near 8.3x.
+    assert!(last.speedup < 9.0, "memory speedup {} too high", last.speedup);
+    assert!(last.speedup > 7.0, "memory speedup {} too low", last.speedup);
+    assert!(curve.saturates(0.2), "memory-bound curve must flatten");
+}
+
+#[test]
+fn two_nodes_beat_one_for_memory_bound_work() {
+    // Module 4 activity 3: p ranks on 2 nodes outperform p ranks on 1 node
+    // because they aggregate twice the memory bandwidth.
+    let p = 16;
+    let total_bytes = 1.2e10;
+    let one_node = World::run(WorldConfig::new(p), move |comm| {
+        comm.charge_mem(total_bytes / comm.size() as f64);
+        Ok(())
+    })
+    .expect("1-node world")
+    .sim_time;
+    let two_nodes = World::run(WorldConfig::new(p).on_nodes(2), move |comm| {
+        comm.charge_mem(total_bytes / comm.size() as f64);
+        Ok(())
+    })
+    .expect("2-node world")
+    .sim_time;
+    assert!(
+        two_nodes < one_node * 0.75,
+        "2 nodes ({two_nodes:.4}s) should clearly beat 1 node ({one_node:.4}s)"
+    );
+}
+
+#[test]
+fn two_nodes_do_not_help_compute_bound_work() {
+    let p = 16;
+    let total = 1.6e10;
+    let one = World::run(WorldConfig::new(p), move |comm| {
+        comm.charge_flops(total / comm.size() as f64);
+        Ok(())
+    })
+    .expect("world")
+    .sim_time;
+    let two = World::run(WorldConfig::new(p).on_nodes(2), move |comm| {
+        comm.charge_flops(total / comm.size() as f64);
+        Ok(())
+    })
+    .expect("world")
+    .sim_time;
+    assert!((one - two).abs() / one < 1e-9, "compute time is placement-independent");
+}
+
+#[test]
+fn message_cost_grows_with_size() {
+    let time_for = |bytes: usize| {
+        World::run_simple(2, move |comm| {
+            if comm.rank() == 0 {
+                comm.send(&vec![0u8; bytes], 1, 0)?;
+            } else {
+                let _ = comm.recv::<u8>(0, 0)?;
+            }
+            Ok(())
+        })
+        .expect("transfer world")
+        .sim_time
+    };
+    let small = time_for(1 << 10);
+    let large = time_for(1 << 24);
+    assert!(large > small * 10.0, "16 MiB ({large:e}) vs 1 KiB ({small:e})");
+}
+
+#[test]
+fn inter_node_messages_are_slower_than_intra_node() {
+    let bytes = 1 << 22;
+    let run = |nodes: usize| {
+        World::run(WorldConfig::new(2).on_nodes(nodes), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(&vec![0u8; bytes], 1, 0)?;
+            } else {
+                let _ = comm.recv::<u8>(0, 0)?;
+            }
+            Ok(())
+        })
+        .expect("transfer world")
+        .sim_time
+    };
+    let intra = run(1);
+    let inter = run(2);
+    assert!(inter > intra * 1.5, "inter {inter:e} vs intra {intra:e}");
+}
+
+#[test]
+fn receives_wait_for_the_sender_clock() {
+    // The receiver is idle; the sender computes for 1 simulated second
+    // before sending. The receiver's clock must advance past 1s.
+    let out = World::run_simple(2, |comm| {
+        if comm.rank() == 0 {
+            comm.charge_flops(16.0e9);
+            comm.send(&[1u8], 1, 0)?;
+        } else {
+            let _ = comm.recv::<u8>(0, 0)?;
+            assert!(comm.sim_time() >= 1.0, "receiver clock {}", comm.sim_time());
+        }
+        Ok(())
+    })
+    .expect("clock propagation");
+    assert!(out.sim_time >= 1.0);
+}
+
+#[test]
+fn comm_time_and_compute_time_are_split_in_stats() {
+    let out = World::run_simple(2, |comm| {
+        comm.charge_flops(1.6e9); // 0.1 s of compute
+        if comm.rank() == 0 {
+            comm.send(&vec![0u8; 1 << 20], 1, 0)?;
+        } else {
+            let _ = comm.recv::<u8>(0, 0)?;
+        }
+        Ok(())
+    })
+    .expect("split stats");
+    for st in &out.stats {
+        assert!(st.sim_compute_time > 0.09);
+        assert!(st.sim_comm_time > 0.0);
+    }
+    // comm_fraction must be meaningfully below 1 given the compute charge.
+    assert!(out.stats[0].comm_fraction() < 0.5);
+}
+
+#[test]
+fn allreduce_cost_grows_with_world_size() {
+    let time_for = |p: usize| {
+        World::run_simple(p, |comm| {
+            let _ = comm.allreduce(&[1.0f64; 64], Op::Sum)?;
+            Ok(())
+        })
+        .expect("allreduce world")
+        .sim_time
+    };
+    let t2 = time_for(2);
+    let t16 = time_for(16);
+    assert!(t16 > t2, "more ranks, more rounds: {t16:e} vs {t2:e}");
+}

@@ -1,0 +1,146 @@
+//! Stress/fuzz tests: randomized-but-valid communication schedules must
+//! always complete with the right data.
+
+use pdc_mpi::{Op, World, WorldConfig};
+use proptest::prelude::*;
+
+/// A random program of collectives, executed identically by all ranks.
+#[derive(Debug, Clone, Copy)]
+enum CollOp {
+    Barrier,
+    Bcast(usize),
+    Allreduce,
+    Allgather,
+    Scan,
+    Alltoall,
+}
+
+fn coll_strategy(max_p: usize) -> impl Strategy<Value = CollOp> {
+    prop_oneof![
+        Just(CollOp::Barrier),
+        (0..max_p).prop_map(CollOp::Bcast),
+        Just(CollOp::Allreduce),
+        Just(CollOp::Allgather),
+        Just(CollOp::Scan),
+        Just(CollOp::Alltoall),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn random_collective_programs_complete_consistently(
+        p in 1usize..7,
+        program in proptest::collection::vec(coll_strategy(7), 1..12),
+    ) {
+        let program = std::sync::Arc::new(program);
+        let prog = program.clone();
+        let out = World::run_simple(p, move |comm| {
+            let mut acc = comm.rank() as u64;
+            for op in prog.iter() {
+                match *op {
+                    CollOp::Barrier => comm.barrier()?,
+                    CollOp::Bcast(root) => {
+                        let root = root % comm.size();
+                        let data = if comm.rank() == root { Some(vec![acc]) } else { None };
+                        acc = comm.bcast(data.as_deref(), root)?[0];
+                    }
+                    CollOp::Allreduce => {
+                        acc = comm.allreduce(&[acc], Op::Sum)?[0];
+                    }
+                    CollOp::Allgather => {
+                        let all = comm.allgather(&[acc])?;
+                        acc = all.iter().copied().fold(0u64, u64::wrapping_add);
+                    }
+                    CollOp::Scan => {
+                        // Ranks diverge here (prefix sums differ)...
+                        let pre = comm.scan(&[acc], Op::Sum)?[0];
+                        // ...so re-converge via a max.
+                        acc = comm.allreduce(&[pre], Op::Max)?[0];
+                    }
+                    CollOp::Alltoall => {
+                        let data = vec![acc; comm.size()];
+                        let got = comm.alltoall(&data)?;
+                        acc = got.iter().copied().fold(0u64, u64::wrapping_add);
+                    }
+                }
+            }
+            Ok(acc)
+        }).expect("random collective program completes");
+        // Every op ends in a symmetric state, so all ranks agree.
+        let first = out.values[0];
+        prop_assert!(out.values.iter().all(|&v| v == first),
+            "ranks diverged: {:?}", out.values);
+    }
+
+    #[test]
+    fn random_pairwise_exchanges_deliver_everything(
+        p in 2usize..8,
+        rounds in proptest::collection::vec(
+            (0u64..1000, 1usize..200), 1..10
+        ),
+    ) {
+        // Each round: every rank sends `len` copies of `seed + round` to a
+        // shifted partner and receives the same shape back.
+        let rounds = std::sync::Arc::new(rounds);
+        let r2 = rounds.clone();
+        let out = World::run_simple(p, move |comm| {
+            let mut received = 0u64;
+            for (i, &(seed, len)) in r2.iter().enumerate() {
+                let shift = 1 + (i % (comm.size() - 1).max(1));
+                let dst = (comm.rank() + shift) % comm.size();
+                let src = (comm.rank() + comm.size() - shift) % comm.size();
+                let payload = vec![seed + i as u64; len];
+                let (got, _) = comm.sendrecv::<u64, u64>(
+                    &payload, dst, i as u32, src, i as u32,
+                )?;
+                prop_assert_eq_inner(&got, &payload)?;
+                received += got.len() as u64;
+            }
+            Ok(received)
+        }).expect("exchanges complete");
+        let expect: u64 = rounds.iter().map(|&(_, len)| len as u64).sum();
+        prop_assert!(out.values.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn mixed_protocol_traffic_survives(
+        p in 2usize..6,
+        threshold in 0usize..2048,
+        msgs in proptest::collection::vec(1usize..512, 1..16),
+    ) {
+        // Messages straddle the eager/rendezvous threshold; sendrecv is
+        // used so no schedule can deadlock regardless of protocol.
+        let msgs = std::sync::Arc::new(msgs);
+        let m2 = msgs.clone();
+        let cfg = WorldConfig::new(p).with_eager_threshold(threshold);
+        let out = World::run(cfg, move |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut bytes = 0usize;
+            for (i, &len) in m2.iter().enumerate() {
+                let payload = vec![i as u8; len];
+                let (got, _) = comm.sendrecv::<u8, u8>(
+                    &payload, right, i as u32, left, i as u32,
+                )?;
+                bytes += got.len();
+            }
+            Ok(bytes)
+        }).expect("mixed traffic completes");
+        let expect: usize = msgs.iter().sum();
+        prop_assert!(out.values.iter().all(|&v| v == expect));
+    }
+}
+
+/// proptest's `prop_assert_eq!` cannot be used inside the rank closure
+/// (different error type); this helper converts to the runtime's error.
+fn prop_assert_eq_inner(a: &[u64], b: &[u64]) -> pdc_mpi::Result<()> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(pdc_mpi::Error::InvalidArgument(format!(
+            "payload mismatch: {a:?} vs {b:?}"
+        )))
+    }
+}

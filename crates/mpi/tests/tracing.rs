@@ -1,0 +1,112 @@
+//! Integration tests for execution tracing: spans must reconstruct the
+//! phase structure of the program.
+
+use pdc_mpi::trace::{summarize, SpanKind};
+use pdc_mpi::{render_timeline, Op, World, WorldConfig};
+
+#[test]
+fn tracing_is_off_by_default() {
+    let out = World::run_simple(2, |comm| {
+        comm.charge_flops(1.0e9);
+        comm.barrier()?;
+        Ok(())
+    })
+    .expect("runs");
+    assert!(out.traces.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn compute_spans_cover_charged_time() {
+    let cfg = WorldConfig::new(3).with_tracing();
+    let out = World::run(cfg, |comm| {
+        comm.charge_flops(16.0e9); // exactly 1 simulated second
+        comm.charge_flops(8.0e9); // plus half
+        Ok(())
+    })
+    .expect("runs");
+    for t in &out.traces {
+        let s = summarize(t);
+        assert!((s.compute - 1.5).abs() < 1e-9, "compute {:?}", s);
+        assert_eq!(s.send, 0.0);
+        assert_eq!(s.recv, 0.0);
+    }
+}
+
+#[test]
+fn ping_pong_trace_shows_alternating_roles() {
+    let cfg = WorldConfig::new(2).with_tracing();
+    let out = World::run(cfg, |comm| {
+        for i in 0..3u32 {
+            if comm.rank() == 0 {
+                comm.send(&vec![0u8; 1 << 20], 1, i)?;
+                let _ = comm.recv::<u8>(1, i)?;
+            } else {
+                let (b, _) = comm.recv::<u8>(0, i)?;
+                comm.send(&b, 0, i)?;
+            }
+        }
+        Ok(())
+    })
+    .expect("runs");
+    for (rank, t) in out.traces.iter().enumerate() {
+        let kinds: Vec<SpanKind> = t.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds.len(), 6, "3 sends + 3 recvs on rank {rank}");
+        // Roles strictly alternate within each rank.
+        for pair in kinds.chunks(2) {
+            if rank == 0 {
+                assert_eq!(pair, [SpanKind::Send, SpanKind::Recv]);
+            } else {
+                assert_eq!(pair, [SpanKind::Recv, SpanKind::Send]);
+            }
+        }
+        // Peers and byte counts are recorded.
+        assert!(t.iter().all(|s| s.peer == 1 - rank));
+        assert!(t.iter().all(|s| s.bytes == 1 << 20));
+    }
+}
+
+#[test]
+fn kmeans_style_loop_shows_alternating_phases() {
+    // Outcome 11: alternating computation and communication. Five
+    // compute+allreduce rounds must leave five compute spans separated by
+    // communication on every rank.
+    let cfg = WorldConfig::new(4).with_tracing();
+    let out = World::run(cfg, |comm| {
+        for _ in 0..5 {
+            comm.charge_flops(1.6e9); // 0.1 s compute
+            let _ = comm.allreduce(&[1.0f64; 512], Op::Sum)?;
+        }
+        Ok(())
+    })
+    .expect("runs");
+    for t in &out.traces {
+        let computes: Vec<_> = t.iter().filter(|s| s.kind == SpanKind::Compute).collect();
+        assert_eq!(computes.len(), 5);
+        let s = summarize(t);
+        assert!((s.compute - 0.5).abs() < 1e-9);
+        assert!(s.send + s.recv > 0.0, "collective traffic was traced");
+    }
+    // The rendered strip shows both phases.
+    let strip = render_timeline(&out.traces, 60, None);
+    assert!(strip.contains('#'), "{strip}");
+    assert!(strip.contains('<') || strip.contains('>'), "{strip}");
+    assert_eq!(strip.lines().count(), 5, "4 ranks + legend");
+}
+
+#[test]
+fn straggler_shows_up_as_peer_idle_time() {
+    let cfg = WorldConfig::new(2).with_tracing();
+    let out = World::run(cfg, |comm| {
+        if comm.rank() == 0 {
+            comm.charge_flops(32.0e9); // 2 s straggling
+            comm.send(&[1u8], 1, 0)?;
+        } else {
+            let _ = comm.recv::<u8>(0, 0)?;
+        }
+        Ok(())
+    })
+    .expect("runs");
+    // Rank 1 spent ~2 simulated seconds blocked in recv.
+    let s = summarize(&out.traces[1]);
+    assert!(s.recv > 1.9, "recv wait {:.3}", s.recv);
+}

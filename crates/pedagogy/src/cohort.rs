@@ -1,0 +1,100 @@
+//! Table III: demographics of the Spring 2020 cohort.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree program of one student group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudentRecord {
+    /// Program name as printed in Table III.
+    pub program: &'static str,
+    /// Students enrolled from this program.
+    pub count: usize,
+    /// Whether the program gives a traditional computer-science background
+    /// (the paper counts one BS, one MS, and one CS-track PhD student).
+    pub cs_background: usize,
+}
+
+/// The Table III population.
+pub fn demographics() -> Vec<StudentRecord> {
+    vec![
+        StudentRecord {
+            program: "Computer Science (BS)",
+            count: 1,
+            cs_background: 1,
+        },
+        StudentRecord {
+            program: "Computer Science (MS)",
+            count: 1,
+            cs_background: 1,
+        },
+        StudentRecord {
+            program: "Electrical Engineering (MS)",
+            count: 2,
+            cs_background: 0,
+        },
+        StudentRecord {
+            program: "Astronomy & Planetary Science (PhD)",
+            count: 1,
+            cs_background: 0,
+        },
+        StudentRecord {
+            // 1×bioinformatics, 1×CS, 1×ecoinformatics, 2×EE.
+            program: "Informatics & Computing (PhD)",
+            count: 5,
+            cs_background: 1,
+        },
+    ]
+}
+
+/// Total students in the cohort.
+pub fn cohort_size() -> usize {
+    demographics().iter().map(|r| r.count).sum()
+}
+
+/// Students with a traditional CS background.
+pub fn cs_background_count() -> usize {
+    demographics().iter().map(|r| r.cs_background).sum()
+}
+
+/// Render Table III.
+pub fn render_table_iii() -> String {
+    let mut s = String::from("Program                                   Number\n");
+    for r in demographics() {
+        s.push_str(&format!("{:<42}{}\n", r.program, r.count));
+    }
+    s.push_str(&format!(
+        "Total: {} students, {} with a traditional CS background ({}%)\n",
+        cohort_size(),
+        cs_background_count(),
+        cs_background_count() * 100 / cohort_size()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_students_three_with_cs_background() {
+        // The abstract: "only 30% of students have a traditional computer
+        // science background".
+        assert_eq!(cohort_size(), 10);
+        assert_eq!(cs_background_count(), 3);
+    }
+
+    #[test]
+    fn informatics_phd_is_the_largest_group() {
+        let d = demographics();
+        let max = d.iter().max_by_key(|r| r.count).expect("non-empty");
+        assert_eq!(max.program, "Informatics & Computing (PhD)");
+        assert_eq!(max.count, 5);
+    }
+
+    #[test]
+    fn render_lists_all_programs() {
+        let s = render_table_iii();
+        assert!(s.contains("Astronomy"));
+        assert!(s.contains("30%"));
+    }
+}

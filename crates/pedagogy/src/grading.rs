@@ -1,0 +1,333 @@
+//! An auto-grader for module submissions.
+//!
+//! The paper grades module assignments by hand (the quizzes are no-stakes);
+//! a natural piece of course tooling on top of this reproduction is a
+//! rubric checker that takes the serializable report a student's run
+//! produces and verifies the measurable requirements of each module:
+//! correctness first, then the performance behaviours the module exists to
+//! teach. Each rubric item carries the learning outcome it evidences
+//! (Table I numbers), so a grade report doubles as an outcome-coverage
+//! report.
+
+use pdc_modules::module2::DistanceMatrixReport;
+use pdc_modules::module3::SortReport;
+use pdc_modules::module4::{Engine, RangeQueryReport};
+use pdc_modules::module5::KMeansReport;
+use serde::{Deserialize, Serialize};
+
+/// One rubric line: what was checked, whether it passed, and which Table I
+/// learning outcomes it evidences.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RubricItem {
+    /// Human-readable criterion.
+    pub criterion: String,
+    /// Did the submission satisfy it?
+    pub passed: bool,
+    /// Table I outcome numbers this item evidences.
+    pub outcomes: Vec<usize>,
+}
+
+/// A graded submission: rubric lines plus the derived score.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GradeReport {
+    /// Module number (2–5).
+    pub module: usize,
+    /// The rubric, in evaluation order.
+    pub items: Vec<RubricItem>,
+}
+
+impl GradeReport {
+    /// Fraction of rubric items passed, in percent.
+    pub fn score(&self) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.items.iter().filter(|i| i.passed).count() as f64 / self.items.len() as f64
+    }
+
+    /// True when every item passed.
+    pub fn perfect(&self) -> bool {
+        self.items.iter().all(|i| i.passed)
+    }
+
+    /// Render as a check-list.
+    pub fn render(&self) -> String {
+        let mut s = format!("Module {} submission — {:.0}%\n", self.module, self.score());
+        for item in &self.items {
+            s.push_str(&format!(
+                "  [{}] {} (outcomes {:?})\n",
+                if item.passed { "x" } else { " " },
+                item.criterion,
+                item.outcomes
+            ));
+        }
+        s
+    }
+}
+
+fn item(criterion: &str, passed: bool, outcomes: &[usize]) -> RubricItem {
+    RubricItem {
+        criterion: criterion.to_string(),
+        passed,
+        outcomes: outcomes.to_vec(),
+    }
+}
+
+/// Grade a Module 2 submission: a row-wise and a tiled run over the same
+/// dataset, plus an expected checksum from the reference implementation.
+pub fn grade_module2(
+    rowwise: &DistanceMatrixReport,
+    tiled: &DistanceMatrixReport,
+    expected_checksum: f64,
+) -> GradeReport {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * b.abs().max(1.0);
+    GradeReport {
+        module: 2,
+        items: vec![
+            item(
+                "row-wise checksum matches the reference",
+                close(rowwise.checksum, expected_checksum),
+                &[4],
+            ),
+            item(
+                "tiled checksum matches the reference",
+                close(tiled.checksum, expected_checksum),
+                &[5],
+            ),
+            item(
+                "tiled run is faster than row-wise",
+                tiled.sim_time < rowwise.sim_time,
+                &[5, 6],
+            ),
+            item(
+                "solution uses MPI_Scatter and MPI_Reduce",
+                rowwise.primitives.iter().any(|p| p.starts_with("MPI_Scatter"))
+                    && rowwise.primitives.iter().any(|p| p == "MPI_Reduce"),
+                &[4, 11],
+            ),
+        ],
+    }
+}
+
+/// Grade a Module 3 submission: the three activities' reports.
+pub fn grade_module3(
+    uniform: &SortReport,
+    exponential: &SortReport,
+    histogram: &SortReport,
+) -> GradeReport {
+    GradeReport {
+        module: 3,
+        items: vec![
+            item("uniform run sorts correctly", uniform.sorted_ok, &[4, 11]),
+            item("exponential run sorts correctly", exponential.sorted_ok, &[9]),
+            item("histogram run sorts correctly", histogram.sorted_ok, &[9]),
+            item(
+                "uniform equal-width buckets are balanced (max/mean < 1.5)",
+                uniform.imbalance < 1.5,
+                &[9],
+            ),
+            item(
+                "exponential equal-width buckets show the imbalance (max/mean > 2)",
+                exponential.imbalance > 2.0,
+                &[9, 10],
+            ),
+            item(
+                "histogram splitters restore balance (max/mean < 1.5)",
+                histogram.imbalance < 1.5,
+                &[9, 14],
+            ),
+            item(
+                "no element lost in the exchange",
+                uniform.bucket_sizes.iter().sum::<usize>()
+                    == uniform.n_per_rank * uniform.ranks,
+                &[11],
+            ),
+        ],
+    }
+}
+
+/// Grade a Module 4 submission: brute-force and R-tree runs at 1 and p
+/// ranks over the same workload.
+pub fn grade_module4(
+    brute1: &RangeQueryReport,
+    brute_p: &RangeQueryReport,
+    rtree1: &RangeQueryReport,
+    rtree_p: &RangeQueryReport,
+) -> GradeReport {
+    let bf_speedup = brute1.sim_time / brute_p.sim_time;
+    let rt_speedup = rtree1.sim_time / rtree_p.sim_time;
+    GradeReport {
+        module: 4,
+        items: vec![
+            item(
+                "both engines report the same match count",
+                brute1.total_matches == rtree1.total_matches
+                    && brute_p.total_matches == rtree_p.total_matches
+                    && brute1.total_matches == brute_p.total_matches,
+                &[4],
+            ),
+            item("engines declare their variant", brute1.engine == Engine::BruteForce && rtree1.engine == Engine::RTree, &[11]),
+            item(
+                "the R-tree is faster in absolute time",
+                rtree_p.sim_time < brute_p.sim_time,
+                &[12],
+            ),
+            item(
+                "brute force scales better than the R-tree",
+                bf_speedup > rt_speedup,
+                &[8, 10],
+            ),
+            item(
+                "the R-tree prunes the candidate set",
+                rtree_p.points_tested * 2 < brute_p.points_tested,
+                &[12, 15],
+            ),
+        ],
+    }
+}
+
+/// Grade a Module 5 submission: weighted-means and explicit-assignment runs
+/// plus the sequential reference inertia.
+pub fn grade_module5(
+    weighted: &KMeansReport,
+    explicit: &KMeansReport,
+    reference_inertia: f64,
+) -> GradeReport {
+    let close = |a: f64| (a - reference_inertia).abs() <= 1e-6 * reference_inertia.max(1e-12);
+    GradeReport {
+        module: 5,
+        items: vec![
+            item("weighted-means inertia matches the reference", close(weighted.inertia), &[4]),
+            item("explicit-assignment inertia matches the reference", close(explicit.inertia), &[4]),
+            item(
+                "both options converge to the same clustering",
+                (weighted.inertia - explicit.inertia).abs()
+                    <= 1e-6 * weighted.inertia.max(1e-12),
+                &[11],
+            ),
+            item(
+                "weighted means moves fewer bytes",
+                weighted.comm_bytes < explicit.comm_bytes,
+                &[13],
+            ),
+            item(
+                "run converged before the iteration cap",
+                weighted.iterations < pdc_modules::module5::MAX_ITERS,
+                &[12],
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+    use pdc_modules::module2::{distance_rows, run_distance_matrix, Access};
+    use pdc_modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+    use pdc_modules::module4::run_range_queries;
+    use pdc_modules::module5::{run_kmeans, sequential_kmeans, CommOption};
+
+    #[test]
+    fn reference_module2_submission_gets_full_marks() {
+        let pts = uniform_points(128, 90, 0.0, 1.0, 3);
+        let expected: f64 = distance_rows(&pts, 0, 128, Access::RowWise).iter().sum();
+        let row = run_distance_matrix(&pts, 4, Access::RowWise, 1).expect("runs");
+        let tiled = run_distance_matrix(&pts, 4, Access::Tiled { tile: 256 }, 1).expect("runs");
+        let grade = grade_module2(&row, &tiled, expected);
+        assert!(grade.perfect(), "{}", grade.render());
+        assert_eq!(grade.score(), 100.0);
+    }
+
+    #[test]
+    fn module2_grader_catches_a_wrong_checksum() {
+        let pts = uniform_points(64, 8, 0.0, 1.0, 3);
+        let row = run_distance_matrix(&pts, 2, Access::RowWise, 1).expect("runs");
+        let tiled = run_distance_matrix(&pts, 2, Access::Tiled { tile: 16 }, 1).expect("runs");
+        let grade = grade_module2(&row, &tiled, row.checksum * 2.0);
+        assert!(!grade.perfect());
+        assert!(grade.score() < 100.0);
+        assert!(!grade.items[0].passed, "checksum item must fail");
+    }
+
+    #[test]
+    fn reference_module3_submission_gets_full_marks() {
+        let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
+            .expect("runs");
+        let exp =
+            run_distribution_sort(5_000, 8, InputDist::Exponential, BucketStrategy::EqualWidth, 3)
+                .expect("runs");
+        let hist = run_distribution_sort(
+            5_000,
+            8,
+            InputDist::Exponential,
+            BucketStrategy::Histogram { bins: 512 },
+            3,
+        )
+        .expect("runs");
+        let grade = grade_module3(&uni, &exp, &hist);
+        assert!(grade.perfect(), "{}", grade.render());
+    }
+
+    #[test]
+    fn module3_grader_flags_a_missing_skew_demo() {
+        // A student who ran uniform data for "activity 2" fails the
+        // imbalance-evidence item.
+        let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
+            .expect("runs");
+        let grade = grade_module3(&uni, &uni, &uni);
+        assert!(!grade.perfect());
+        let skew_item = grade
+            .items
+            .iter()
+            .find(|i| i.criterion.contains("imbalance"))
+            .expect("item exists");
+        assert!(!skew_item.passed);
+    }
+
+    #[test]
+    fn reference_module4_submission_gets_full_marks() {
+        let cat = asteroid_catalog(50_000, 7);
+        let qs = random_range_queries(200, 0.05, 8);
+        let b1 = run_range_queries(&cat, &qs, 1, Engine::BruteForce, 1).expect("runs");
+        let bp = run_range_queries(&cat, &qs, 16, Engine::BruteForce, 1).expect("runs");
+        let r1 = run_range_queries(&cat, &qs, 1, Engine::RTree, 1).expect("runs");
+        let rp = run_range_queries(&cat, &qs, 16, Engine::RTree, 1).expect("runs");
+        let grade = grade_module4(&b1, &bp, &r1, &rp);
+        assert!(grade.perfect(), "{}", grade.render());
+    }
+
+    #[test]
+    fn reference_module5_submission_gets_full_marks() {
+        let pts = gaussian_mixture(1_000, 2, 4, 100.0, 1.0, 5).points;
+        let (centroids, _, _) = sequential_kmeans(&pts, 4, 1e-9);
+        let reference: f64 = (0..pts.len())
+            .map(|i| {
+                let p = pts.point(i);
+                centroids
+                    .chunks_exact(2)
+                    .map(|c| (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let wm = run_kmeans(&pts, 4, 8, CommOption::WeightedMeans, 1, 1e-9).expect("runs");
+        let ea = run_kmeans(&pts, 4, 8, CommOption::ExplicitAssignment, 1, 1e-9).expect("runs");
+        let grade = grade_module5(&wm, &ea, reference);
+        assert!(grade.perfect(), "{}", grade.render());
+    }
+
+    #[test]
+    fn grade_report_renders_checkboxes_and_outcomes() {
+        let report = GradeReport {
+            module: 2,
+            items: vec![
+                item("a", true, &[4]),
+                item("b", false, &[5, 6]),
+            ],
+        };
+        let s = report.render();
+        assert!(s.contains("[x] a"));
+        assert!(s.contains("[ ] b"));
+        assert!(s.contains("50%"));
+    }
+}

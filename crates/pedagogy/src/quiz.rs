@@ -1,0 +1,331 @@
+//! Table IV and Figure 2: the quiz-score study.
+//!
+//! The paper publishes only aggregates of the per-student scores: per-quiz
+//! pre/post means, the 17 / 19 / 6 split of equal / increased / decreased
+//! pairs, and the mean relative increase (47.86%) and decrease (27.30%).
+//! We cannot obtain the raw data, so [`SCORE_PAIRS`] is a **reconstructed**
+//! matrix, solved numerically to satisfy *all* of those aggregates
+//! simultaneously plus the per-student facts the paper states about
+//! Figure 2 (students 2, 5, 6, 8, 9, 10 never decreased; students 1, 3, 4,
+//! 7 decreased at least once; 7 of 10 students completed every quiz).
+//!
+//! One ambiguity: the paper's formula `|a_j − b_j| / b_j` names `a_j` the
+//! pre and `b_j` the post score, but dividing by the *post* score is
+//! numerically infeasible given the published per-quiz means (the implied
+//! relative increases cannot average 47.86%). We therefore read the metric
+//! as relative change against the **baseline (pre) score** — the
+//! conventional definition — under which all published numbers are
+//! simultaneously satisfiable. Table IV is *recomputed* from the matrix,
+//! not transcribed.
+
+use serde::{Deserialize, Serialize};
+
+/// The reconstructed per-student score matrix:
+/// `(student 1-10, quiz 1-5, pre %, post %)`.
+pub const SCORE_PAIRS: [(usize, usize, f64, f64); 42] = [
+    (1, 1, 91.7257, 91.7257),
+    (1, 2, 100.0, 100.0),
+    (1, 3, 67.0161, 67.0161),
+    (1, 4, 52.2582, 52.2582),
+    (1, 5, 100.0, 84.1685),
+    (2, 1, 93.592, 93.592),
+    (2, 2, 83.1427, 83.1427),
+    (2, 3, 68.2885, 68.2885),
+    (2, 4, 61.4808, 61.4808),
+    (2, 5, 78.0462, 78.0462),
+    (3, 1, 100.0, 100.0),
+    (3, 2, 84.4578, 64.6395),
+    (3, 3, 43.7715, 81.738),
+    (3, 4, 40.5468, 74.4778),
+    (3, 5, 100.0, 84.4513),
+    (4, 1, 100.0, 100.0),
+    (4, 2, 96.5153, 96.5153),
+    (4, 3, 98.3479, 65.0236),
+    (4, 4, 70.6597, 73.3522),
+    (4, 5, 72.0974, 72.0974),
+    (5, 1, 100.0, 100.0),
+    (5, 2, 79.6542, 79.6542),
+    (5, 3, 53.578, 97.0392),
+    (5, 4, 86.8, 90.5599),
+    (5, 5, 47.0153, 72.987),
+    (6, 1, 99.9284, 99.9284),
+    (6, 2, 92.8557, 92.8557),
+    (6, 3, 67.0586, 69.2275),
+    (6, 4, 30.4364, 63.0385),
+    (6, 5, 51.9405, 93.1151),
+    (7, 1, 43.7783, 98.104),
+    (7, 2, 80.4568, 100.0),
+    (7, 3, 69.9911, 73.0004),
+    (7, 4, 82.7881, 59.8526),
+    (7, 5, 99.8627, 52.5611),
+    (8, 1, 79.1416, 100.0),
+    (8, 2, 29.8256, 83.2027),
+    (8, 3, 81.496, 92.2353),
+    (9, 1, 91.844, 100.0),
+    (9, 2, 93.072, 100.0),
+    (9, 3, 75.9523, 86.4515),
+    (10, 5, 92.7178, 95.9333),
+];
+
+/// One pre/post pair of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuizPair {
+    /// Student id (1–10).
+    pub student: usize,
+    /// Quiz/module number (1–5).
+    pub quiz: usize,
+    /// Pre-module score, percent.
+    pub pre: f64,
+    /// Post-module score, percent.
+    pub post: f64,
+}
+
+impl QuizPair {
+    /// Did the score improve, stay equal, or drop?
+    pub fn direction(&self) -> std::cmp::Ordering {
+        self.post
+            .partial_cmp(&self.pre)
+            .expect("scores are finite")
+    }
+}
+
+/// All pairs of the study.
+pub fn score_pairs() -> Vec<QuizPair> {
+    SCORE_PAIRS
+        .iter()
+        .map(|&(student, quiz, pre, post)| QuizPair {
+            student,
+            quiz,
+            pre,
+            post,
+        })
+        .collect()
+}
+
+/// The recomputed Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableIV {
+    /// Total pre & post quiz pairs.
+    pub total_pairs: usize,
+    /// Pairs equal in score.
+    pub equal: usize,
+    /// Pairs with a score increase.
+    pub increased: usize,
+    /// Pairs with a score decrease.
+    pub decreased: usize,
+    /// Mean relative performance increase, percent of the pre score.
+    pub mean_rel_increase: f64,
+    /// Mean relative performance decrease, percent of the pre score.
+    pub mean_rel_decrease: f64,
+    /// Per-quiz (pre mean, post mean), quizzes 1–5, percent.
+    pub quiz_means: [(f64, f64); 5],
+}
+
+/// The values the paper prints in Table IV (targets of the
+/// reconstruction).
+pub const PAPER_TABLE_IV: TableIV = TableIV {
+    total_pairs: 42,
+    equal: 17,
+    increased: 19,
+    decreased: 6,
+    mean_rel_increase: 47.86,
+    mean_rel_decrease: 27.30,
+    quiz_means: [
+        (88.89, 98.15),
+        (82.22, 88.89),
+        (69.50, 77.78),
+        (60.71, 67.86),
+        (80.21, 79.17),
+    ],
+};
+
+/// Recompute Table IV from the score matrix.
+pub fn table_iv() -> TableIV {
+    let pairs = score_pairs();
+    let equal = pairs.iter().filter(|p| p.post == p.pre).count();
+    let inc: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.post > p.pre)
+        .map(|p| (p.post - p.pre) / p.pre * 100.0)
+        .collect();
+    let dec: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.post < p.pre)
+        .map(|p| (p.pre - p.post) / p.pre * 100.0)
+        .collect();
+    let mut quiz_means = [(0.0, 0.0); 5];
+    for q in 1..=5 {
+        let qp: Vec<&QuizPair> = pairs.iter().filter(|p| p.quiz == q).collect();
+        let n = qp.len() as f64;
+        quiz_means[q - 1] = (
+            qp.iter().map(|p| p.pre).sum::<f64>() / n,
+            qp.iter().map(|p| p.post).sum::<f64>() / n,
+        );
+    }
+    TableIV {
+        total_pairs: pairs.len(),
+        equal,
+        increased: inc.len(),
+        decreased: dec.len(),
+        mean_rel_increase: inc.iter().sum::<f64>() / inc.len() as f64,
+        mean_rel_decrease: dec.iter().sum::<f64>() / dec.len() as f64,
+        quiz_means,
+    }
+}
+
+/// One student's Figure 2 row: five quizzes of optional `(pre, post)`.
+pub type StudentRow = (usize, [Option<(f64, f64)>; 5]);
+
+/// Figure 2 data: for each student 1–10, the five quizzes' `(pre, post)`
+/// (or `None` where the pair was excluded).
+pub fn figure2_rows() -> Vec<StudentRow> {
+    let pairs = score_pairs();
+    (1..=10)
+        .map(|student| {
+            let mut row = [None; 5];
+            for p in pairs.iter().filter(|p| p.student == student) {
+                row[p.quiz - 1] = Some((p.pre, p.post));
+            }
+            (student, row)
+        })
+        .collect()
+}
+
+/// Render Table IV in the paper's layout.
+pub fn render_table_iv() -> String {
+    let t = table_iv();
+    let mut s = String::new();
+    s.push_str(&format!("Total Pre & Post Quiz Pairs          {}\n", t.total_pairs));
+    s.push_str(&format!("Pre & Post: Equal in Score           {}\n", t.equal));
+    s.push_str(&format!("Pre & Post: Increase in Score (i)    {}\n", t.increased));
+    s.push_str(&format!("Pre & Post: Decrease in Score (d)    {}\n", t.decreased));
+    s.push_str(&format!(
+        "Mean Relative Performance Increase   {:.2}%\n",
+        t.mean_rel_increase
+    ));
+    s.push_str(&format!(
+        "Mean Relative Performance Decrease   {:.2}%\n",
+        t.mean_rel_decrease
+    ));
+    for (q, (pre, post)) in t.quiz_means.iter().enumerate() {
+        s.push_str(&format!(
+            "Mean Quiz {} Grade Pre (Post)         {:.2}% ({:.2}%)\n",
+            q + 1,
+            pre,
+            post
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let t = table_iv();
+        assert_eq!(t.total_pairs, PAPER_TABLE_IV.total_pairs);
+        assert_eq!(t.equal, PAPER_TABLE_IV.equal);
+        assert_eq!(t.increased, PAPER_TABLE_IV.increased);
+        assert_eq!(t.decreased, PAPER_TABLE_IV.decreased);
+    }
+
+    #[test]
+    fn relative_changes_match_the_paper() {
+        let t = table_iv();
+        assert!(
+            (t.mean_rel_increase - PAPER_TABLE_IV.mean_rel_increase).abs() < 0.005,
+            "MRI {} vs 47.86",
+            t.mean_rel_increase
+        );
+        assert!(
+            (t.mean_rel_decrease - PAPER_TABLE_IV.mean_rel_decrease).abs() < 0.005,
+            "MRD {} vs 27.30",
+            t.mean_rel_decrease
+        );
+    }
+
+    #[test]
+    fn per_quiz_means_match_the_paper() {
+        let t = table_iv();
+        for (q, ((pre, post), (ppre, ppost))) in t
+            .quiz_means
+            .iter()
+            .zip(PAPER_TABLE_IV.quiz_means.iter())
+            .enumerate()
+        {
+            assert!((pre - ppre).abs() < 0.005, "quiz {} pre {} vs {}", q + 1, pre, ppre);
+            assert!((post - ppost).abs() < 0.005, "quiz {} post {} vs {}", q + 1, post, ppost);
+        }
+    }
+
+    #[test]
+    fn quiz5_is_the_only_mean_decrease() {
+        let t = table_iv();
+        for (q, (pre, post)) in t.quiz_means.iter().enumerate() {
+            if q == 4 {
+                assert!(post < pre, "quiz 5 post mean dips");
+            } else {
+                assert!(post > pre, "quiz {} improves", q + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_student_facts_hold() {
+        // §IV-C: six students (#2,5,6,8,9,10) never decreased; four
+        // (#1,3,4,7) decreased at least once.
+        let never: [usize; 6] = [2, 5, 6, 8, 9, 10];
+        let some_dec: [usize; 4] = [1, 3, 4, 7];
+        for (student, row) in figure2_rows() {
+            let decs = row
+                .iter()
+                .flatten()
+                .filter(|(pre, post)| post < pre)
+                .count();
+            if never.contains(&student) {
+                assert_eq!(decs, 0, "student {student} must never decrease");
+            } else {
+                assert!(some_dec.contains(&student));
+                assert!(decs >= 1, "student {student} must decrease at least once");
+            }
+        }
+    }
+
+    #[test]
+    fn completion_pattern_matches_the_paper() {
+        // Seven of ten students completed all quizzes; per-quiz pair counts
+        // are 9, 9, 9, 7, 8.
+        let rows = figure2_rows();
+        let complete = rows
+            .iter()
+            .filter(|(_, row)| row.iter().all(Option::is_some))
+            .count();
+        assert_eq!(complete, 7);
+        let pairs = score_pairs();
+        let per_quiz: Vec<usize> = (1..=5)
+            .map(|q| pairs.iter().filter(|p| p.quiz == q).count())
+            .collect();
+        assert_eq!(per_quiz, vec![9, 9, 9, 7, 8]);
+    }
+
+    #[test]
+    fn scores_are_valid_percentages() {
+        for p in score_pairs() {
+            assert!((0.0..=100.0).contains(&p.pre), "{p:?}");
+            assert!((0.0..=100.0).contains(&p.post), "{p:?}");
+            assert!((1..=10).contains(&p.student));
+            assert!((1..=5).contains(&p.quiz));
+        }
+    }
+
+    #[test]
+    fn render_matches_published_strings() {
+        let s = render_table_iv();
+        assert!(s.contains("47.86%"), "{s}");
+        assert!(s.contains("27.30%"), "{s}");
+        assert!(s.contains("88.89% (98.15%)"), "{s}");
+        assert!(s.contains("80.21% (79.17%)"), "{s}");
+    }
+}

@@ -1,0 +1,141 @@
+//! §IV-D: the anonymous free-response survey, as structured data.
+//!
+//! The paper reports aggregate answer counts plus selected quotes; both
+//! are encoded here so the reproduction covers every evaluation artifact,
+//! and so consistency facts (ten respondents, Module 5 the favourite,
+//! Module 2 the hardest) are testable.
+
+use pdc_modules::ModuleId;
+use serde::{Deserialize, Serialize};
+
+/// Reported difficulty relative to other graduate courses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// "easier"
+    Easier,
+    /// "more difficult"
+    MoreDifficult,
+    /// "much more difficult"
+    MuchMoreDifficult,
+}
+
+/// The aggregate survey results of §IV-D.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SurveyResults {
+    /// (difficulty, count) — 1 easier, 5 more difficult, 4 much more.
+    pub difficulty: Vec<(Difficulty, usize)>,
+    /// Students naming each module their favourite (only counts the paper
+    /// reports: four students named Module 5).
+    pub favourite: Vec<(ModuleId, usize)>,
+    /// Students naming each module their least favourite (2, 1, 1, 2, 1).
+    pub least_favourite: Vec<(ModuleId, usize)>,
+    /// Students naming each module the most challenging (the paper reports
+    /// the Module 2 count).
+    pub most_challenging: Vec<(ModuleId, usize)>,
+    /// Selected quotes (abridged as printed in the paper).
+    pub quotes: Vec<&'static str>,
+}
+
+/// The published survey aggregates.
+pub fn survey_results() -> SurveyResults {
+    SurveyResults {
+        difficulty: vec![
+            (Difficulty::Easier, 1),
+            (Difficulty::MoreDifficult, 5),
+            (Difficulty::MuchMoreDifficult, 4),
+        ],
+        favourite: vec![(ModuleId::M5, 4)],
+        least_favourite: vec![
+            (ModuleId::M1, 2),
+            (ModuleId::M2, 1),
+            (ModuleId::M3, 1),
+            (ModuleId::M4, 2),
+            (ModuleId::M5, 1),
+        ],
+        most_challenging: vec![(ModuleId::M2, 4)],
+        quotes: vec![
+            "Building a coding environment on my laptop and dealing with how the cluster works took more effort than I thought.",
+            "... designing a parallel algorithm and working with the cluster were challenging.",
+            "I was a bit overwhelmed in the beginning with trying new code and dealing with the cluster.",
+            "It was a great course, which taught me a new skill.",
+            "Of my classes this seemed like the most practical.",
+            "I like that all of the examples span a broad number of subjects and topics.",
+        ],
+    }
+}
+
+/// Render the survey summary.
+pub fn render_survey() -> String {
+    let s = survey_results();
+    let mut out = String::from("Free-response survey (Section IV-D)\n");
+    out.push_str("Difficulty vs other graduate courses:\n");
+    for (d, n) in &s.difficulty {
+        let label = match d {
+            Difficulty::Easier => "easier",
+            Difficulty::MoreDifficult => "more difficult",
+            Difficulty::MuchMoreDifficult => "much more difficult",
+        };
+        out.push_str(&format!("  {label:<22}{n}\n"));
+    }
+    out.push_str("Favourite module: Module 5 (k-means), 4 students\n");
+    out.push_str("Least favourite (no consensus): ");
+    for (m, n) in &s.least_favourite {
+        out.push_str(&format!("M{}×{n} ", m.number()));
+    }
+    out.push_str("\nMost challenging: Module 2 (distance matrix), 4 students\n");
+    out.push_str("Selected quotes:\n");
+    for q in &s.quotes {
+        out.push_str(&format!("  \"{q}\"\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difficulty_counts_cover_the_cohort() {
+        let s = survey_results();
+        let total: usize = s.difficulty.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, crate::cohort::cohort_size());
+    }
+
+    #[test]
+    fn least_favourite_votes_are_inconsistent_as_reported() {
+        // "The responses were inconsistent: 2, 1, 1, 2, 1."
+        let s = survey_results();
+        let counts: Vec<usize> = s.least_favourite.iter().map(|&(_, n)| n).collect();
+        assert_eq!(counts, vec![2, 1, 1, 2, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        let max = counts.iter().max().expect("non-empty");
+        assert!(*max <= 2, "no module dominates the dislike vote");
+    }
+
+    #[test]
+    fn favourite_and_hardest_match_the_narrative() {
+        let s = survey_results();
+        assert_eq!(s.favourite, vec![(ModuleId::M5, 4)]);
+        assert_eq!(s.most_challenging, vec![(ModuleId::M2, 4)]);
+    }
+
+    #[test]
+    fn quotes_mention_the_cluster_struggles() {
+        // §IV-D's interpretation hinges on cluster/environment friction.
+        let s = survey_results();
+        let cluster_mentions = s
+            .quotes
+            .iter()
+            .filter(|q| q.to_lowercase().contains("cluster"))
+            .count();
+        assert!(cluster_mentions >= 3);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let r = render_survey();
+        assert!(r.contains("much more difficult"));
+        assert!(r.contains("k-means"));
+        assert!(r.contains("distance matrix"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-artifact integration tests: the evaluation pieces must be
+//! mutually consistent, the way the paper's narrative ties them together.
+
+use pdc_pedagogy::cohort::{cohort_size, cs_background_count};
+use pdc_pedagogy::outcomes::{outcome_matrix, outcome_witnesses};
+use pdc_pedagogy::quiz::{figure2_rows, score_pairs, table_iv, PAPER_TABLE_IV};
+use pdc_pedagogy::quizbank::quiz_bank;
+use pdc_pedagogy::survey::survey_results;
+
+#[test]
+fn quiz_counts_never_exceed_the_cohort() {
+    // No quiz can have more pairs than students.
+    let pairs = score_pairs();
+    for quiz in 1..=5 {
+        let n = pairs.iter().filter(|p| p.quiz == quiz).count();
+        assert!(n <= cohort_size(), "quiz {quiz} has {n} pairs");
+    }
+    assert!(pairs.iter().all(|p| p.student <= cohort_size()));
+}
+
+#[test]
+fn abstract_claims_hold_against_the_data() {
+    // "only 30% of students have a traditional computer science background"
+    assert_eq!(cs_background_count() * 10, cohort_size() * 3);
+    // "students either maintained the same quiz score or increased their
+    // score ... in 85.7% of the instances"
+    let t = table_iv();
+    let non_decreasing = t.equal + t.increased;
+    let pct = non_decreasing as f64 / t.total_pairs as f64 * 100.0;
+    assert!((pct - 85.7).abs() < 0.05, "non-decreasing {pct:.1}%");
+}
+
+#[test]
+fn narrative_facts_connect_survey_and_quizzes() {
+    // Module 2 was reported most challenging; quiz 4 had the lowest post
+    // mean — both facts must hold in the encoded data (the paper discusses
+    // them separately).
+    let s = survey_results();
+    assert!(s.most_challenging.iter().any(|&(m, n)| {
+        m == pdc_modules::ModuleId::M2 && n == 4
+    }));
+    let t = table_iv();
+    let lowest_post = t
+        .quiz_means
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+        .map(|(i, _)| i + 1)
+        .expect("five quizzes");
+    assert_eq!(lowest_post, 4, "quiz 4 has the lowest post mean");
+}
+
+#[test]
+fn every_bank_question_maps_to_a_real_module() {
+    for q in quiz_bank() {
+        assert!((1..=5).contains(&q.quiz));
+        // The quiz's module covers at least one outcome (sanity link into
+        // Table I).
+        let covered = outcome_matrix()
+            .iter()
+            .any(|o| o.levels[q.quiz - 1].is_some());
+        assert!(covered, "quiz {} maps to an uncovered module", q.quiz);
+    }
+}
+
+#[test]
+fn outcome_witnesses_agree_with_the_matrix() {
+    for o in outcome_matrix() {
+        let witnesses = outcome_witnesses(o.number);
+        let expected = o.levels.iter().filter(|l| l.is_some()).count();
+        assert_eq!(witnesses.len(), expected, "outcome {}", o.number);
+    }
+}
+
+#[test]
+fn figure2_and_table_iv_are_the_same_data() {
+    // Recompute Table IV's pair classification straight from the Figure 2
+    // rows; the two views must agree exactly.
+    let mut equal = 0;
+    let mut inc = 0;
+    let mut dec = 0;
+    for (_, row) in figure2_rows() {
+        for (pre, post) in row.iter().flatten() {
+            if post > pre {
+                inc += 1;
+            } else if post < pre {
+                dec += 1;
+            } else {
+                equal += 1;
+            }
+        }
+    }
+    assert_eq!(equal, PAPER_TABLE_IV.equal);
+    assert_eq!(inc, PAPER_TABLE_IV.increased);
+    assert_eq!(dec, PAPER_TABLE_IV.decreased);
+}

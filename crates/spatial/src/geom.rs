@@ -1,0 +1,190 @@
+//! Axis-aligned geometry primitives shared by all indexes.
+
+/// An axis-aligned (hyper-)rectangle in `D` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Lower corner (inclusive).
+    pub min: [f64; D],
+    /// Upper corner (inclusive).
+    pub max: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Rectangle from corners.
+    ///
+    /// # Panics
+    /// Panics if any `min[d] > max[d]`.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        for d in 0..D {
+            assert!(
+                min[d] <= max[d],
+                "degenerate rect: min[{d}]={} > max[{d}]={}",
+                min[d],
+                max[d]
+            );
+        }
+        Self { min, max }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    pub fn point(p: [f64; D]) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut min = self.min;
+        let mut max = self.max;
+        for d in 0..D {
+            min[d] = min[d].min(other.min[d]);
+            max[d] = max[d].max(other.max[d]);
+        }
+        Rect { min, max }
+    }
+
+    /// Hyper-volume (product of side lengths).
+    pub fn area(&self) -> f64 {
+        (0..D).map(|d| self.max[d] - self.min[d]).product()
+    }
+
+    /// Margin (sum of side lengths) — a better split heuristic than area
+    /// for thin rectangles.
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|d| self.max[d] - self.min[d]).sum()
+    }
+
+    /// Growth in area needed to also cover `other`.
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Does this rectangle contain `p` (boundaries inclusive)?
+    pub fn contains_point(&self, p: &[f64; D]) -> bool {
+        (0..D).all(|d| p[d] >= self.min[d] && p[d] <= self.max[d])
+    }
+
+    /// Do the rectangles overlap (boundaries inclusive)?
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Is `other` fully inside this rectangle?
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Squared distance from `p` to the nearest point of the rectangle
+    /// (zero when inside) — the kNN pruning bound.
+    pub fn min_dist2(&self, p: &[f64; D]) -> f64 {
+        (0..D)
+            .map(|d| {
+                let v = if p[d] < self.min[d] {
+                    self.min[d] - p[d]
+                } else if p[d] > self.max[d] {
+                    p[d] - self.max[d]
+                } else {
+                    0.0
+                };
+                v * v
+            })
+            .sum()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> [f64; D] {
+        std::array::from_fn(|d| 0.5 * (self.min[d] + self.max[d]))
+    }
+}
+
+/// Squared Euclidean distance between points.
+pub fn dist2<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    (0..D).map(|d| (a[d] - b[d]) * (a[d] - b[d])).sum()
+}
+
+/// Query instrumentation: how much work the index did. Module 4's lesson —
+/// the R-tree computes far fewer distances but touches pointer-linked nodes
+/// — is quantified with these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index nodes visited.
+    pub nodes_visited: u64,
+    /// Candidate points tested against the query.
+    pub points_tested: u64,
+}
+
+impl QueryStats {
+    /// Accumulate another query's counters.
+    pub fn add(&mut self, other: &QueryStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.points_tested += other.points_tested;
+    }
+
+    /// Estimated DRAM bytes touched, given node and point footprints —
+    /// used to charge the simulated clock for memory-bound index traversal.
+    pub fn bytes_touched(&self, node_bytes: usize, point_bytes: usize) -> u64 {
+        self.nodes_visited * node_bytes as u64 + self.points_tested * point_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_area() {
+        let a = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let b = Rect::new([2.0, -1.0], [3.0, 0.5]);
+        let u = a.union(&b);
+        assert_eq!(u.min, [0.0, -1.0]);
+        assert_eq!(u.max, [3.0, 1.0]);
+        assert!((a.area() - 1.0).abs() < 1e-12);
+        assert!((u.area() - 6.0).abs() < 1e-12);
+        assert!((a.enlargement(&b) - 5.0).abs() < 1e-12);
+        assert!((a.margin() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_is_boundary_inclusive() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert!(r.contains_point(&[0.0, 1.0]));
+        assert!(r.contains_point(&[0.5, 0.5]));
+        assert!(!r.contains_point(&[1.0001, 0.5]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert!(r.intersects(&Rect::new([1.0, 1.0], [2.0, 2.0])), "corner touch");
+        assert!(r.intersects(&Rect::new([0.25, 0.25], [0.75, 0.75])), "inside");
+        assert!(!r.intersects(&Rect::new([1.1, 0.0], [2.0, 1.0])));
+        assert!(r.contains_rect(&Rect::new([0.25, 0.25], [0.75, 0.75])));
+        assert!(!r.contains_rect(&Rect::new([0.5, 0.5], [1.5, 1.5])));
+    }
+
+    #[test]
+    fn min_dist2_to_rect() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(r.min_dist2(&[0.5, 0.5]), 0.0);
+        assert!((r.min_dist2(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((r.min_dist2(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_rect_has_zero_area() {
+        let p = Rect::point([3.0, 4.0]);
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(&[3.0, 4.0]));
+        assert_eq!(p.center(), [3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rect")]
+    fn inverted_rect_is_rejected() {
+        let _ = Rect::new([1.0], [0.0]);
+    }
+
+    #[test]
+    fn dist2_matches_hand_calc() {
+        assert!((dist2(&[0.0, 3.0], &[4.0, 0.0]) - 25.0).abs() < 1e-12);
+    }
+}

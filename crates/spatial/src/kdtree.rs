@@ -1,0 +1,430 @@
+//! A static kd-tree (Bentley 1975) built by median splits on the widest
+//! dimension, stored in a flat array for locality.
+
+use crate::geom::{dist2, QueryStats, Rect};
+
+#[derive(Debug, Clone)]
+enum KdNode<const D: usize> {
+    Leaf {
+        points: Vec<([f64; D], u32)>,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A kd-tree over `D`-dimensional points with `u32` ids. Built once from a
+/// point set; immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    nodes: Vec<KdNode<D>>,
+    bounds: Option<Rect<D>>,
+    len: usize,
+    leaf_size: usize,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Build from points with the default leaf size (16).
+    pub fn build(points: Vec<([f64; D], u32)>) -> Self {
+        Self::build_with_leaf_size(points, 16)
+    }
+
+    /// Build with an explicit leaf size.
+    ///
+    /// # Panics
+    /// Panics if `leaf_size == 0`.
+    pub fn build_with_leaf_size(mut points: Vec<([f64; D], u32)>, leaf_size: usize) -> Self {
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let len = points.len();
+        let bounds = bounds_of(&points);
+        let mut tree = Self {
+            nodes: Vec::new(),
+            bounds,
+            len,
+            leaf_size,
+        };
+        if len > 0 {
+            tree.build_rec(&mut points);
+        }
+        tree
+    }
+
+    fn build_rec(&mut self, points: &mut [([f64; D], u32)]) -> usize {
+        if points.len() <= self.leaf_size {
+            self.nodes.push(KdNode::Leaf {
+                points: points.to_vec(),
+            });
+            return self.nodes.len() - 1;
+        }
+        // Split the widest dimension at the median.
+        let b = bounds_of(points).expect("non-empty");
+        let dim = (0..D)
+            .max_by(|&i, &j| {
+                (b.max[i] - b.min[i])
+                    .partial_cmp(&(b.max[j] - b.min[j]))
+                    .expect("finite extents")
+            })
+            .expect("D > 0");
+        let mid = points.len() / 2;
+        points.select_nth_unstable_by(mid, |a, b| {
+            a.0[dim].partial_cmp(&b.0[dim]).expect("finite coordinates")
+        });
+        let value = points[mid].0[dim];
+        // Reserve our slot before recursing so children know their indices.
+        let my_idx = self.nodes.len();
+        self.nodes.push(KdNode::Split {
+            dim,
+            value,
+            left: 0,
+            right: 0,
+        });
+        let (lo, hi) = points.split_at_mut(mid);
+        let left = self.build_rec(lo);
+        let right = self.build_rec(hi);
+        self.nodes[my_idx] = KdNode::Split {
+            dim,
+            value,
+            left,
+            right,
+        };
+        my_idx
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of points inside `query`, with traversal statistics.
+    pub fn range_query(&self, query: &Rect<D>) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        if let Some(b) = &self.bounds {
+            if b.intersects(query) && !self.nodes.is_empty() {
+                self.range_rec(0, *b, query, &mut out, &mut stats);
+            }
+        }
+        (out, stats)
+    }
+
+    fn range_rec(
+        &self,
+        idx: usize,
+        node_bounds: Rect<D>,
+        query: &Rect<D>,
+        out: &mut Vec<u32>,
+        stats: &mut QueryStats,
+    ) {
+        stats.nodes_visited += 1;
+        match &self.nodes[idx] {
+            KdNode::Leaf { points } => {
+                for (p, id) in points {
+                    stats.points_tested += 1;
+                    if query.contains_point(p) {
+                        out.push(*id);
+                    }
+                }
+            }
+            KdNode::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let mut lb = node_bounds;
+                lb.max[*dim] = *value;
+                if lb.intersects(query) {
+                    self.range_rec(*left, lb, query, out, stats);
+                }
+                let mut rb = node_bounds;
+                rb.min[*dim] = *value;
+                if rb.intersects(query) {
+                    self.range_rec(*right, rb, query, out, stats);
+                }
+            }
+        }
+    }
+
+    /// Nearest neighbour of `target` (ties broken arbitrarily).
+    pub fn nearest(&self, target: &[f64; D]) -> Option<(u32, f64)> {
+        let b = self.bounds?;
+        let mut best: Option<(u32, f64)> = None;
+        self.nearest_rec(0, b, target, &mut best);
+        best
+    }
+
+    /// The `k` nearest neighbours of `target`, closest first, with
+    /// traversal statistics (mirrors [`crate::RTree::knn`]).
+    pub fn knn(&self, target: &[f64; D], k: usize) -> (Vec<(u32, f64)>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut heap: std::collections::BinaryHeap<KnnEntry> = std::collections::BinaryHeap::new();
+        if k > 0 {
+            if let Some(b) = self.bounds {
+                self.knn_rec(0, b, target, k, &mut heap, &mut stats);
+            }
+        }
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|e| (e.id, e.dist2)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        (out, stats)
+    }
+
+    fn knn_rec(
+        &self,
+        idx: usize,
+        node_bounds: Rect<D>,
+        target: &[f64; D],
+        k: usize,
+        heap: &mut std::collections::BinaryHeap<KnnEntry>,
+        stats: &mut QueryStats,
+    ) {
+        if heap.len() == k {
+            let worst = heap.peek().expect("k > 0").dist2;
+            if node_bounds.min_dist2(target) > worst {
+                return;
+            }
+        }
+        stats.nodes_visited += 1;
+        match &self.nodes[idx] {
+            KdNode::Leaf { points } => {
+                for (p, id) in points {
+                    stats.points_tested += 1;
+                    let d = dist2(p, target);
+                    if heap.len() < k {
+                        heap.push(KnnEntry { dist2: d, id: *id });
+                    } else if d < heap.peek().expect("k > 0").dist2 {
+                        heap.pop();
+                        heap.push(KnnEntry { dist2: d, id: *id });
+                    }
+                }
+            }
+            KdNode::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let mut lb = node_bounds;
+                lb.max[*dim] = *value;
+                let mut rb = node_bounds;
+                rb.min[*dim] = *value;
+                if target[*dim] <= *value {
+                    self.knn_rec(*left, lb, target, k, heap, stats);
+                    self.knn_rec(*right, rb, target, k, heap, stats);
+                } else {
+                    self.knn_rec(*right, rb, target, k, heap, stats);
+                    self.knn_rec(*left, lb, target, k, heap, stats);
+                }
+            }
+        }
+    }
+
+    fn nearest_rec(
+        &self,
+        idx: usize,
+        node_bounds: Rect<D>,
+        target: &[f64; D],
+        best: &mut Option<(u32, f64)>,
+    ) {
+        if let Some((_, bd)) = best {
+            if node_bounds.min_dist2(target) > *bd {
+                return;
+            }
+        }
+        match &self.nodes[idx] {
+            KdNode::Leaf { points } => {
+                for (p, id) in points {
+                    let d = dist2(p, target);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        *best = Some((*id, d));
+                    }
+                }
+            }
+            KdNode::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let mut lb = node_bounds;
+                lb.max[*dim] = *value;
+                let mut rb = node_bounds;
+                rb.min[*dim] = *value;
+                // Descend the closer side first for tighter pruning.
+                if target[*dim] <= *value {
+                    self.nearest_rec(*left, lb, target, best);
+                    self.nearest_rec(*right, rb, target, best);
+                } else {
+                    self.nearest_rec(*right, rb, target, best);
+                    self.nearest_rec(*left, lb, target, best);
+                }
+            }
+        }
+    }
+}
+
+/// Max-heap element for the kNN working set (largest distance on top).
+struct KnnEntry {
+    dist2: f64,
+    id: u32,
+}
+
+impl PartialEq for KnnEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for KnnEntry {}
+impl PartialOrd for KnnEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KnnEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("finite distances")
+    }
+}
+
+fn bounds_of<const D: usize>(points: &[([f64; D], u32)]) -> Option<Rect<D>> {
+    let mut it = points.iter();
+    let first = it.next()?;
+    let mut r = Rect::point(first.0);
+    for (p, _) in it {
+        r = r.union(&Rect::point(*p));
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<([f64; 3], u32)> {
+        // Deterministic pseudo-random 3-d points.
+        (0..n as u32)
+            .map(|i| {
+                let h = |k: u32| ((i.wrapping_mul(2654435761).wrapping_add(k * 97)) % 1000) as f64 / 10.0;
+                ([h(1), h(2), h(3)], i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_is_harmless() {
+        let t: KdTree<3> = KdTree::build(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.range_query(&Rect::new([0.0; 3], [1.0; 3])).0.is_empty());
+        assert!(t.nearest(&[0.0; 3]).is_none());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = cloud(2000);
+        let t = KdTree::build(pts.clone());
+        for q in [
+            Rect::new([10.0, 10.0, 10.0], [40.0, 35.0, 60.0]),
+            Rect::new([0.0; 3], [100.0; 3]),
+            Rect::new([99.9, 99.9, 99.9], [100.0, 100.0, 100.0]),
+        ] {
+            let (mut got, _) = t.range_query(&q);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pts
+                .iter()
+                .filter(|(p, _)| q.contains_point(p))
+                .map(|&(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn small_queries_prune_traversal() {
+        let pts = cloud(5000);
+        let t = KdTree::build(pts);
+        let q = Rect::new([20.0, 20.0, 20.0], [25.0, 25.0, 25.0]);
+        let (_, stats) = t.range_query(&q);
+        assert!(
+            stats.points_tested < 2500,
+            "tested {} of 5000",
+            stats.points_tested
+        );
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cloud(800);
+        let t = KdTree::build(pts.clone());
+        for target in [[0.0, 0.0, 0.0], [50.0, 50.0, 50.0], [99.0, 1.0, 73.0]] {
+            let (_, got_d) = t.nearest(&target).expect("non-empty");
+            let best = pts
+                .iter()
+                .map(|(p, _)| dist2(p, &target))
+                .fold(f64::MAX, f64::min);
+            assert!((got_d - best).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_median_splits() {
+        let pts: Vec<([f64; 2], u32)> = (0..100).map(|i| ([5.0, 5.0], i)).collect();
+        let t = KdTree::build(pts);
+        let (hits, _) = t.range_query(&Rect::new([5.0, 5.0], [5.0, 5.0]));
+        assert_eq!(hits.len(), 100);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_reference() {
+        let pts = cloud(1200);
+        let t = KdTree::build(pts.clone());
+        for target in [[5.0, 5.0, 5.0], [50.0, 20.0, 80.0]] {
+            for k in [1usize, 7, 25] {
+                let (got, stats) = t.knn(&target, k);
+                let mut expect: Vec<f64> =
+                    pts.iter().map(|(p, _)| dist2(p, &target)).collect();
+                expect.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let got_d: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+                assert_eq!(got_d, expect[..k].to_vec(), "k={k}");
+                assert!(
+                    stats.points_tested < 1200,
+                    "kNN must prune: {stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let t = KdTree::build(cloud(10));
+        assert!(t.knn(&[0.0; 3], 0).0.is_empty());
+        assert_eq!(t.knn(&[0.0; 3], 100).0.len(), 10, "k beyond n returns all");
+        let empty: KdTree<3> = KdTree::build(Vec::new());
+        assert!(empty.knn(&[0.0; 3], 3).0.is_empty());
+    }
+
+    #[test]
+    fn leaf_size_one_still_correct() {
+        let pts = cloud(64);
+        let t = KdTree::build_with_leaf_size(pts.clone(), 1);
+        let q = Rect::new([0.0; 3], [50.0; 3]);
+        let (mut got, _) = t.range_query(&q);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .filter(|(p, _)| q.contains_point(p))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,24 @@
+//! # pdc-spatial — spatial indexes for the range-query module
+//!
+//! Module 4 compares brute-force range queries against an instructor-
+//! supplied R-tree, and cites kd-trees and quad-trees as the other classic
+//! options. This crate implements all three from scratch over
+//! `D`-dimensional points, each with instrumented queries
+//! ([`QueryStats`]) so the modules can charge the simulated clock for the
+//! memory traffic an index traversal causes — the mechanism behind the
+//! paper's "the R-tree is efficient but memory-bound" lesson.
+
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod tests_props;
+
+pub mod geom;
+pub mod kdtree;
+pub mod quadtree;
+pub mod rtree;
+
+pub use geom::{dist2, QueryStats, Rect};
+pub use kdtree::KdTree;
+pub use quadtree::QuadTree;
+pub use rtree::RTree;

@@ -1,0 +1,210 @@
+//! A 2-d region quad-tree (Finkel & Bentley 1974) with node capacity and
+//! depth limits, cited by Module 4 as one of the classic spatial indexes.
+
+use crate::geom::{QueryStats, Rect};
+
+/// Points per leaf before subdividing.
+const CAPACITY: usize = 16;
+/// Maximum subdivision depth (duplicates would otherwise recurse forever).
+const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+struct QNode {
+    bounds: Rect<2>,
+    points: Vec<([f64; 2], u32)>,
+    children: Option<Box<[QNode; 4]>>,
+    depth: usize,
+}
+
+/// A quad-tree over 2-d points with `u32` ids, covering a fixed region.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    root: QNode,
+    len: usize,
+}
+
+impl QuadTree {
+    /// An empty tree covering `bounds`. Inserts outside the bounds are
+    /// rejected with `false`.
+    pub fn new(bounds: Rect<2>) -> Self {
+        Self {
+            root: QNode {
+                bounds,
+                points: Vec::new(),
+                children: None,
+                depth: 0,
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a point; returns `false` (and stores nothing) if it falls
+    /// outside the tree's region.
+    pub fn insert(&mut self, point: [f64; 2], id: u32) -> bool {
+        if !self.root.bounds.contains_point(&point) {
+            return false;
+        }
+        self.root.insert(point, id);
+        self.len += 1;
+        true
+    }
+
+    /// Ids of points inside `query`, with traversal statistics.
+    pub fn range_query(&self, query: &Rect<2>) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        self.root.range(query, &mut out, &mut stats);
+        (out, stats)
+    }
+}
+
+impl QNode {
+    fn quadrant_of(&self, p: &[f64; 2]) -> usize {
+        let c = self.bounds.center();
+        (usize::from(p[0] > c[0])) | (usize::from(p[1] > c[1]) << 1)
+    }
+
+    fn subdivide(&mut self) {
+        let c = self.bounds.center();
+        let b = &self.bounds;
+        let mk = |min: [f64; 2], max: [f64; 2]| QNode {
+            bounds: Rect::new(min, max),
+            points: Vec::new(),
+            children: None,
+            depth: self.depth + 1,
+        };
+        self.children = Some(Box::new([
+            mk([b.min[0], b.min[1]], [c[0], c[1]]),
+            mk([c[0], b.min[1]], [b.max[0], c[1]]),
+            mk([b.min[0], c[1]], [c[0], b.max[1]]),
+            mk([c[0], c[1]], [b.max[0], b.max[1]]),
+        ]));
+        // Push existing points down.
+        for (p, id) in std::mem::take(&mut self.points) {
+            let q = self.quadrant_of(&p);
+            self.children.as_mut().expect("just subdivided")[q].insert(p, id);
+        }
+    }
+
+    fn insert(&mut self, point: [f64; 2], id: u32) {
+        if self.children.is_some() {
+            let q = self.quadrant_of(&point);
+            if let Some(children) = self.children.as_mut() {
+                children[q].insert(point, id);
+            }
+            return;
+        }
+        self.points.push((point, id));
+        if self.points.len() > CAPACITY && self.depth < MAX_DEPTH {
+            self.subdivide();
+        }
+    }
+
+    fn range(&self, query: &Rect<2>, out: &mut Vec<u32>, stats: &mut QueryStats) {
+        if !self.bounds.intersects(query) {
+            return;
+        }
+        stats.nodes_visited += 1;
+        if let Some(children) = &self.children {
+            for child in children.iter() {
+                child.range(query, out, stats);
+            }
+        } else {
+            for (p, id) in &self.points {
+                stats.points_tested += 1;
+                if query.contains_point(p) {
+                    out.push(*id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with_grid(n: usize) -> (QuadTree, Vec<([f64; 2], u32)>) {
+        let mut t = QuadTree::new(Rect::new([0.0, 0.0], [100.0, 100.0]));
+        let mut pts = Vec::new();
+        for i in 0..n as u32 {
+            let p = [
+                ((i.wrapping_mul(48271)) % 1000) as f64 / 10.0,
+                ((i.wrapping_mul(69621)) % 1000) as f64 / 10.0,
+            ];
+            assert!(t.insert(p, i));
+            pts.push((p, i));
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_points() {
+        let mut t = QuadTree::new(Rect::new([0.0, 0.0], [1.0, 1.0]));
+        assert!(!t.insert([2.0, 0.5], 0));
+        assert!(t.insert([0.5, 0.5], 1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let (t, pts) = tree_with_grid(3000);
+        for q in [
+            Rect::new([10.0, 10.0], [30.0, 40.0]),
+            Rect::new([0.0, 0.0], [100.0, 100.0]),
+            Rect::new([50.0, 50.0], [50.0, 50.0]),
+        ] {
+            let (mut got, _) = t.range_query(&q);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pts
+                .iter()
+                .filter(|(p, _)| q.contains_point(p))
+                .map(|&(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn subdivision_prunes_small_queries() {
+        let (t, _) = tree_with_grid(5000);
+        let q = Rect::new([20.0, 20.0], [24.0, 24.0]);
+        let (_, stats) = t.range_query(&q);
+        assert!(stats.points_tested < 2500, "tested {}", stats.points_tested);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_recurse_forever() {
+        let mut t = QuadTree::new(Rect::new([0.0, 0.0], [1.0, 1.0]));
+        for i in 0..1000 {
+            assert!(t.insert([0.25, 0.25], i));
+        }
+        assert_eq!(t.len(), 1000);
+        let (hits, _) = t.range_query(&Rect::new([0.0, 0.0], [0.5, 0.5]));
+        assert_eq!(hits.len(), 1000);
+    }
+
+    #[test]
+    fn boundary_points_land_in_exactly_one_quadrant() {
+        let mut t = QuadTree::new(Rect::new([0.0, 0.0], [1.0, 1.0]));
+        // Insert many copies of the exact center + corners.
+        for i in 0..40 {
+            assert!(t.insert([0.5, 0.5], i));
+        }
+        assert!(t.insert([0.0, 0.0], 100));
+        assert!(t.insert([1.0, 1.0], 101));
+        let (hits, _) = t.range_query(&Rect::new([0.0, 0.0], [1.0, 1.0]));
+        assert_eq!(hits.len(), 42);
+    }
+}

@@ -1,0 +1,570 @@
+//! R-tree (Guttman 1984) over points, with quadratic split, STR bulk
+//! loading, instrumented range queries, and best-first kNN.
+//!
+//! Module 4 activity 2 supplies students with an R-tree so they can compare
+//! indexed range queries against brute force. This is that R-tree.
+
+use crate::geom::{dist2, QueryStats, Rect};
+use std::collections::BinaryHeap;
+
+/// Maximum entries per node before splitting.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries after a split (Guttman recommends M/2 or less).
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Node<const D: usize> {
+    Leaf {
+        points: Vec<([f64; D], u32)>,
+    },
+    Inner {
+        children: Vec<(Rect<D>, Node<D>)>,
+    },
+}
+
+impl<const D: usize> Node<D> {
+    fn mbr(&self) -> Rect<D> {
+        match self {
+            Node::Leaf { points } => {
+                let mut it = points.iter();
+                let first = it.next().expect("nodes are never empty");
+                let mut r = Rect::point(first.0);
+                for (p, _) in it {
+                    r = r.union(&Rect::point(*p));
+                }
+                r
+            }
+            Node::Inner { children } => {
+                let mut it = children.iter();
+                let first = it.next().expect("nodes are never empty");
+                let mut r = first.0;
+                for (cr, _) in it {
+                    r = r.union(cr);
+                }
+                r
+            }
+        }
+    }
+
+}
+
+/// An R-tree over `D`-dimensional points carrying `u32` ids.
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize> {
+    root: Option<(Rect<D>, Node<D>)>,
+    len: usize,
+    height: usize,
+}
+
+impl<const D: usize> Default for RTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: None,
+            len: 0,
+            height: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 for empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Insert one point (Guttman ChooseLeaf + quadratic split).
+    pub fn insert(&mut self, point: [f64; D], id: u32) {
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some((
+                    Rect::point(point),
+                    Node::Leaf {
+                        points: vec![(point, id)],
+                    },
+                ));
+                self.height = 1;
+            }
+            Some((_, mut root)) => {
+                if let Some(sibling) = insert_rec(&mut root, point, id) {
+                    // Root split: grow the tree.
+                    let r1 = root.mbr();
+                    let r2 = sibling.mbr();
+                    let new_root = Node::Inner {
+                        children: vec![(r1, root), (r2, sibling)],
+                    };
+                    self.height += 1;
+                    self.root = Some((new_root.mbr(), new_root));
+                } else {
+                    self.root = Some((root.mbr(), root));
+                }
+            }
+        }
+    }
+
+    /// Bulk-load with Sort-Tile-Recursive packing — produces a well-packed
+    /// tree much faster than repeated insertion.
+    pub fn bulk_load(mut points: Vec<([f64; D], u32)>) -> Self {
+        let len = points.len();
+        if len == 0 {
+            return Self::new();
+        }
+        let (node, height) = str_pack(&mut points, 0);
+        Self {
+            root: Some((node.mbr(), node)),
+            len,
+            height,
+        }
+    }
+
+    /// All ids whose points fall inside `query` (boundaries inclusive),
+    /// plus traversal statistics.
+    pub fn range_query(&self, query: &Rect<D>) -> (Vec<u32>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        if let Some((mbr, root)) = &self.root {
+            if mbr.intersects(query) {
+                range_rec(root, query, &mut out, &mut stats);
+            } else {
+                stats.nodes_visited = 1;
+            }
+        }
+        (out, stats)
+    }
+
+    /// The `k` nearest neighbours of `target` (best-first search), closest
+    /// first, with traversal statistics.
+    pub fn knn(&self, target: &[f64; D], k: usize) -> (Vec<(u32, f64)>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut result: BinaryHeap<HeapPoint> = BinaryHeap::new(); // max-heap on dist
+        let mut frontier: BinaryHeap<HeapNode<'_, D>> = BinaryHeap::new(); // min-heap via Reverse ordering
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        if let Some((mbr, root)) = &self.root {
+            frontier.push(HeapNode {
+                dist2: mbr.min_dist2(target),
+                node: root,
+            });
+        }
+        while let Some(HeapNode { dist2: nd, node }) = frontier.pop() {
+            if result.len() == k {
+                let worst = result.peek().expect("k > 0").dist2;
+                if nd > worst {
+                    break; // No node can improve the answer set.
+                }
+            }
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf { points } => {
+                    for (p, id) in points {
+                        stats.points_tested += 1;
+                        let d = dist2(p, target);
+                        if result.len() < k {
+                            result.push(HeapPoint { dist2: d, id: *id });
+                        } else if d < result.peek().expect("k > 0").dist2 {
+                            result.pop();
+                            result.push(HeapPoint { dist2: d, id: *id });
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (r, c) in children {
+                        frontier.push(HeapNode {
+                            dist2: r.min_dist2(target),
+                            node: c,
+                        });
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = result
+            .into_sorted_vec()
+            .into_iter()
+            .map(|hp| (hp.id, hp.dist2))
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        (out, stats)
+    }
+}
+
+/// Max-heap element for the kNN result set.
+struct HeapPoint {
+    dist2: f64,
+    id: u32,
+}
+
+impl PartialEq for HeapPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for HeapPoint {}
+impl PartialOrd for HeapPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapPoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("finite distances")
+    }
+}
+
+/// Min-heap element (inverted ordering) for the traversal frontier.
+struct HeapNode<'a, const D: usize> {
+    dist2: f64,
+    node: &'a Node<D>,
+}
+
+impl<const D: usize> PartialEq for HeapNode<'_, D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl<const D: usize> Eq for HeapNode<'_, D> {}
+impl<const D: usize> PartialOrd for HeapNode<'_, D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for HeapNode<'_, D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want nearest-first.
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .expect("finite distances")
+    }
+}
+
+fn range_rec<const D: usize>(
+    node: &Node<D>,
+    query: &Rect<D>,
+    out: &mut Vec<u32>,
+    stats: &mut QueryStats,
+) {
+    stats.nodes_visited += 1;
+    match node {
+        Node::Leaf { points } => {
+            for (p, id) in points {
+                stats.points_tested += 1;
+                if query.contains_point(p) {
+                    out.push(*id);
+                }
+            }
+        }
+        Node::Inner { children } => {
+            for (r, c) in children {
+                if r.intersects(query) {
+                    range_rec(c, query, out, stats);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns a new sibling when the child split.
+fn insert_rec<const D: usize>(node: &mut Node<D>, point: [f64; D], id: u32) -> Option<Node<D>> {
+    match node {
+        Node::Leaf { points } => {
+            points.push((point, id));
+            if points.len() > MAX_ENTRIES {
+                let (a, b) = quadratic_split(std::mem::take(points), |e| Rect::point(e.0));
+                *points = a;
+                Some(Node::Leaf { points: b })
+            } else {
+                None
+            }
+        }
+        Node::Inner { children } => {
+            // ChooseLeaf: least enlargement, ties by smallest area.
+            let target = Rect::point(point);
+            let best = (0..children.len())
+                .min_by(|&i, &j| {
+                    let ei = children[i].0.enlargement(&target);
+                    let ej = children[j].0.enlargement(&target);
+                    ei.partial_cmp(&ej)
+                        .expect("finite enlargement")
+                        .then_with(|| {
+                            children[i]
+                                .0
+                                .area()
+                                .partial_cmp(&children[j].0.area())
+                                .expect("finite area")
+                        })
+                })
+                .expect("inner nodes are never empty");
+            let split = insert_rec(&mut children[best].1, point, id);
+            children[best].0 = children[best].1.mbr();
+            if let Some(sibling) = split {
+                children.push((sibling.mbr(), sibling));
+                if children.len() > MAX_ENTRIES {
+                    let (a, b) = quadratic_split(std::mem::take(children), |e| e.0);
+                    *children = a;
+                    return Some(Node::Inner { children: b });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman quadratic split: pick the pair of seeds wasting the most area,
+/// then greedily assign remaining entries by enlargement preference.
+fn quadratic_split<E, F: Fn(&E) -> Rect<D>, const D: usize>(
+    entries: Vec<E>,
+    rect_of: F,
+) -> (Vec<E>, Vec<E>) {
+    let n = entries.len();
+    debug_assert!(n >= 2);
+    // PickSeeds.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::MIN);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ri = rect_of(&entries[i]);
+            let rj = rect_of(&entries[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut group_a: Vec<E> = Vec::with_capacity(n / 2 + 1);
+    let mut group_b: Vec<E> = Vec::with_capacity(n / 2 + 1);
+    let mut rect_a;
+    let mut rect_b;
+    {
+        let mut rest: Vec<E> = entries.into_iter().collect();
+        // Remove the higher index first so the lower stays valid.
+        let e2 = rest.remove(s2.max(s1));
+        let e1 = rest.remove(s2.min(s1));
+        // e1 corresponds to index min, which is s1 iff s1 < s2 (always true
+        // by construction of the loops above).
+        rect_a = rect_of(&e1);
+        rect_b = rect_of(&e2);
+        group_a.push(e1);
+        group_b.push(e2);
+
+        // Distribute the rest.
+        while let Some(e) = rest.pop() {
+            let remaining = rest.len();
+            // Force-assign to honour the minimum fill.
+            if group_a.len() + remaining < MIN_ENTRIES {
+                rect_a = rect_a.union(&rect_of(&e));
+                group_a.push(e);
+                continue;
+            }
+            if group_b.len() + remaining < MIN_ENTRIES {
+                rect_b = rect_b.union(&rect_of(&e));
+                group_b.push(e);
+                continue;
+            }
+            let r = rect_of(&e);
+            let da = rect_a.enlargement(&r);
+            let db = rect_b.enlargement(&r);
+            if da < db || (da == db && group_a.len() <= group_b.len()) {
+                rect_a = rect_a.union(&r);
+                group_a.push(e);
+            } else {
+                rect_b = rect_b.union(&r);
+                group_b.push(e);
+            }
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Sort-Tile-Recursive packing. Returns (node, height).
+fn str_pack<const D: usize>(points: &mut [([f64; D], u32)], sort_dim: usize) -> (Node<D>, usize) {
+    if points.len() <= MAX_ENTRIES {
+        return (
+            Node::Leaf {
+                points: points.to_vec(),
+            },
+            1,
+        );
+    }
+    // Sort by the current dimension, partition into vertical slabs, recurse
+    // with the next dimension (classic STR generalized to D dims by cycling).
+    points.sort_by(|a, b| {
+        a.0[sort_dim]
+            .partial_cmp(&b.0[sort_dim])
+            .expect("finite coordinates")
+    });
+    let n = points.len();
+    let n_children = n.div_ceil(MAX_ENTRIES).min(MAX_ENTRIES);
+    // Each child subtree receives a contiguous chunk.
+    let chunk = n.div_ceil(n_children);
+    let mut children = Vec::with_capacity(n_children);
+    let mut height = 0;
+    for slab in points.chunks_mut(chunk) {
+        let (node, h) = str_pack(slab, (sort_dim + 1) % D);
+        height = height.max(h);
+        children.push((node.mbr(), node));
+    }
+    (Node::Inner { children }, height + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<([f64; 2], u32)> {
+        let mut v = Vec::new();
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push(([x as f64, y as f64], (x * ny + y) as u32));
+            }
+        }
+        v
+    }
+
+    fn brute_range(points: &[([f64; 2], u32)], q: &Rect<2>) -> Vec<u32> {
+        let mut ids: Vec<u32> = points
+            .iter()
+            .filter(|(p, _)| q.contains_point(p))
+            .map(|&(_, id)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn empty_tree_answers_empty() {
+        let t: RTree<2> = RTree::new();
+        let (hits, stats) = t.range_query(&Rect::new([0.0, 0.0], [1.0, 1.0]));
+        assert!(hits.is_empty());
+        assert_eq!(stats.points_tested, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_matches_brute_force_on_grid() {
+        let pts = grid_points(20, 20);
+        let mut t = RTree::new();
+        for &(p, id) in &pts {
+            t.insert(p, id);
+        }
+        assert_eq!(t.len(), 400);
+        for q in [
+            Rect::new([2.5, 2.5], [7.5, 9.5]),
+            Rect::new([0.0, 0.0], [19.0, 19.0]),
+            Rect::new([-5.0, -5.0], [-1.0, -1.0]),
+            Rect::new([3.0, 3.0], [3.0, 3.0]),
+        ] {
+            let (mut hits, _) = t.range_query(&q);
+            hits.sort_unstable();
+            assert_eq!(hits, brute_range(&pts, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_insert_results() {
+        let pts = grid_points(25, 17);
+        let bulk = RTree::bulk_load(pts.clone());
+        assert_eq!(bulk.len(), pts.len());
+        let q = Rect::new([5.2, 1.1], [14.8, 9.9]);
+        let (mut hits, _) = bulk.range_query(&q);
+        hits.sort_unstable();
+        assert_eq!(hits, brute_range(&pts, &q));
+    }
+
+    #[test]
+    fn tree_prunes_most_of_the_data() {
+        // A tiny query over many points must touch far fewer points than
+        // the brute-force N.
+        let pts = grid_points(100, 100);
+        let t = RTree::bulk_load(pts);
+        let q = Rect::new([10.1, 10.1], [12.9, 12.9]);
+        let (hits, stats) = t.range_query(&q);
+        assert_eq!(hits.len(), 4); // 11,12 × 11,12
+        assert!(
+            stats.points_tested < 1000,
+            "tested {} of 10000 points",
+            stats.points_tested
+        );
+    }
+
+    #[test]
+    fn split_respects_minimum_fill() {
+        let mut t = RTree::new();
+        // A pathological sequence: collinear points.
+        for i in 0..200u32 {
+            t.insert([i as f64, 0.0], i);
+        }
+        assert_eq!(t.len(), 200);
+        let (hits, _) = t.range_query(&Rect::new([0.0, -1.0], [199.0, 1.0]));
+        assert_eq!(hits.len(), 200);
+        assert!(t.height() >= 2);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = grid_points(30, 30);
+        let t = RTree::bulk_load(pts.clone());
+        let target = [7.3, 12.8];
+        let k = 10;
+        let (knn, stats) = t.knn(&target, k);
+        // Brute force reference.
+        let mut dists: Vec<(u32, f64)> = pts
+            .iter()
+            .map(|&(p, id)| (id, dist2(&p, &target)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let expect: Vec<f64> = dists[..k].iter().map(|&(_, d)| d).collect();
+        let got: Vec<f64> = knn.iter().map(|&(_, d)| d).collect();
+        assert_eq!(got, expect);
+        assert!(stats.points_tested < 900, "kNN pruned: {stats:?}");
+    }
+
+    #[test]
+    fn knn_handles_small_trees_and_zero_k() {
+        let mut t: RTree<2> = RTree::new();
+        assert!(t.knn(&[0.0, 0.0], 3).0.is_empty());
+        t.insert([1.0, 1.0], 7);
+        let (nn, _) = t.knn(&[0.0, 0.0], 3);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].0, 7);
+        assert!(t.knn(&[0.0, 0.0], 0).0.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_retrievable() {
+        let mut t = RTree::new();
+        for id in 0..40u32 {
+            t.insert([1.0, 1.0], id);
+        }
+        let (hits, _) = t.range_query(&Rect::new([1.0, 1.0], [1.0, 1.0]));
+        assert_eq!(hits.len(), 40);
+    }
+
+    #[test]
+    fn bulk_load_height_is_logarithmic() {
+        let pts: Vec<([f64; 2], u32)> = (0..10_000u32)
+            .map(|i| ([(i % 100) as f64, (i / 100) as f64], i))
+            .collect();
+        let t = RTree::bulk_load(pts);
+        // ceil(log_16(10000/16)) + 1 ≈ 4.
+        assert!(t.height() <= 5, "height {}", t.height());
+    }
+}

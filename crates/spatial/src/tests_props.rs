@@ -1,0 +1,105 @@
+//! Property tests shared across the index structures (compiled as a child
+//! module of the crate so it can exercise internal invariants too).
+
+use crate::{dist2, KdTree, QuadTree, RTree, Rect};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| [x, y]),
+        1..400,
+    )
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect<2>> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..50.0, 0.0f64..50.0)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inserted_rtree_matches_linear_scan(pts in points_strategy(), q in rect_strategy()) {
+        let mut tree = RTree::new();
+        for (i, &p) in pts.iter().enumerate() {
+            tree.insert(p, i as u32);
+        }
+        let (mut got, _) = tree.range_query(&q);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_and_incremental_rtrees_agree(pts in points_strategy(), q in rect_strategy()) {
+        let entries: Vec<([f64; 2], u32)> =
+            pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let bulk = RTree::bulk_load(entries.clone());
+        let mut inc = RTree::new();
+        for (p, id) in entries {
+            inc.insert(p, id);
+        }
+        let (mut a, _) = bulk.range_query(&q);
+        let (mut b, _) = inc.range_query(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quadtree_agrees_with_kdtree(pts in points_strategy(), q in rect_strategy()) {
+        let entries: Vec<([f64; 2], u32)> =
+            pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let kd = KdTree::build(entries.clone());
+        let mut quad = QuadTree::new(Rect::new([0.0, 0.0], [100.0, 100.0]));
+        for (p, id) in entries {
+            prop_assert!(quad.insert(p, id));
+        }
+        let (mut a, _) = kd.range_query(&q);
+        let (mut b, _) = quad.range_query(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rtree_knn_matches_kdtree_knn(
+        pts in points_strategy(),
+        target in (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| [x, y]),
+        k in 1usize..20,
+    ) {
+        let entries: Vec<([f64; 2], u32)> =
+            pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let rt = RTree::bulk_load(entries.clone());
+        let kd = KdTree::build(entries);
+        let (a, _) = rt.knn(&target, k);
+        let (b, _) = kd.knn(&target, k);
+        let da: Vec<f64> = a.iter().map(|&(_, d)| d).collect();
+        let db: Vec<f64> = b.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(da, db, "distance multisets must agree");
+    }
+
+    #[test]
+    fn knn_distances_are_sorted_and_correct(
+        pts in points_strategy(),
+        target in (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| [x, y]),
+        k in 1usize..10,
+    ) {
+        let entries: Vec<([f64; 2], u32)> =
+            pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let rt = RTree::bulk_load(entries);
+        let (got, _) = rt.knn(&target, k);
+        prop_assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "ascending distances");
+        // Each reported distance matches the id's true distance.
+        for &(id, d) in &got {
+            prop_assert!((dist2(&pts[id as usize], &target) - d).abs() < 1e-12);
+        }
+    }
+}

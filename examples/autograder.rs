@@ -1,0 +1,69 @@
+//! Course tooling demo: auto-grade "submissions" for Modules 2–5 with the
+//! rubric checker, including a deliberately broken submission so the
+//! failure path is visible.
+//!
+//! ```text
+//! cargo run --release --example autograder
+//! ```
+
+use pdc_suite::datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_suite::modules::module2::{distance_rows, run_distance_matrix, Access};
+use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+use pdc_suite::modules::module4::{run_range_queries, Engine};
+use pdc_suite::modules::module5::{run_kmeans, sequential_kmeans, CommOption};
+use pdc_suite::pedagogy::{grade_module2, grade_module3, grade_module4, grade_module5};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Module 2: a correct submission.
+    let pts = uniform_points(128, 90, 0.0, 1.0, 3);
+    let expected: f64 = distance_rows(&pts, 0, 128, Access::RowWise).iter().sum();
+    let row = run_distance_matrix(&pts, 4, Access::RowWise, 1)?;
+    let tiled = run_distance_matrix(&pts, 4, Access::Tiled { tile: 256 }, 1)?;
+    print!("{}", grade_module2(&row, &tiled, expected).render());
+
+    // Module 3: a correct submission.
+    let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)?;
+    let exp =
+        run_distribution_sort(5_000, 8, InputDist::Exponential, BucketStrategy::EqualWidth, 3)?;
+    let hist = run_distribution_sort(
+        5_000,
+        8,
+        InputDist::Exponential,
+        BucketStrategy::Histogram { bins: 512 },
+        3,
+    )?;
+    print!("\n{}", grade_module3(&uni, &exp, &hist).render());
+
+    // Module 3 again: a student who skipped the exponential activity and
+    // handed in the uniform run three times.
+    print!(
+        "\n{}(a submission that never demonstrated the load imbalance)\n",
+        grade_module3(&uni, &uni, &uni).render()
+    );
+
+    // Module 4.
+    let cat = asteroid_catalog(50_000, 7);
+    let qs = random_range_queries(200, 0.05, 8);
+    let b1 = run_range_queries(&cat, &qs, 1, Engine::BruteForce, 1)?;
+    let bp = run_range_queries(&cat, &qs, 16, Engine::BruteForce, 1)?;
+    let r1 = run_range_queries(&cat, &qs, 1, Engine::RTree, 1)?;
+    let rp = run_range_queries(&cat, &qs, 16, Engine::RTree, 1)?;
+    print!("\n{}", grade_module4(&b1, &bp, &r1, &rp).render());
+
+    // Module 5.
+    let blobs = gaussian_mixture(1_000, 2, 4, 100.0, 1.0, 5).points;
+    let (centroids, _, _) = sequential_kmeans(&blobs, 4, 1e-9);
+    let reference: f64 = (0..blobs.len())
+        .map(|i| {
+            let p = blobs.point(i);
+            centroids
+                .chunks_exact(2)
+                .map(|c| (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    let wm = run_kmeans(&blobs, 4, 8, CommOption::WeightedMeans, 1, 1e-9)?;
+    let ea = run_kmeans(&blobs, 4, 8, CommOption::ExplicitAssignment, 1, 1e-9)?;
+    print!("\n{}", grade_module5(&wm, &ea, reference).render());
+    Ok(())
+}

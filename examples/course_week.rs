@@ -1,0 +1,61 @@
+//! A student's first week on the (simulated) cluster: write a job script,
+//! watch the queue under FIFO vs backfill, run the warm-up exercises, and
+//! check the cache counters of a first kernel — the ancillary modules end
+//! to end.
+//!
+//! ```text
+//! cargo run --release --example course_week
+//! ```
+
+use pdc_suite::cluster::slurm::Policy;
+use pdc_suite::modules::ancillary::{slurm_intro, warmups};
+use pdc_suite::modules::module2::{trace_distance_kernel, Access};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Day 1: the batch scheduler.
+    println!("== day 1: SLURM ==");
+    let walk = slurm_intro(Policy::EasyBackfill);
+    println!("your first job script:\n{}", walk.scripts[0]);
+    println!("the queue under EASY backfill:");
+    for job in &walk.schedule {
+        println!(
+            "  {:<16} start {:>6.0}s  end {:>6.0}s  nodes {:?}  ({:?})",
+            job.script.name, job.start_time, job.end_time, job.nodes, job.outcome
+        );
+    }
+    let fifo = slurm_intro(Policy::Fifo);
+    println!(
+        "mean queue wait: backfill {:.0}s vs FIFO {:.0}s\n",
+        walk.mean_wait, fifo.mean_wait
+    );
+
+    // Day 2: warm-up exercises.
+    println!("== day 2: MPI warm-ups ==");
+    for line in warmups::hello_world(4)? {
+        println!("  {line}");
+    }
+    println!("  token-ring sum of ranks 0..6 = {}", warmups::token_ring_sum(6)?);
+    let data: Vec<f64> = (0..640).map(|i| i as f64).collect();
+    println!(
+        "  distributed mean of 0..640 = {}",
+        warmups::distributed_mean(&data, 8)?
+    );
+    println!("  pi by reduce = {:.10}", warmups::pi_estimate(1_000_000, 8)?);
+
+    // Day 3: first look at the memory hierarchy.
+    println!("\n== day 3: why does my kernel crawl? ==");
+    let row = trace_distance_kernel(200, 90, Access::RowWise);
+    let tiled = trace_distance_kernel(200, 90, Access::Tiled { tile: 32 });
+    println!(
+        "  row-wise distance kernel: L1 miss rate {:.2}%, {} DRAM lines",
+        row.l1_miss_rate * 100.0,
+        row.dram_lines
+    );
+    println!(
+        "  tiled (32-point tiles):   L1 miss rate {:.2}%, {} DRAM lines",
+        tiled.l1_miss_rate * 100.0,
+        tiled.dram_lines
+    );
+    println!("  (the cache simulator plays the role of `perf stat`)");
+    Ok(())
+}

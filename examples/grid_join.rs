@@ -1,0 +1,55 @@
+//! The Module 8 capstone: a distributed similarity self-join, uniform vs
+//! clustered data — correctness, pruning power, and the load-balance
+//! surprise hash partitioning hides.
+//!
+//! ```text
+//! cargo run --release --example grid_join
+//! ```
+
+use pdc_suite::cluster::metrics::imbalance_factor;
+use pdc_suite::datagen::{gaussian_mixture, uniform_points};
+use pdc_suite::modules::module8::{run_self_join, sequential_self_join, JoinMethod};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eps = 1.5;
+    let ranks = 8;
+
+    for (label, pts) in [
+        ("uniform", uniform_points(20_000, 2, 0.0, 100.0, 42)),
+        ("clustered", gaussian_mixture(20_000, 2, 4, 100.0, 2.0, 42).points),
+    ] {
+        println!("== {label} data: 20k points, eps = {eps} ==");
+        let reference = sequential_self_join(&pts, eps);
+        let bf = run_self_join(&pts, eps, ranks, JoinMethod::BruteForce)?;
+        let grid = run_self_join(&pts, eps, ranks, JoinMethod::Grid)?;
+        assert_eq!(bf.pairs, reference);
+        assert_eq!(grid.pairs, reference);
+        println!("  pairs within eps : {} (all three methods agree)", reference);
+        println!(
+            "  candidates tested: brute {} vs grid {}  ({:.0}x pruned)",
+            bf.candidates,
+            grid.candidates,
+            bf.candidates as f64 / grid.candidates as f64
+        );
+        println!(
+            "  simulated time   : brute {:.5}s vs grid {:.5}s",
+            bf.sim_time, grid.sim_time
+        );
+        let loads: Vec<f64> = grid
+            .rank_candidates
+            .iter()
+            .map(|&c| c as f64 + 1.0)
+            .collect();
+        println!(
+            "  grid load balance: per-rank candidates {:?}\n                     imbalance {:.2}x\n",
+            grid.rank_candidates,
+            imbalance_factor(&loads)
+        );
+    }
+    println!(
+        "lesson: the grid join wins everywhere, but hash partitioning balances\n\
+         *cells*, not *work* — clustered data piles candidate pairs onto the\n\
+         ranks owning the dense cells, re-opening Module 3's load-balance story."
+    );
+    Ok(())
+}

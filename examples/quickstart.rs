@@ -1,0 +1,63 @@
+//! Quickstart: a five-minute tour of the runtime and the modules.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pdc_suite::datagen::gaussian_mixture;
+use pdc_suite::modules::module5::{run_kmeans, CommOption};
+use pdc_suite::mpi::{Op, World, ANY_SOURCE, ANY_TAG};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Hello, distributed world: four ranks greet rank 0.
+    let out = World::run_simple(4, |comm| {
+        if comm.rank() == 0 {
+            let mut greetings = Vec::new();
+            for _ in 1..comm.size() {
+                let (msg, status) = comm.recv::<u8>(ANY_SOURCE, ANY_TAG)?;
+                greetings.push((status.source, String::from_utf8_lossy(&msg).into_owned()));
+            }
+            greetings.sort();
+            Ok(greetings)
+        } else {
+            let msg = format!("hi from rank {}", comm.rank());
+            comm.send(msg.as_bytes(), 0, 0)?;
+            Ok(Vec::new())
+        }
+    })?;
+    println!("-- point-to-point --");
+    for (src, msg) in &out.values[0] {
+        println!("rank 0 heard rank {src}: {msg}");
+    }
+
+    // 2. Collectives: a global sum every rank agrees on.
+    let out = World::run_simple(8, |comm| {
+        let contribution = [(comm.rank() + 1) as u64];
+        Ok(comm.allreduce(&contribution, Op::Sum)?[0])
+    })?;
+    println!("\n-- collectives --");
+    println!("allreduce(1..=8) on every rank: {:?}", out.values[0]);
+    println!(
+        "simulated time {:.2} us, {} messages moved",
+        out.sim_time * 1e6,
+        out.total_stats().msgs_sent
+    );
+
+    // 3. A real module: distributed k-means over three blobs.
+    let blobs = gaussian_mixture(3_000, 2, 3, 100.0, 1.0, 42);
+    let report = run_kmeans(&blobs.points, 3, 8, CommOption::WeightedMeans, 1, 1e-9)?;
+    println!("\n-- module 5: k-means --");
+    println!(
+        "{} points, k=3, 8 ranks: converged in {} iterations, inertia {:.1}",
+        report.n, report.iterations, report.inertia
+    );
+    for (i, c) in report.centroids.chunks_exact(2).enumerate() {
+        println!("centroid {i}: ({:8.3}, {:8.3})", c[0], c[1]);
+    }
+    println!(
+        "time split: {:.0}% compute / {:.0}% communication (simulated)",
+        100.0 * report.compute_time / (report.compute_time + report.comm_time),
+        100.0 * report.comm_time / (report.compute_time + report.comm_time),
+    );
+    Ok(())
+}

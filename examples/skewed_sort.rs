@@ -1,0 +1,53 @@
+//! The Module 3 story in one run: a distributed bucket sort that is
+//! balanced on uniform data, falls over on exponential data, and is
+//! rescued by histogram-based splitters.
+//!
+//! ```text
+//! cargo run --release --example skewed_sort
+//! ```
+
+use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+
+fn bar(len: usize, scale: usize) -> String {
+    "#".repeat((len / scale).max(1))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_per_rank = 100_000;
+    let ranks = 8;
+    println!("distributed bucket sort: {n_per_rank} elements/rank on {ranks} ranks\n");
+
+    for (title, dist, strategy) in [
+        (
+            "activity 1: uniform data, equal-width buckets",
+            InputDist::Uniform,
+            BucketStrategy::EqualWidth,
+        ),
+        (
+            "activity 2: exponential data, equal-width buckets",
+            InputDist::Exponential,
+            BucketStrategy::EqualWidth,
+        ),
+        (
+            "activity 3: exponential data, histogram splitters",
+            InputDist::Exponential,
+            BucketStrategy::Histogram { bins: 1024 },
+        ),
+    ] {
+        let rep = run_distribution_sort(n_per_rank, ranks, dist, strategy, 7)?;
+        println!("{title}");
+        for (rank, &size) in rep.bucket_sizes.iter().enumerate() {
+            println!("  rank {rank}: {:>7} {}", size, bar(size, 12_000));
+        }
+        println!(
+            "  imbalance {:.2}x, simulated time {:.4}s, sorted: {}\n",
+            rep.imbalance, rep.sim_time, rep.sorted_ok
+        );
+    }
+    println!(
+        "lesson: the workload is data-dependent — equal-width buckets shift the\n\
+         skew of the input straight onto the ranks; equal-frequency splitters\n\
+         (from a cheap histogram) restore balance without global sorting."
+    );
+    Ok(())
+}

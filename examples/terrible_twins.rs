@@ -1,0 +1,57 @@
+//! The example quiz question of §IV-B, played out end to end: two MPI
+//! programs with different scaling profiles, a second user who wants one of
+//! your nodes, and the co-scheduling consequences of each choice.
+//!
+//! ```text
+//! cargo run --release --example terrible_twins
+//! ```
+
+use pdc_suite::cluster::cosched::{coschedule, JobProfile};
+use pdc_suite::cluster::MachineModel;
+use pdc_suite::datagen::{asteroid_catalog, random_range_queries};
+use pdc_suite::modules::module4::{run_range_queries, Engine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1: reproduce the two speedup panels of Figure 1 with real module
+    // workloads (20 of 32 cores, as in the quiz).
+    let catalog = asteroid_catalog(100_000, 11);
+    let queries = random_range_queries(400, 0.05, 12);
+    println!("Figure 1 — speedup of your two programs (20 of 32 cores):");
+    println!("cores | Program 1 (R-tree, memory-bound) | Program 2 (brute force, compute-bound)");
+    for p in [1usize, 4, 8, 12, 16, 20] {
+        let rt = run_range_queries(&catalog, &queries, p, Engine::RTree, 1)?;
+        let bf = run_range_queries(&catalog, &queries, p, Engine::BruteForce, 1)?;
+        let rt1 = run_range_queries(&catalog, &queries, 1, Engine::RTree, 1)?;
+        let bf1 = run_range_queries(&catalog, &queries, 1, Engine::BruteForce, 1)?;
+        println!(
+            "{p:>5} | {:>32.2} | {:>38.2}",
+            rt1.sim_time / rt.sim_time,
+            bf1.sim_time / bf.sim_time
+        );
+    }
+
+    // Step 2: another user (running a memory-bound job) asks to share one
+    // of your nodes. Which program do you co-locate them with?
+    let m = MachineModel::cluster_node();
+    let yours_mem = JobProfile::memory_bound("Program 1 (memory-bound)", 16, 12.0e9);
+    let yours_cpu = JobProfile::compute_bound("Program 2 (compute-bound)", 16, 16.0e9);
+    let theirs = JobProfile::memory_bound("their job", 16, 12.0e9);
+
+    println!("\nThe other user's job is memory-bound. Your options:");
+    let a = coschedule(&yours_mem, &theirs, &m);
+    println!(
+        "  share node 1 (Program 1): your slowdown {:.2}x, theirs {:.2}x   <- terrible twins",
+        a.slowdown_a, a.slowdown_b
+    );
+    let b = coschedule(&yours_cpu, &theirs, &m);
+    println!(
+        "  share node 2 (Program 2): your slowdown {:.2}x, theirs {:.2}x   <- the right answer",
+        b.slowdown_a, b.slowdown_b
+    );
+    println!(
+        "\nQuiz answer: Program 2 / Compute Node 2 — CPU cores are space-shared,\n\
+         so the contended resource is memory bandwidth; pair the bandwidth-hungry\n\
+         newcomer with the program that barely uses it."
+    );
+    Ok(())
+}

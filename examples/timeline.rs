@@ -1,0 +1,64 @@
+//! Execution timelines: see the shape of a parallel program.
+//!
+//! Three canonical shapes, rendered as per-rank Gantt strips over
+//! simulated time — the way a timeline viewer (Jumpshot/Vampir) would
+//! show them on the cluster.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use pdc_suite::mpi::trace::summarize;
+use pdc_suite::mpi::{render_timeline, Op, World, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Shape 1: alternating compute/communication phases (k-means style).
+    // Two nodes and an 8 MiB reduction make the communication phase wide
+    // enough to see next to the 10 ms compute phase.
+    let out = World::run(WorldConfig::new(4).on_nodes(2).with_tracing(), |comm| {
+        let big = vec![0.0f64; 1 << 20];
+        for _ in 0..6 {
+            comm.charge_flops(1.6e8); // 10 ms of local work
+            let _ = comm.allreduce(&big, Op::Sum)?;
+        }
+        Ok(())
+    })?;
+    println!("alternating phases (compute, then a collective, six rounds):");
+    print!("{}", render_timeline(&out.traces, 72, None));
+
+    // Shape 2: a straggler starves its partners.
+    let out = World::run(WorldConfig::new(4).with_tracing(), |comm| {
+        let work = if comm.rank() == 2 { 48.0e9 } else { 16.0e9 };
+        comm.charge_flops(work); // rank 2 takes 3x longer
+        comm.barrier()?;
+        comm.charge_flops(8.0e9);
+        Ok(())
+    })?;
+    println!("\na straggler (rank 2) holds the barrier:");
+    print!("{}", render_timeline(&out.traces, 72, None));
+    for (rank, t) in out.traces.iter().enumerate() {
+        let s = summarize(t);
+        println!(
+            "  rank {rank}: compute {:.2}s, waiting {:.2}s",
+            s.compute,
+            s.send + s.recv
+        );
+    }
+
+    // Shape 3: a root serializing a linear broadcast.
+    let out = World::run(WorldConfig::new(6).with_tracing(), |comm| {
+        if comm.rank() == 0 {
+            let payload = vec![0u8; 32 << 20];
+            for dst in 1..comm.size() {
+                comm.send(&payload, dst, 0)?;
+            }
+        } else {
+            let _ = comm.recv::<u8>(0, 0)?;
+        }
+        comm.charge_flops(1.6e8); // 10 ms of post-broadcast work
+        Ok(())
+    })?;
+    println!("\na linear broadcast: the root's injection gap serializes everyone:");
+    print!("{}", render_timeline(&out.traces, 72, None));
+    Ok(())
+}

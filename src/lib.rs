@@ -1,0 +1,23 @@
+//! # pdc-suite — umbrella crate
+//!
+//! Re-exports every crate of the workspace under one roof so the examples
+//! and integration tests (and downstream users who want everything) can
+//! depend on a single package.
+//!
+//! See the individual crates for the real APIs:
+//!
+//! * [`mpi`] — the message-passing runtime ([`pdc_mpi`])
+//! * [`cluster`] — machine model, scheduler, contention ([`pdc_cluster`])
+//! * [`cachesim`] — cache simulator ([`pdc_cachesim`])
+//! * [`spatial`] — R-tree / kd-tree / quad-tree ([`pdc_spatial`])
+//! * [`datagen`] — dataset generators ([`pdc_datagen`])
+//! * [`modules`] — the five pedagogic modules ([`pdc_modules`])
+//! * [`pedagogy`] — outcomes, audits, quiz statistics ([`pdc_pedagogy`])
+
+pub use pdc_cachesim as cachesim;
+pub use pdc_cluster as cluster;
+pub use pdc_datagen as datagen;
+pub use pdc_modules as modules;
+pub use pdc_mpi as mpi;
+pub use pdc_pedagogy as pedagogy;
+pub use pdc_spatial as spatial;

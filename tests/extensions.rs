@@ -1,0 +1,83 @@
+//! Integration tests for the future-work extensions: latency hiding,
+//! top-k, and sub-communicators — exercised through the umbrella crate the
+//! way a downstream user would.
+
+use pdc_suite::modules::module6::{
+    run_stencil, run_stencil_field, sequential_stencil, HaloVariant,
+};
+use pdc_suite::modules::module7::{local_scores, run_top_k, top_k, TopKStrategy};
+use pdc_suite::mpi::{Op, World};
+use proptest::prelude::*;
+
+#[test]
+fn stencil_overlap_is_a_pure_optimization() {
+    // Same numbers, strictly less simulated time on multi-node runs.
+    let blocking = run_stencil(20_000, 8, 30, HaloVariant::BlockingFirst, 2).expect("blocking");
+    let overlapped = run_stencil(20_000, 8, 30, HaloVariant::Overlapped, 2).expect("overlapped");
+    assert_eq!(blocking.checksum, overlapped.checksum, "bit-identical results");
+    assert!(overlapped.sim_time < blocking.sim_time);
+}
+
+#[test]
+fn topk_and_subcomm_compose() {
+    // Split the world into two teams; each team computes its own top-3 via
+    // a sub-communicator reduction of maxima, then the world agrees on the
+    // global maximum.
+    let out = World::run_simple(8, |comm| {
+        let team = (comm.rank() / 4) as u32;
+        let mut sc = comm.split(team, comm.rank() as i64)?;
+        let scores = local_scores(1000, comm.rank(), 5);
+        let local_max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        let team_max = comm.sub_allreduce(&mut sc, &[local_max], Op::Max)?[0];
+        let world_max = comm.allreduce(&[local_max], Op::Max)?[0];
+        Ok((team_max, world_max))
+    })
+    .expect("runs");
+    let world_max = out.values[0].1;
+    for &(team_max, wm) in &out.values {
+        assert_eq!(wm, world_max, "world max agreed everywhere");
+        assert!(team_max <= world_max);
+    }
+    assert!(out.values.iter().any(|&(tm, wm)| tm == wm), "one team holds the max");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stencil_matches_sequential_for_any_shape(
+        ranks in 1usize..6,
+        n_per in 1usize..40,
+        iters in 0usize..25,
+        overlapped in any::<bool>(),
+    ) {
+        let variant = if overlapped { HaloVariant::Overlapped } else { HaloVariant::BlockingFirst };
+        let field = run_stencil_field(n_per, ranks, iters, variant).expect("stencil runs");
+        let reference = sequential_stencil(n_per * ranks, iters);
+        prop_assert_eq!(field.len(), reference.len());
+        for (a, b) in field.iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 1e-12, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn topk_strategies_always_agree(
+        ranks in 1usize..6,
+        n_per in 1usize..500,
+        k in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let mut all = Vec::new();
+        for r in 0..ranks {
+            all.extend(local_scores(n_per, r, seed));
+        }
+        let reference = top_k(&all, k);
+        for strategy in [TopKStrategy::GatherAll, TopKStrategy::LocalPrune, TopKStrategy::TreeMerge] {
+            let rep = run_top_k(n_per, ranks, k, strategy, seed).expect("runs");
+            prop_assert_eq!(rep.top.len(), reference.len(), "{:?}", strategy);
+            for (a, b) in rep.top.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-12, "{:?}: {} vs {}", strategy, a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use pdc_suite::datagen::uniform_points;
+use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+use pdc_suite::modules::module5::{run_kmeans, sequential_kmeans, CommOption};
+use pdc_suite::spatial::{KdTree, RTree, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distribution_sort_is_correct_for_any_shape(
+        ranks in 1usize..8,
+        n_per in 1usize..2000,
+        seed in 0u64..500,
+        exponential in any::<bool>(),
+        histogram in any::<bool>(),
+    ) {
+        let dist = if exponential { InputDist::Exponential } else { InputDist::Uniform };
+        let strategy = if histogram {
+            BucketStrategy::Histogram { bins: 64 }
+        } else {
+            BucketStrategy::EqualWidth
+        };
+        let rep = run_distribution_sort(n_per, ranks, dist, strategy, seed)
+            .expect("sort never fails");
+        prop_assert!(rep.sorted_ok, "output must be globally sorted");
+        prop_assert_eq!(
+            rep.bucket_sizes.iter().sum::<usize>(),
+            n_per * ranks,
+            "no element may be lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn rtree_range_query_equals_kdtree_for_random_boxes(
+        n in 1usize..800,
+        seed in 0u64..200,
+        x0 in 0.0f64..100.0, y0 in 0.0f64..100.0,
+        w in 0.0f64..60.0, h in 0.0f64..60.0,
+    ) {
+        let pts = uniform_points(n, 2, 0.0, 100.0, seed);
+        let entries: Vec<([f64; 2], u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ([p[0], p[1]], i as u32))
+            .collect();
+        let rtree = RTree::bulk_load(entries.clone());
+        let kdtree = KdTree::build(entries);
+        let q = Rect::new([x0, y0], [x0 + w, y0 + h]);
+        let (mut a, _) = rtree.range_query(&q);
+        let (mut b, _) = kdtree.range_query(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distributed_kmeans_matches_sequential_for_any_partition(
+        ranks in 1usize..7,
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let pts = uniform_points(120, 2, 0.0, 50.0, seed);
+        let (seq_centroids, _, seq_iters) = sequential_kmeans(&pts, k, 1e-9);
+        let rep = run_kmeans(&pts, k, ranks, CommOption::WeightedMeans, 1, 1e-9)
+            .expect("kmeans runs");
+        prop_assert_eq!(rep.iterations, seq_iters, "same trajectory length");
+        for (a, b) in rep.centroids.iter().zip(&seq_centroids) {
+            prop_assert!((a - b).abs() < 1e-6, "centroid drift: {} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn simulated_makespan_never_beats_the_critical_path(
+        p in 1usize..10,
+        flops in 1.0e6f64..1.0e10,
+    ) {
+        use pdc_suite::mpi::World;
+        // Every rank does `flops` work: the makespan can never be below the
+        // single-rank kernel time (nothing can compress the critical path).
+        let out = World::run_simple(p, move |comm| {
+            comm.charge_flops(flops);
+            Ok(comm.sim_time())
+        }).expect("runs");
+        let single = flops / 16.0e9;
+        prop_assert!(out.sim_time >= single * 0.999999);
+        for &t in &out.values {
+            prop_assert!(t >= single * 0.999999);
+        }
+    }
+}

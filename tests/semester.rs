@@ -1,0 +1,93 @@
+//! End-to-end integration: a full "semester" — every module run in the
+//! scaffolded order on one dataset family, with the cross-module lessons
+//! asserted on the results.
+
+use pdc_suite::datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_suite::modules::module1::{ping_pong, random_comm_with_any_source, ring, RingVariant};
+use pdc_suite::modules::module2::{run_distance_matrix, Access};
+use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+use pdc_suite::modules::module4::{run_range_queries, Engine};
+use pdc_suite::modules::module5::{run_kmeans, CommOption};
+
+#[test]
+fn the_full_module_sequence_runs_in_order() {
+    // Module 1: communication basics.
+    let pp = ping_pong(10, 4096).expect("module 1 ping-pong");
+    assert!(pp.sim_latency_per_round > 0.0);
+    let ring = ring(8, RingVariant::Nonblocking, 0).expect("module 1 ring");
+    assert_eq!(ring.len(), 8);
+    let rc = random_comm_with_any_source(8, 4, 99).expect("module 1 random");
+    assert!(rc.messages > 0);
+
+    // Module 2: distance matrix, tiled.
+    let pts = uniform_points(256, 90, 0.0, 1.0, 1);
+    let m2 = run_distance_matrix(&pts, 8, Access::Tiled { tile: 64 }, 1).expect("module 2");
+    assert!(m2.checksum > 0.0);
+    assert!(m2.primitives.contains(&"MPI_Scatter".to_string()));
+    assert!(m2.primitives.contains(&"MPI_Reduce".to_string()));
+
+    // Module 3: sort with the histogram fix.
+    let m3 = run_distribution_sort(
+        10_000,
+        8,
+        InputDist::Exponential,
+        BucketStrategy::Histogram { bins: 256 },
+        1,
+    )
+    .expect("module 3");
+    assert!(m3.sorted_ok);
+    assert!(m3.imbalance < 1.5);
+
+    // Module 4: indexed range queries.
+    let cat = asteroid_catalog(20_000, 1);
+    let qs = random_range_queries(100, 0.1, 2);
+    let m4 = run_range_queries(&cat, &qs, 8, Engine::RTree, 1).expect("module 4");
+    assert!(m4.total_matches > 0);
+
+    // Module 5: k-means.
+    let blobs = gaussian_mixture(2_000, 2, 4, 100.0, 1.0, 3).points;
+    let m5 = run_kmeans(&blobs, 4, 8, CommOption::WeightedMeans, 1, 1e-9).expect("module 5");
+    assert!(m5.iterations >= 1);
+    assert!(m5.inertia.is_finite());
+}
+
+#[test]
+fn scaffolding_lessons_compose_across_modules() {
+    // The compute-bound module scales better than the memory-bound ones —
+    // the through-line of modules 2-4 (outcome 10 of Table I).
+    let pts = uniform_points(512, 90, 0.0, 1.0, 5);
+    let m2_eff = {
+        let t1 = run_distance_matrix(&pts, 1, Access::Tiled { tile: 256 }, 1)
+            .expect("p=1")
+            .sim_time;
+        let t16 = run_distance_matrix(&pts, 16, Access::Tiled { tile: 256 }, 1)
+            .expect("p=16")
+            .sim_time;
+        t1 / t16 / 16.0
+    };
+    let cat = asteroid_catalog(50_000, 7);
+    let qs = random_range_queries(200, 0.05, 8);
+    let m4_eff = {
+        let t1 = run_range_queries(&cat, &qs, 1, Engine::RTree, 1).expect("p=1").sim_time;
+        let t16 = run_range_queries(&cat, &qs, 16, Engine::RTree, 1)
+            .expect("p=16")
+            .sim_time;
+        t1 / t16 / 16.0
+    };
+    assert!(
+        m2_eff > m4_eff,
+        "compute-bound efficiency {m2_eff:.2} must beat memory-bound {m4_eff:.2}"
+    );
+}
+
+#[test]
+fn module_reports_serialize_for_grading_scripts() {
+    // Course tooling consumes the reports as JSON.
+    let pts = uniform_points(64, 8, 0.0, 1.0, 9);
+    let rep = run_distance_matrix(&pts, 4, Access::RowWise, 1).expect("runs");
+    let json = serde_json::to_string(&rep).expect("serializes");
+    assert!(json.contains("\"checksum\""));
+    let back: pdc_suite::modules::module2::DistanceMatrixReport =
+        serde_json::from_str(&json).expect("roundtrips");
+    assert_eq!(back, rep);
+}
