@@ -53,8 +53,12 @@ fn bench_indexes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("spatial_build_50k");
     group.sample_size(10);
-    group.bench_function("rtree_bulk", |b| b.iter(|| RTree::bulk_load(entries.clone())));
-    group.bench_function("kdtree_build", |b| b.iter(|| KdTree::build(entries.clone())));
+    group.bench_function("rtree_bulk", |b| {
+        b.iter(|| RTree::bulk_load(entries.clone()))
+    });
+    group.bench_function("kdtree_build", |b| {
+        b.iter(|| KdTree::build(entries.clone()))
+    });
     group.finish();
 }
 

@@ -8,11 +8,11 @@
 //! outcome 6 of Table I).
 
 use pdc_cluster::{MachineModel, PlacementPolicy};
-use pdc_datagen::{asteroid_catalog, random_range_queries};
-use pdc_modules::module4::{run_range_queries_cfg, Engine};
 use pdc_datagen::uniform_points;
+use pdc_datagen::{asteroid_catalog, random_range_queries};
 use pdc_modules::module2::{self, Access};
 use pdc_modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
+use pdc_modules::module4::{run_range_queries_cfg, Engine};
 use pdc_modules::module6::{run_stencil_placed, HaloVariant};
 use pdc_mpi::{Result, World, WorldConfig};
 use serde::{Deserialize, Serialize};
@@ -129,7 +129,11 @@ pub fn ablation_bcast_algorithm() -> Result<BcastAblation> {
     for p in [4usize, 8, 16, 32] {
         let binomial = World::run(WorldConfig::new(p), move |comm| {
             let payload = vec![0u8; bytes];
-            let data = if comm.rank() == 0 { Some(&payload[..]) } else { None };
+            let data = if comm.rank() == 0 {
+                Some(&payload[..])
+            } else {
+                None
+            };
             let _ = comm.bcast(data, 0)?;
             Ok(())
         })?
@@ -224,8 +228,7 @@ pub fn ablation_placement() -> Result<PlacementAblation> {
     let (block_makespan, block_comm_time) = exchange(PlacementPolicy::Block)?;
     let (rr_makespan, rr_comm_time) = exchange(PlacementPolicy::RoundRobin)?;
     let stencil = |policy| {
-        run_stencil_placed(1_000, 8, 100, HaloVariant::BlockingFirst, 2, policy)
-            .map(|r| r.sim_time)
+        run_stencil_placed(1_000, 8, 100, HaloVariant::BlockingFirst, 2, policy).map(|r| r.sim_time)
     };
     Ok(PlacementAblation {
         block_makespan,
@@ -315,12 +318,16 @@ impl HardwareAblation {
              ranks   standard      HBM-class\n",
         );
         for &(p, std_t, fat_t) in &self.rows {
-            s.push_str(&format!("{p:<8}{std_t:>9.6}s  {fat_t:>9.6}s
-"));
+            s.push_str(&format!(
+                "{p:<8}{std_t:>9.6}s  {fat_t:>9.6}s
+"
+            ));
         }
-        s.push_str("Lesson: the knee of the memory-bound curve is a hardware number
+        s.push_str(
+            "Lesson: the knee of the memory-bound curve is a hardware number
 (node_bw / core_bw), not an algorithm property.
-");
+",
+        );
         s
     }
 }

@@ -14,10 +14,8 @@
 
 use pdc_bench::{
     ablation_bcast_algorithm, ablation_hardware, ablation_histogram_bins, ablation_placement,
-    ablation_tile_size,
-    exp2a, exp2b, exp3a, exp3b, exp4a, exp4b, exp5a, exp5b, exp5c, exp6, exp7, exp8, exp_q4,
-    figure1,
-    render_figure2, render_q4,
+    ablation_tile_size, exp2a, exp2b, exp3a, exp3b, exp4a, exp4b, exp5a, exp5b, exp5c, exp6, exp7,
+    exp8, exp_q4, figure1, render_figure2, render_q4,
 };
 use pdc_pedagogy::audit::{audit_modules, render_table_ii, verify_against_paper};
 use pdc_pedagogy::cohort::render_table_iii;
@@ -49,12 +47,21 @@ fn run_table(which: &str, json: bool) -> Result<(), String> {
         "2" => {
             let audit = audit_modules().map_err(|e| e.to_string())?;
             if json {
-                println!("{}", serde_json::to_string_pretty(&audit).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&audit).expect("serializable")
+                );
                 return Ok(());
             }
-            print!("Table II (spec letter, ✓ = measured use)\n{}", render_table_ii(&audit));
+            print!(
+                "Table II (spec letter, ✓ = measured use)\n{}",
+                render_table_ii(&audit)
+            );
             let violations = verify_against_paper(&audit);
-            check("Table II required-primitive contract", violations.is_empty());
+            check(
+                "Table II required-primitive contract",
+                violations.is_empty(),
+            );
             for v in violations {
                 println!("  violation: {v}");
             }
@@ -84,7 +91,10 @@ fn run_figure(which: &str, json: bool) -> Result<(), String> {
         "1" => {
             let f = figure1().map_err(|e| e.to_string())?;
             if json {
-                println!("{}", serde_json::to_string_pretty(&f).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&f).expect("serializable")
+                );
                 return Ok(());
             }
             print!("{}", f.render());
@@ -103,7 +113,10 @@ macro_rules! run_exp_arm {
     ($json:expr, $f:expr, $name:expr) => {{
         let e = $f.map_err(|e| e.to_string())?;
         if $json {
-            println!("{}", serde_json::to_string_pretty(&e).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&e).expect("serializable")
+            );
         } else {
             print!("{}", e.render());
             check($name, e.holds());
@@ -117,7 +130,11 @@ fn run_exp(which: &str, json: bool) -> Result<(), String> {
         "2b" => run_exp_arm!(json, exp2b(), "E2b near-linear compute-bound scaling"),
         "3a" => run_exp_arm!(json, exp3a(), "E3a histogram splitters restore balance"),
         "3b" => run_exp_arm!(json, exp3b(), "E3b sort scales worse than distance matrix"),
-        "4a" => run_exp_arm!(json, exp4a(), "E4a R-tree faster, brute force more scalable"),
+        "4a" => run_exp_arm!(
+            json,
+            exp4a(),
+            "E4a R-tree faster, brute force more scalable"
+        ),
         "4b" => run_exp_arm!(json, exp4b(), "E4b two nodes beat one (memory bandwidth)"),
         "5a" => run_exp_arm!(json, exp5a(), "E5a large k compute-dominated"),
         "5b" => run_exp_arm!(json, exp5b(), "E5b weighted means moves far fewer bytes"),
@@ -128,10 +145,16 @@ fn run_exp(which: &str, json: bool) -> Result<(), String> {
         "q4" => {
             let rep = exp_q4();
             if json {
-                println!("{}", serde_json::to_string_pretty(&rep).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rep).expect("serializable")
+                );
             } else {
                 print!("{}", render_q4(&rep));
-                check("EQ4 terrible twins confirmed", rep.terrible_twins_confirmed());
+                check(
+                    "EQ4 terrible twins confirmed",
+                    rep.terrible_twins_confirmed(),
+                );
             }
         }
         _ => return Err(format!("unknown experiment {which}")),
@@ -143,8 +166,16 @@ fn run_ablation(which: &str, json: bool) -> Result<(), String> {
     match which {
         "tile" => run_exp_arm!(json, ablation_tile_size(), "tile-size trade-off"),
         "bins" => run_exp_arm!(json, ablation_histogram_bins(), "histogram bins converge"),
-        "bcast" => run_exp_arm!(json, ablation_bcast_algorithm(), "binomial beats linear bcast"),
-        "placement" => run_exp_arm!(json, ablation_placement(), "block placement beats round-robin"),
+        "bcast" => run_exp_arm!(
+            json,
+            ablation_bcast_algorithm(),
+            "binomial beats linear bcast"
+        ),
+        "placement" => run_exp_arm!(
+            json,
+            ablation_placement(),
+            "block placement beats round-robin"
+        ),
         "hardware" => run_exp_arm!(json, ablation_hardware(), "HBM node moves the scaling knee"),
         _ => return Err(format!("unknown ablation {which}")),
     }
@@ -162,7 +193,9 @@ fn run_all(json: bool) -> Result<(), String> {
     }
     print!("{}", render_survey());
     println!();
-    for e in ["2a", "2b", "3a", "3b", "4a", "4b", "5a", "5b", "5c", "6", "7", "8", "q4"] {
+    for e in [
+        "2a", "2b", "3a", "3b", "4a", "4b", "5a", "5b", "5c", "6", "7", "8", "q4",
+    ] {
         run_exp(e, json)?;
         println!();
     }
@@ -189,7 +222,10 @@ fn main() -> ExitCode {
         ["--quiz"] => {
             print!("{}", render_quiz_sheet());
             let problems = verify_answer_key();
-            check("answer key verified against the running system", problems.is_empty());
+            check(
+                "answer key verified against the running system",
+                problems.is_empty(),
+            );
             for p in problems {
                 println!("  discrepancy: {p}");
             }

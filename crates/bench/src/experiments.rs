@@ -9,7 +9,9 @@ use pdc_cluster::metrics::ScalingCurve;
 use pdc_cluster::MachineModel;
 use pdc_datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
 use pdc_modules::module2::{self, Access};
-use pdc_modules::module3::{run_distribution_sort, sequential_sort_time, BucketStrategy, InputDist};
+use pdc_modules::module3::{
+    run_distribution_sort, sequential_sort_time, BucketStrategy, InputDist,
+};
 use pdc_modules::module4::{run_range_queries, Engine};
 use pdc_modules::module5::{run_kmeans, CommOption};
 use pdc_modules::module6::{run_stencil, HaloVariant};
@@ -56,8 +58,7 @@ pub fn exp2a() -> Result<Exp2a> {
 impl Exp2a {
     /// Tiled must have the lower miss rate and the lower time.
     pub fn holds(&self) -> bool {
-        self.tiled.l1_miss_rate < self.rowwise.l1_miss_rate
-            && self.tiled_time < self.rowwise_time
+        self.tiled.l1_miss_rate < self.rowwise.l1_miss_rate && self.tiled_time < self.rowwise_time
     }
 
     /// Text table.
@@ -132,8 +133,16 @@ pub fn exp3a() -> Result<Exp3a> {
     let p = 8;
     let mut rows = Vec::new();
     for (label, dist, strat) in [
-        ("uniform + equal-width", InputDist::Uniform, BucketStrategy::EqualWidth),
-        ("exponential + equal-width", InputDist::Exponential, BucketStrategy::EqualWidth),
+        (
+            "uniform + equal-width",
+            InputDist::Uniform,
+            BucketStrategy::EqualWidth,
+        ),
+        (
+            "exponential + equal-width",
+            InputDist::Exponential,
+            BucketStrategy::EqualWidth,
+        ),
         (
             "exponential + histogram",
             InputDist::Exponential,
@@ -191,8 +200,14 @@ pub fn exp3b() -> Result<Exp3b> {
             sequential_sort_time(n_per * 32, InputDist::Uniform, 4)?
         } else {
             // Strong scaling: the same global N split over p ranks.
-            run_distribution_sort(n_per * 32 / p, p, InputDist::Uniform, BucketStrategy::EqualWidth, 4)?
-                .sim_time
+            run_distribution_sort(
+                n_per * 32 / p,
+                p,
+                InputDist::Uniform,
+                BucketStrategy::EqualWidth,
+                4,
+            )?
+            .sim_time
         };
         sort_samples.push((p, t));
     }
@@ -217,7 +232,10 @@ impl Exp3b {
     /// Text table.
     pub fn render(&self) -> String {
         let mut s = render_curve("E3b sort scaling (memory-bound)", &self.sort);
-        s.push_str(&render_curve("     vs distance matrix (compute-bound)", &self.matrix));
+        s.push_str(&render_curve(
+            "     vs distance matrix (compute-bound)",
+            &self.matrix,
+        ));
         s
     }
 }
@@ -242,7 +260,12 @@ pub fn exp4a() -> Result<Exp4a> {
     let sweep = |engine: Engine| -> Result<Vec<(usize, f64)>> {
         SCALE_RANKS
             .iter()
-            .map(|&p| Ok((p, run_range_queries(&catalog, &queries, p, engine, 1)?.sim_time)))
+            .map(|&p| {
+                Ok((
+                    p,
+                    run_range_queries(&catalog, &queries, p, engine, 1)?.sim_time,
+                ))
+            })
             .collect()
     };
     Ok(Exp4a {
@@ -366,7 +389,11 @@ impl Exp5a {
         for &(k, frac) in &self.rows {
             s.push_str(&format!(
                 "{k:<5}{frac:>15.3}   {}\n",
-                if frac > 0.5 { "computation" } else { "communication" }
+                if frac > 0.5 {
+                    "computation"
+                } else {
+                    "communication"
+                }
             ));
         }
         s
@@ -561,8 +588,10 @@ impl Exp7 {
              strategy      total bytes   root received\n",
         );
         for (label, total, root) in &self.rows {
-            s.push_str(&format!("{label:<14}{total:>11}   {root:>13}
-"));
+            s.push_str(&format!(
+                "{label:<14}{total:>11}   {root:>13}
+"
+            ));
         }
         s
     }
@@ -643,7 +672,10 @@ pub fn exp_q4() -> CoScheduleReport {
 /// Render EQ4.
 pub fn render_q4(rep: &CoScheduleReport) -> String {
     let row = |label: &str, o: &pdc_cluster::cosched::PairingOutcome| {
-        format!("{label:<20}{:>10.2}x {:>10.2}x\n", o.slowdown_a, o.slowdown_b)
+        format!(
+            "{label:<20}{:>10.2}x {:>10.2}x\n",
+            o.slowdown_a, o.slowdown_b
+        )
     };
     let mut s = String::from(
         "EQ4 co-scheduling slowdowns (16+16 ranks on one 32-core node)\n\
@@ -657,7 +689,10 @@ pub fn render_q4(rep: &CoScheduleReport) -> String {
 }
 
 fn render_curve(title: &str, c: &ScalingCurve) -> String {
-    let mut s = format!("{title} — {}\nranks |      time   speedup   efficiency\n", c.label);
+    let mut s = format!(
+        "{title} — {}\nranks |      time   speedup   efficiency\n",
+        c.label
+    );
     for pt in &c.points {
         s.push_str(&format!(
             "{:>5} | {:>9.6}s {:>8.2} {:>11.2}\n",

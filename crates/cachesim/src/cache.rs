@@ -36,7 +36,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (capacity not divisible by
     /// `line_bytes * ways`, or non-power-of-two line size).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
         let per_way = self.line_bytes * self.ways;
         assert!(
@@ -412,11 +415,19 @@ mod tests {
         // 2-way set; keep touching line 0 — LRU protects it, FIFO does not.
         let line = |i: u64| i * 8 * 64; // all map to set 0 (8 sets)
         let mut lru = Cache::with_policy(
-            CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 },
+            CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
             Replacement::Lru,
         );
         let mut fifo = Cache::with_policy(
-            CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 },
+            CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
             Replacement::Fifo,
         );
         for c in [&mut lru, &mut fifo] {
@@ -426,12 +437,19 @@ mod tests {
             c.access_line(line(2), false); // evict: LRU kills 1, FIFO kills 0
         }
         assert!(lru.access_line(line(0), false).hit, "LRU kept the hot line");
-        assert!(!fifo.access_line(line(0), false).hit, "FIFO evicted the hot line");
+        assert!(
+            !fifo.access_line(line(0), false).hit,
+            "FIFO evicted the hot line"
+        );
     }
 
     #[test]
     fn random_replacement_is_seed_deterministic() {
-        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 };
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
         let run = |seed: u64| {
             let mut c = Cache::with_policy(cfg, Replacement::Random(seed));
             for i in 0..200u64 {
@@ -445,7 +463,11 @@ mod tests {
     #[test]
     fn lru_beats_fifo_on_hot_loop_workloads() {
         // A hot line amid a stream: LRU's reuse protection must win.
-        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 };
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
         let mut lru = Cache::with_policy(cfg, Replacement::Lru);
         let mut fifo = Cache::with_policy(cfg, Replacement::Fifo);
         for c in [&mut lru, &mut fifo] {
@@ -454,8 +476,12 @@ mod tests {
                 c.access_line(((i % 7) + 1) * 64 * 8, false); // conflict stream
             }
         }
-        assert!(lru.stats().misses < fifo.stats().misses,
-            "LRU {} vs FIFO {}", lru.stats().misses, fifo.stats().misses);
+        assert!(
+            lru.stats().misses < fifo.stats().misses,
+            "LRU {} vs FIFO {}",
+            lru.stats().misses,
+            fifo.stats().misses
+        );
     }
 
     #[test]
@@ -509,7 +535,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(1024, 64, 2); // 16 lines capacity
-        // Stream 64 distinct lines twice with LRU: zero reuse survives.
+                                       // Stream 64 distinct lines twice with LRU: zero reuse survives.
         for _ in 0..2 {
             for i in 0..64u64 {
                 c.access_line(i * 64, false);
@@ -558,7 +584,10 @@ mod tests {
         let r = h.report();
         assert!(r.l1.miss_rate() > 0.9, "L1 thrashes: {:?}", r.l1);
         // After the cold pass, L2 absorbs everything.
-        assert_eq!(r.dram_accesses as usize, lines, "DRAM sees only cold misses");
+        assert_eq!(
+            r.dram_accesses as usize, lines,
+            "DRAM sees only cold misses"
+        );
     }
 
     #[test]

@@ -33,5 +33,7 @@ pub use tracer::{Tracer, VArray};
 
 /// Placeholder module retained for API stability; see [`cache`].
 pub mod prelude {
-    pub use crate::{Cache, CacheConfig, Hierarchy, HierarchyReport, LevelStats, Replacement, Tracer, VArray};
+    pub use crate::{
+        Cache, CacheConfig, Hierarchy, HierarchyReport, LevelStats, Replacement, Tracer, VArray,
+    };
 }

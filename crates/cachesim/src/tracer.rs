@@ -23,7 +23,11 @@ impl VArray {
     /// Panics on out-of-bounds indices — catching stray kernel indexing in
     /// tests is a feature.
     pub fn addr(&self, i: usize) -> u64 {
-        assert!((i as u64) < self.len, "index {i} out of bounds ({})", self.len);
+        assert!(
+            (i as u64) < self.len,
+            "index {i} out of bounds ({})",
+            self.len
+        );
         self.base + i as u64 * self.elem_bytes
     }
 

@@ -246,7 +246,10 @@ mod tests {
         let m = machine();
         let c = JobProfile::compute_bound("c", 16, 16.0e9);
         let out = coschedule(&c, &c, &m);
-        assert!(out.worst() < 1.01, "compute twins should not degrade: {out:?}");
+        assert!(
+            out.worst() < 1.01,
+            "compute twins should not degrade: {out:?}"
+        );
     }
 
     #[test]
@@ -266,7 +269,10 @@ mod tests {
         let c = JobProfile::compute_bound("c", 16, 16.0e9);
         let mem = JobProfile::memory_bound("m", 16, 12.0e9);
         let out = coschedule(&c, &mem, &m);
-        assert!(out.worst() < 1.25, "mixed pairing should be benign: {out:?}");
+        assert!(
+            out.worst() < 1.25,
+            "mixed pairing should be benign: {out:?}"
+        );
     }
 
     #[test]
@@ -300,7 +306,10 @@ mod tests {
         let j = JobProfile::memory_bound("m", 8, 8.0e9);
         let two = coschedule_many(&[&j, &j], &m);
         let four = coschedule_many(&[&j, &j, &j, &j], &m);
-        assert!(four[0] > two[0], "more twins, more pain: {four:?} vs {two:?}");
+        assert!(
+            four[0] > two[0],
+            "more twins, more pain: {four:?} vs {two:?}"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl ScalingCurve {
     /// # Panics
     /// Panics if `samples` is empty or not sorted by increasing `p`.
     pub fn from_times(label: impl Into<String>, samples: &[(usize, f64)]) -> Self {
-        assert!(!samples.is_empty(), "scaling curve needs at least one point");
+        assert!(
+            !samples.is_empty(),
+            "scaling curve needs at least one point"
+        );
         assert!(
             samples.windows(2).all(|w| w[0].0 < w[1].0),
             "samples must be sorted by increasing rank count"
@@ -200,10 +203,8 @@ mod tests {
 
     #[test]
     fn scaling_curve_detects_saturation() {
-        let c = ScalingCurve::from_times(
-            "mem",
-            &[(1, 8.0), (2, 4.0), (4, 2.0), (8, 1.9), (16, 1.85)],
-        );
+        let c =
+            ScalingCurve::from_times("mem", &[(1, 8.0), (2, 4.0), (4, 2.0), (8, 1.9), (16, 1.85)]);
         assert!(c.saturates(0.20));
     }
 

@@ -105,7 +105,10 @@ impl JobScript {
         let mut s = String::from("#!/bin/bash\n");
         s.push_str(&format!("#SBATCH --job-name={}\n", self.name));
         s.push_str(&format!("#SBATCH --nodes={}\n", self.nodes));
-        s.push_str(&format!("#SBATCH --ntasks-per-node={}\n", self.tasks_per_node));
+        s.push_str(&format!(
+            "#SBATCH --ntasks-per-node={}\n",
+            self.tasks_per_node
+        ));
         s.push_str(&format!("#SBATCH --time=00:{mins:02}:00\n"));
         if self.exclusive {
             s.push_str("#SBATCH --exclusive\n");
@@ -204,8 +207,7 @@ impl Scheduler {
     pub fn run(&mut self) -> Vec<ScheduledJob> {
         // Index jobs by submission order (dependencies refer to these
         // indices), then sort the queue by submit time, stably.
-        let mut pending: Vec<(usize, JobScript)> =
-            self.queue.drain(..).enumerate().collect();
+        let mut pending: Vec<(usize, JobScript)> = self.queue.drain(..).enumerate().collect();
         pending.sort_by(|a, b| {
             a.1.submit_time
                 .partial_cmp(&b.1.submit_time)
@@ -249,12 +251,10 @@ impl Scheduler {
             while started_any {
                 started_any = false;
                 let deps_done = |script: &JobScript| {
-                    script
-                        .after
-                        .iter()
-                        .all(|&dep| done.iter().any(|&(idx, ref j)| {
-                            idx == dep && j.end_time <= now
-                        }))
+                    script.after.iter().all(|&dep| {
+                        done.iter()
+                            .any(|&(idx, ref j)| idx == dep && j.end_time <= now)
+                    })
                 };
                 let mut arrived: Vec<usize> = (0..waiting.len())
                     .filter(|&i| waiting[i].1.submit_time <= now && deps_done(&waiting[i].1))
@@ -267,7 +267,9 @@ impl Scheduler {
                 arrived.sort_by_key(|&i| (-waiting[i].1.priority, waiting[i].0));
                 let head = arrived[0];
                 // Head-of-line job starts if it fits.
-                if let Some(alloc) = try_allocate(&node_state, &waiting[head].1, self.cores_per_node) {
+                if let Some(alloc) =
+                    try_allocate(&node_state, &waiting[head].1, self.cores_per_node)
+                {
                     let (idx, script) = waiting.remove(head);
                     start_job(
                         &mut node_state,
@@ -284,11 +286,14 @@ impl Scheduler {
                 // Head blocked: with EASY backfill, later arrived jobs may
                 // start if they end before the head's earliest start.
                 if self.policy == Policy::EasyBackfill {
-                    let shadow = shadow_time(&node_state, &running, &waiting[head].1, self.cores_per_node);
+                    let shadow =
+                        shadow_time(&node_state, &running, &waiting[head].1, self.cores_per_node);
                     for &i in arrived.iter().skip(1) {
                         let cand = &waiting[i].1;
                         if now + cand.time_limit <= shadow {
-                            if let Some(alloc) = try_allocate(&node_state, cand, self.cores_per_node) {
+                            if let Some(alloc) =
+                                try_allocate(&node_state, cand, self.cores_per_node)
+                            {
                                 let (idx, script) = waiting.remove(i);
                                 start_job(
                                     &mut node_state,
@@ -464,7 +469,11 @@ pub fn schedule_metrics(
     ScheduleMetrics {
         makespan,
         mean_wait,
-        utilization: if available > 0.0 { used / available } else { 0.0 },
+        utilization: if available > 0.0 {
+            used / available
+        } else {
+            0.0
+        },
     }
 }
 
@@ -490,7 +499,11 @@ pub fn render_schedule(schedule: &[ScheduledJob], nodes: usize, width: usize) ->
         }
         out.push('\n');
     }
-    out.push_str(&format!("         0s {:>width$.0}s\n", makespan, width = width - 2));
+    out.push_str(&format!(
+        "         0s {:>width$.0}s\n",
+        makespan,
+        width = width - 2
+    ));
     out
 }
 
@@ -501,13 +514,24 @@ mod tests {
     #[test]
     fn schedule_gantt_shows_busy_and_idle() {
         let mut sched = Scheduler::new(2, 32, Policy::Fifo);
-        sched.submit(JobScript::new("a", 1, 32).with_runtime(50.0).with_time_limit(60.0));
-        sched.submit(JobScript::new("b", 2, 32).with_runtime(50.0).with_time_limit(60.0));
+        sched.submit(
+            JobScript::new("a", 1, 32)
+                .with_runtime(50.0)
+                .with_time_limit(60.0),
+        );
+        sched.submit(
+            JobScript::new("b", 2, 32)
+                .with_runtime(50.0)
+                .with_time_limit(60.0),
+        );
         let out = sched.run();
         let chart = render_schedule(&out, 2, 20);
         assert_eq!(chart.lines().count(), 3);
         let node1 = chart.lines().nth(1).expect("two nodes");
-        assert!(node1.contains('·'), "node 1 idles while job a runs: {chart}");
+        assert!(
+            node1.contains('·'),
+            "node 1 idles while job a runs: {chart}"
+        );
         assert!(node1.contains('#'), "node 1 joins for job b: {chart}");
     }
 
@@ -552,7 +576,11 @@ mod tests {
     #[test]
     fn exclusive_job_blocks_sharers() {
         let mut sched = Scheduler::new(1, 32, Policy::Fifo);
-        sched.submit(JobScript::new("a", 1, 8).with_runtime(50.0).with_exclusive());
+        sched.submit(
+            JobScript::new("a", 1, 8)
+                .with_runtime(50.0)
+                .with_exclusive(),
+        );
         sched.submit(JobScript::new("b", 1, 8).with_runtime(50.0));
         let out = sched.run();
         assert_eq!(out[0].start_time, 0.0);
@@ -562,19 +590,46 @@ mod tests {
     #[test]
     fn fifo_head_blocks_backfillable_job() {
         let mut sched = Scheduler::new(1, 32, Policy::Fifo);
-        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("big2", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        sched.submit(
+            JobScript::new("big", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("big2", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("tiny", 1, 4)
+                .with_runtime(10.0)
+                .with_time_limit(20.0),
+        );
         let out = sched.run();
-        assert_eq!(out[2].start_time, 200.0, "FIFO: tiny waits for both big jobs");
+        assert_eq!(
+            out[2].start_time, 200.0,
+            "FIFO: tiny waits for both big jobs"
+        );
     }
 
     #[test]
     fn easy_backfill_slips_tiny_job_through() {
         let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
-        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("big2", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        sched.submit(
+            JobScript::new("big", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("big2", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("tiny", 1, 4)
+                .with_runtime(10.0)
+                .with_time_limit(20.0),
+        );
         let out = sched.run();
         // tiny (20s limit) ends before big's shadow time (100s) and uses idle cores... but
         // big occupies all 32 cores, so tiny backfills only after big ends and
@@ -585,20 +640,39 @@ mod tests {
         assert_eq!(out[2].script.name, "tiny");
 
         let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
-        sched.submit(JobScript::new("half", 1, 16).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("tiny", 1, 4).with_runtime(10.0).with_time_limit(20.0));
+        sched.submit(
+            JobScript::new("half", 1, 16)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("big", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("tiny", 1, 4)
+                .with_runtime(10.0)
+                .with_time_limit(20.0),
+        );
         let out = sched.run();
         assert_eq!(out[0].start_time, 0.0);
         assert_eq!(out[1].start_time, 100.0, "big waits for half's cores");
-        assert_eq!(out[2].start_time, 0.0, "tiny backfills into the idle half-node");
+        assert_eq!(
+            out[2].start_time, 0.0,
+            "tiny backfills into the idle half-node"
+        );
     }
 
     #[test]
     fn dependencies_gate_workflow_stages() {
         // A three-stage pipeline: preprocess -> two analyses -> summarize.
         let mut sched = Scheduler::new(2, 32, Policy::EasyBackfill);
-        sched.submit(JobScript::new("preprocess", 1, 8).with_runtime(100.0).with_time_limit(120.0)); // 0
+        sched.submit(
+            JobScript::new("preprocess", 1, 8)
+                .with_runtime(100.0)
+                .with_time_limit(120.0),
+        ); // 0
         sched.submit(
             JobScript::new("analysis-a", 1, 16)
                 .with_runtime(50.0)
@@ -618,10 +692,18 @@ mod tests {
                 .after(&[1, 2]),
         ); // 3
         let out = sched.run();
-        let find = |name: &str| out.iter().find(|j| j.script.name == name).expect("scheduled");
+        let find = |name: &str| {
+            out.iter()
+                .find(|j| j.script.name == name)
+                .expect("scheduled")
+        };
         assert_eq!(find("preprocess").start_time, 0.0);
         assert_eq!(find("analysis-a").start_time, 100.0);
-        assert_eq!(find("analysis-b").start_time, 100.0, "independent analyses overlap");
+        assert_eq!(
+            find("analysis-b").start_time,
+            100.0,
+            "independent analyses overlap"
+        );
         assert_eq!(find("summarize").start_time, 150.0);
     }
 
@@ -629,7 +711,11 @@ mod tests {
     fn dependent_jobs_do_not_backfill_early() {
         // Even though cores are free at t=0, the dependent job must wait.
         let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
-        sched.submit(JobScript::new("stage1", 1, 4).with_runtime(50.0).with_time_limit(60.0));
+        sched.submit(
+            JobScript::new("stage1", 1, 4)
+                .with_runtime(50.0)
+                .with_time_limit(60.0),
+        );
         sched.submit(
             JobScript::new("stage2", 1, 4)
                 .with_runtime(10.0)
@@ -656,9 +742,21 @@ mod tests {
         // can only reason about limits, not true runtimes.
         let schedule = |limit: f64| {
             let mut sched = Scheduler::new(1, 32, Policy::EasyBackfill);
-            sched.submit(JobScript::new("half", 1, 16).with_runtime(100.0).with_time_limit(120.0));
-            sched.submit(JobScript::new("big", 1, 32).with_runtime(100.0).with_time_limit(120.0));
-            sched.submit(JobScript::new("mine", 1, 4).with_runtime(10.0).with_time_limit(limit));
+            sched.submit(
+                JobScript::new("half", 1, 16)
+                    .with_runtime(100.0)
+                    .with_time_limit(120.0),
+            );
+            sched.submit(
+                JobScript::new("big", 1, 32)
+                    .with_runtime(100.0)
+                    .with_time_limit(120.0),
+            );
+            sched.submit(
+                JobScript::new("mine", 1, 4)
+                    .with_runtime(10.0)
+                    .with_time_limit(limit),
+            );
             let out = sched.run();
             out.iter()
                 .find(|j| j.script.name == "mine")
@@ -675,7 +773,11 @@ mod tests {
     #[test]
     fn overlong_jobs_are_killed_at_the_limit() {
         let mut sched = Scheduler::new(1, 32, Policy::Fifo);
-        sched.submit(JobScript::new("a", 1, 8).with_runtime(500.0).with_time_limit(100.0));
+        sched.submit(
+            JobScript::new("a", 1, 8)
+                .with_runtime(500.0)
+                .with_time_limit(100.0),
+        );
         let out = sched.run();
         assert_eq!(out[0].outcome, JobOutcome::TimedOut);
         assert_eq!(out[0].end_time, 100.0);
@@ -684,8 +786,16 @@ mod tests {
     #[test]
     fn priority_overrides_submission_order() {
         let mut sched = Scheduler::new(1, 32, Policy::Fifo);
-        sched.submit(JobScript::new("blocker", 1, 32).with_runtime(100.0).with_time_limit(200.0));
-        sched.submit(JobScript::new("low", 1, 32).with_runtime(10.0).with_time_limit(20.0));
+        sched.submit(
+            JobScript::new("blocker", 1, 32)
+                .with_runtime(100.0)
+                .with_time_limit(200.0),
+        );
+        sched.submit(
+            JobScript::new("low", 1, 32)
+                .with_runtime(10.0)
+                .with_time_limit(20.0),
+        );
         sched.submit(
             JobScript::new("high", 1, 32)
                 .with_runtime(10.0)
@@ -693,7 +803,11 @@ mod tests {
                 .with_priority(10),
         );
         let out = sched.run();
-        let find = |name: &str| out.iter().find(|j| j.script.name == name).expect("scheduled");
+        let find = |name: &str| {
+            out.iter()
+                .find(|j| j.script.name == name)
+                .expect("scheduled")
+        };
         assert_eq!(find("high").start_time, 0.0, "high priority goes first");
         assert_eq!(find("blocker").start_time, 10.0, "then submission order");
         assert_eq!(find("low").start_time, 110.0);
@@ -702,8 +816,16 @@ mod tests {
     #[test]
     fn metrics_summarize_the_schedule() {
         let mut sched = Scheduler::new(2, 32, Policy::Fifo);
-        sched.submit(JobScript::new("a", 2, 32).with_runtime(100.0).with_time_limit(120.0));
-        sched.submit(JobScript::new("b", 1, 32).with_runtime(50.0).with_time_limit(60.0));
+        sched.submit(
+            JobScript::new("a", 2, 32)
+                .with_runtime(100.0)
+                .with_time_limit(120.0),
+        );
+        sched.submit(
+            JobScript::new("b", 1, 32)
+                .with_runtime(50.0)
+                .with_time_limit(60.0),
+        );
         let out = sched.run();
         let m = schedule_metrics(&out, 2, 32);
         assert_eq!(m.makespan, 150.0);
@@ -715,7 +837,11 @@ mod tests {
     #[test]
     fn later_submissions_wait_for_their_submit_time() {
         let mut sched = Scheduler::new(2, 32, Policy::Fifo);
-        sched.submit(JobScript::new("a", 1, 8).with_runtime(10.0).submitted_at(50.0));
+        sched.submit(
+            JobScript::new("a", 1, 8)
+                .with_runtime(10.0)
+                .submitted_at(50.0),
+        );
         let out = sched.run();
         assert_eq!(out[0].start_time, 50.0);
         assert!((out[0].wait_time()).abs() < 1e-12);

@@ -6,13 +6,11 @@ use pdc_cluster::MachineModel;
 use proptest::prelude::*;
 
 fn job_strategy() -> impl Strategy<Value = JobProfile> {
-    (1usize..16, 1.0e8f64..1.0e11, 1.0e6f64..1.0e11).prop_map(|(ranks, flops, bytes)| {
-        JobProfile {
-            name: "j".into(),
-            ranks,
-            flops_per_rank: flops,
-            bytes_per_rank: bytes,
-        }
+    (1usize..16, 1.0e8f64..1.0e11, 1.0e6f64..1.0e11).prop_map(|(ranks, flops, bytes)| JobProfile {
+        name: "j".into(),
+        ranks,
+        flops_per_rank: flops,
+        bytes_per_rank: bytes,
     })
 }
 

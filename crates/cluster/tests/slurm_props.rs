@@ -57,9 +57,7 @@ fn check_no_oversubscription(
         for node in 0..nodes {
             let active: Vec<&ScheduledJob> = schedule
                 .iter()
-                .filter(|j| {
-                    j.start_time <= probe && probe < j.end_time && j.nodes.contains(&node)
-                })
+                .filter(|j| j.start_time <= probe && probe < j.end_time && j.nodes.contains(&node))
                 .collect();
             let cores: usize = active.iter().map(|j| j.script.tasks_per_node).sum();
             if cores > cores_per_node {

@@ -53,16 +53,7 @@ pub fn primitive_names<T>(out: &pdc_mpi::RunOutput<T>) -> Vec<String> {
 
 /// Identifier of a pedagogic module (1–5) used by audits and reports.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum ModuleId {
     /// Module 1: MPI communication.

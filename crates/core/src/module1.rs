@@ -145,28 +145,7 @@ pub fn random_comm_without_any_source(
     seed: u64,
 ) -> Result<RandomCommReport> {
     let out = World::run_simple(size, move |comm| {
-        let dests = destinations(comm.rank(), comm.size(), fanout, seed);
-        // Counts exchange: counts[d] = messages I will send to rank d.
-        let mut counts = vec![0u64; comm.size()];
-        for &d in &dests {
-            counts[d] += 1;
-        }
-        let incoming = comm.alltoall(&counts)?;
-        // Send phase (nonblocking so nobody stalls), then exact receives.
-        let mut reqs = Vec::with_capacity(dests.len());
-        for &d in &dests {
-            reqs.push(comm.isend(&[comm.rank() as u64 + 1], d, 7)?);
-        }
-        let mut sum = 0u64;
-        for (src, &n) in incoming.iter().enumerate() {
-            for _ in 0..n {
-                let (v, st) = comm.recv::<u64>(SourceSel::Rank(src), 7)?;
-                debug_assert_eq!(st.source, src);
-                sum += v[0];
-            }
-        }
-        comm.wait_all_sends(reqs)?;
-        Ok(sum)
+        random_comm_rank(comm, fanout, seed, false)
     })?;
     let messages: u64 = (0..size)
         .map(|r| destinations(r, size, fanout, seed).len() as u64)
@@ -185,12 +164,35 @@ pub fn random_comm_with_any_source(
     fanout: usize,
     seed: u64,
 ) -> Result<RandomCommReport> {
-    let out = World::run_simple(size, move |comm| {
-        let dests = destinations(comm.rank(), comm.size(), fanout, seed);
-        let mut counts = vec![0u64; comm.size()];
-        for &d in &dests {
-            counts[d] += 1;
-        }
+    let out = World::run_simple(size, move |comm| random_comm_rank(comm, fanout, seed, true))?;
+    let messages: u64 = (0..size)
+        .map(|r| destinations(r, size, fanout, seed).len() as u64)
+        .sum();
+    Ok(RandomCommReport {
+        messages,
+        checksum: out.values.iter().sum(),
+        used_any_source: true,
+    })
+}
+
+/// One rank's share of the random-communication exercise: deterministic
+/// pseudo-random destinations, nonblocking sends, and either exact
+/// named-source receives (`use_any_source = false`, via an `alltoall` of
+/// counts) or wildcard receives (`use_any_source = true`, via an
+/// allreduce of the incoming totals). Returns the sum of received values.
+pub fn random_comm_rank(
+    comm: &mut Comm,
+    fanout: usize,
+    seed: u64,
+    use_any_source: bool,
+) -> Result<u64> {
+    let dests = destinations(comm.rank(), comm.size(), fanout, seed);
+    // Counts exchange: counts[d] = messages I will send to rank d.
+    let mut counts = vec![0u64; comm.size()];
+    for &d in &dests {
+        counts[d] += 1;
+    }
+    if use_any_source {
         // Elementwise allreduce: slot r of the result is the number of
         // messages arriving at rank r.
         let incoming_total = comm.allreduce(&counts, Op::Sum)?[comm.rank()];
@@ -205,15 +207,24 @@ pub fn random_comm_with_any_source(
         }
         comm.wait_all_sends(reqs)?;
         Ok(sum)
-    })?;
-    let messages: u64 = (0..size)
-        .map(|r| destinations(r, size, fanout, seed).len() as u64)
-        .sum();
-    Ok(RandomCommReport {
-        messages,
-        checksum: out.values.iter().sum(),
-        used_any_source: true,
-    })
+    } else {
+        let incoming = comm.alltoall(&counts)?;
+        // Send phase (nonblocking so nobody stalls), then exact receives.
+        let mut reqs = Vec::with_capacity(dests.len());
+        for &d in &dests {
+            reqs.push(comm.isend(&[comm.rank() as u64 + 1], d, 7)?);
+        }
+        let mut sum = 0u64;
+        for (src, &n) in incoming.iter().enumerate() {
+            for _ in 0..n {
+                let (v, st) = comm.recv::<u64>(SourceSel::Rank(src), 7)?;
+                debug_assert_eq!(st.source, src);
+                sum += v[0];
+            }
+        }
+        comm.wait_all_sends(reqs)?;
+        Ok(sum)
+    }
 }
 
 #[cfg(test)]
@@ -244,8 +255,8 @@ mod tests {
             RingVariant::Nonblocking,
             RingVariant::SendRecv,
         ] {
-            let got = ring(6, variant, usize::MAX)
-                .unwrap_or_else(|e| panic!("{variant:?} failed: {e}"));
+            let got =
+                ring(6, variant, usize::MAX).unwrap_or_else(|e| panic!("{variant:?} failed: {e}"));
             for (rank, &v) in got.iter().enumerate() {
                 assert_eq!(v as usize, (rank + 5) % 6, "{variant:?}");
             }
@@ -260,7 +271,14 @@ mod tests {
             .with_watchdog(Some(Duration::from_millis(20)));
         let err = World::run(cfg, |comm| ring_step(comm, RingVariant::NaiveBlocking))
             .expect_err("must deadlock");
-        assert_eq!(err, Error::Deadlock);
+        let Error::Deadlock(info) = err else {
+            panic!("expected a deadlock, got {err}");
+        };
+        // The watchdog explains the hang: all four ranks blocked in the
+        // rendezvous send, forming a wait-for cycle around the ring.
+        assert_eq!(info.blocked.len(), 4, "{}", info.render());
+        assert_eq!(info.cycle.len(), 4, "{}", info.render());
+        assert!(info.blocked.iter().all(|b| b.op == "send(rendezvous)"));
     }
 
     #[test]
@@ -270,8 +288,8 @@ mod tests {
             RingVariant::Nonblocking,
             RingVariant::SendRecv,
         ] {
-            let got = ring(4, variant, 0)
-                .unwrap_or_else(|e| panic!("{variant:?} under rendezvous: {e}"));
+            let got =
+                ring(4, variant, 0).unwrap_or_else(|e| panic!("{variant:?} under rendezvous: {e}"));
             assert_eq!(got.len(), 4);
         }
     }

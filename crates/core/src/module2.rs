@@ -17,7 +17,7 @@
 
 use pdc_cachesim::{Hierarchy, Tracer};
 use pdc_datagen::Dataset;
-use pdc_mpi::{Op, Result, World, WorldConfig};
+use pdc_mpi::{Comm, Op, Result, World, WorldConfig};
 use serde::{Deserialize, Serialize};
 
 /// Column-tile size (points per tile) used by the tiled kernel: 256 points
@@ -58,7 +58,10 @@ pub fn distance_matrix_symmetric(points: &Dataset) -> Vec<f64> {
 /// row-major, using the requested access pattern. This is the sequential
 /// kernel each rank runs on its assigned rows.
 pub fn distance_rows(points: &Dataset, row_lo: usize, row_hi: usize, access: Access) -> Vec<f64> {
-    assert!(row_lo <= row_hi && row_hi <= points.len(), "row range out of bounds");
+    assert!(
+        row_lo <= row_hi && row_hi <= points.len(),
+        "row range out of bounds"
+    );
     let n = points.len();
     let rows = row_hi - row_lo;
     let mut out = vec![0.0f64; rows * n];
@@ -231,50 +234,13 @@ pub fn run_distance_matrix(
     nodes: usize,
 ) -> Result<DistanceMatrixReport> {
     let n = points.len();
-    let dim = points.dim();
     let cfg = if nodes > 1 {
         WorldConfig::new(ranks).on_nodes(nodes)
     } else {
         WorldConfig::new(ranks)
     };
     let points = points.clone();
-    let out = World::run(cfg, move |comm| {
-        // Every rank reads the dataset from the shared filesystem (the
-        // captured clone stands in for that file), exactly as the course
-        // module prescribes — so the only collectives are the scatter of
-        // work assignments and the reduce of the checksum (Table II).
-        let local = &points;
-
-        // Row-range assignment via scatter of (lo, hi) pairs.
-        let assignments: Option<Vec<u64>> = if comm.rank() == 0 {
-            let p = comm.size();
-            Some(
-                (0..p)
-                    .flat_map(|r| {
-                        let lo = r * n / p;
-                        let hi = (r + 1) * n / p;
-                        [lo as u64, hi as u64]
-                    })
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        let my = comm.scatter(assignments.as_deref(), 0)?;
-        let (lo, hi) = (my[0] as usize, my[1] as usize);
-
-        // Local kernel + simulated charge.
-        let block = distance_rows(local, lo, hi, access);
-        comm.charge_kernel(
-            model_flops(hi - lo, n, dim),
-            model_dram_bytes(hi - lo, n, dim, access),
-        );
-
-        // Checksum reduction.
-        let local_sum: f64 = block.iter().sum();
-        let total = comm.reduce(&[local_sum], Op::Sum, 0)?;
-        Ok(total.map(|t| t[0]).unwrap_or(0.0))
-    })?;
+    let out = World::run(cfg, move |comm| distance_matrix_rank(comm, &points, access))?;
     Ok(DistanceMatrixReport {
         n,
         ranks,
@@ -284,6 +250,49 @@ pub fn run_distance_matrix(
         comm_bytes: out.total_bytes_sent(),
         primitives: crate::primitive_names(&out),
     })
+}
+
+/// One rank's share of the distributed distance matrix: scatter of row
+/// assignments, local kernel, checksum reduction. Exposed so harnesses
+/// (e.g. the `pdc-check` correctness checker) can run the module's
+/// communication pattern under instrumentation.
+pub fn distance_matrix_rank(comm: &mut Comm, points: &Dataset, access: Access) -> Result<f64> {
+    // Every rank reads the dataset from the shared filesystem (the
+    // captured clone stands in for that file), exactly as the course
+    // module prescribes — so the only collectives are the scatter of
+    // work assignments and the reduce of the checksum (Table II).
+    let n = points.len();
+    let dim = points.dim();
+
+    // Row-range assignment via scatter of (lo, hi) pairs.
+    let assignments: Option<Vec<u64>> = if comm.rank() == 0 {
+        let p = comm.size();
+        Some(
+            (0..p)
+                .flat_map(|r| {
+                    let lo = r * n / p;
+                    let hi = (r + 1) * n / p;
+                    [lo as u64, hi as u64]
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let my = comm.scatter(assignments.as_deref(), 0)?;
+    let (lo, hi) = (my[0] as usize, my[1] as usize);
+
+    // Local kernel + simulated charge.
+    let block = distance_rows(points, lo, hi, access);
+    comm.charge_kernel(
+        model_flops(hi - lo, n, dim),
+        model_dram_bytes(hi - lo, n, dim, access),
+    );
+
+    // Checksum reduction.
+    let local_sum: f64 = block.iter().sum();
+    let total = comm.reduce(&[local_sum], Op::Sum, 0)?;
+    Ok(total.map(|t| t[0]).unwrap_or(0.0))
 }
 
 #[cfg(test)]
@@ -415,10 +424,17 @@ mod tests {
         // N is large enough that the broadcast cost is negligible next to
         // the O(N²·d) compute.
         let pts = uniform_points(512, 90, 0.0, 1.0, 5);
-        let t1 = run_distance_matrix(&pts, 1, Access::RowWise, 1).expect("p=1").sim_time;
-        let t8 = run_distance_matrix(&pts, 8, Access::RowWise, 1).expect("p=8").sim_time;
+        let t1 = run_distance_matrix(&pts, 1, Access::RowWise, 1)
+            .expect("p=1")
+            .sim_time;
+        let t8 = run_distance_matrix(&pts, 8, Access::RowWise, 1)
+            .expect("p=8")
+            .sim_time;
         let speedup = t1 / t8;
-        assert!(speedup > 5.0, "speedup {speedup:.2} too low for compute-bound");
+        assert!(
+            speedup > 5.0,
+            "speedup {speedup:.2} too low for compute-bound"
+        );
     }
 
     #[test]

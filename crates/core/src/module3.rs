@@ -19,7 +19,7 @@
 
 use pdc_cluster::metrics::imbalance_factor;
 use pdc_datagen::{exponential_f64, uniform_f64};
-use pdc_mpi::{Op, Result, World, WorldConfig, ANY_SOURCE};
+use pdc_mpi::{Comm, Op, Result, World, WorldConfig, ANY_SOURCE};
 use serde::{Deserialize, Serialize};
 
 /// Input distribution of the locally generated data.
@@ -137,7 +137,12 @@ fn agree_boundaries(
                 Vec::new()
             } else {
                 let stride = (local.len() / per_rank.max(1)).max(1);
-                local.iter().step_by(stride).take(per_rank).copied().collect()
+                local
+                    .iter()
+                    .step_by(stride)
+                    .take(per_rank)
+                    .copied()
+                    .collect()
             };
             sample.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
             let gathered = comm.gatherv(&sample, 0)?;
@@ -204,63 +209,7 @@ pub fn run_distribution_sort(
     seed: u64,
 ) -> Result<SortReport> {
     let out = World::run(WorldConfig::new(ranks), move |comm| {
-        let local = local_input(dist, n_per_rank, comm.rank(), seed);
-
-        // Phase 1: agree on bucket boundaries.
-        let boundaries = agree_boundaries(comm, &local, strategy)?;
-
-        // Phase 2: partition local data into per-destination blocks and
-        // exchange. As the module prescribes, the exchange uses explicit
-        // point-to-point messages: nonblocking sends to every peer, then
-        // `MPI_Probe` + `MPI_Get_count` sized receives from ANY_SOURCE.
-        let mut blocks: Vec<Vec<f64>> = (0..comm.size()).map(|_| Vec::new()).collect();
-        for &x in &local {
-            blocks[bucket_of(x, &boundaries)].push(x);
-        }
-        comm.charge_kernel(local.len() as f64 * 4.0, local.len() as f64 * 16.0);
-        const EXCHANGE_TAG: u32 = 42;
-        let mut reqs = Vec::with_capacity(comm.size() - 1);
-        for (dst, block) in blocks.iter().enumerate() {
-            if dst != comm.rank() {
-                reqs.push(comm.isend(block, dst, EXCHANGE_TAG)?);
-            }
-        }
-        let mut bucket: Vec<f64> = blocks[comm.rank()].clone();
-        for _ in 0..comm.size() - 1 {
-            let st = comm.probe(ANY_SOURCE, EXCHANGE_TAG)?;
-            let n = comm.get_count::<f64>(&st)?;
-            let mut buf = vec![0.0f64; n];
-            comm.recv_into(&mut buf, st.source, EXCHANGE_TAG)?;
-            bucket.extend_from_slice(&buf);
-        }
-        comm.wait_all_sends(reqs)?;
-
-        // Phase 3: local sort (memory-bound n log n).
-        bucket.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
-        let n = bucket.len() as f64;
-        if n > 0.0 {
-            comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n * n.log2().max(1.0));
-        }
-
-        // Verification data: my bucket's size, min, max, and sortedness.
-        let my_min = bucket.first().copied().unwrap_or(f64::INFINITY);
-        let my_max = bucket.last().copied().unwrap_or(f64::NEG_INFINITY);
-        let locally_sorted = bucket.windows(2).all(|w| w[0] <= w[1]);
-        // Boundary check against the next rank: my max must not exceed its
-        // min (empty buckets pass trivially).
-        let maxes = comm.allgather(&[my_max])?;
-        let mins = comm.allgather(&[my_min])?;
-        let globally_ordered = (0..comm.size() - 1).all(|r| {
-            let later_min = mins[r + 1..].iter().cloned().fold(f64::INFINITY, f64::min);
-            maxes[r] <= later_min
-        });
-        // Element-count conservation via MPI_Reduce (the module's required
-        // collective): the root checks nothing was lost in the exchange.
-        let total = comm.reduce(&[bucket.len() as u64], Op::Sum, 0)?;
-        if let Some(total) = total {
-            debug_assert_eq!(total[0] as usize, n_per_rank * comm.size());
-        }
-        Ok((bucket.len(), locally_sorted && globally_ordered))
+        distribution_sort_rank(comm, n_per_rank, dist, strategy, seed)
     })?;
 
     let bucket_sizes: Vec<usize> = out.values.iter().map(|&(n, _)| n).collect();
@@ -281,6 +230,77 @@ pub fn run_distribution_sort(
     })
 }
 
+/// One rank's share of the distribution sort: splitter agreement, the
+/// all-to-all exchange over explicit `isend`/`probe`/`recv_into`
+/// point-to-point messages, local sort, and the verification collectives.
+/// Returns this rank's bucket size and whether its slice is ordered.
+/// Exposed so harnesses (e.g. the `pdc-check` correctness checker) can run
+/// the module's communication pattern under instrumentation.
+pub fn distribution_sort_rank(
+    comm: &mut Comm,
+    n_per_rank: usize,
+    dist: InputDist,
+    strategy: BucketStrategy,
+    seed: u64,
+) -> Result<(usize, bool)> {
+    let local = local_input(dist, n_per_rank, comm.rank(), seed);
+
+    // Phase 1: agree on bucket boundaries.
+    let boundaries = agree_boundaries(comm, &local, strategy)?;
+
+    // Phase 2: partition local data into per-destination blocks and
+    // exchange. As the module prescribes, the exchange uses explicit
+    // point-to-point messages: nonblocking sends to every peer, then
+    // `MPI_Probe` + `MPI_Get_count` sized receives from ANY_SOURCE.
+    let mut blocks: Vec<Vec<f64>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    for &x in &local {
+        blocks[bucket_of(x, &boundaries)].push(x);
+    }
+    comm.charge_kernel(local.len() as f64 * 4.0, local.len() as f64 * 16.0);
+    const EXCHANGE_TAG: u32 = 42;
+    let mut reqs = Vec::with_capacity(comm.size() - 1);
+    for (dst, block) in blocks.iter().enumerate() {
+        if dst != comm.rank() {
+            reqs.push(comm.isend(block, dst, EXCHANGE_TAG)?);
+        }
+    }
+    let mut bucket: Vec<f64> = blocks[comm.rank()].clone();
+    for _ in 0..comm.size() - 1 {
+        let st = comm.probe(ANY_SOURCE, EXCHANGE_TAG)?;
+        let n = comm.get_count::<f64>(&st)?;
+        let mut buf = vec![0.0f64; n];
+        comm.recv_into(&mut buf, st.source, EXCHANGE_TAG)?;
+        bucket.extend_from_slice(&buf);
+    }
+    comm.wait_all_sends(reqs)?;
+
+    // Phase 3: local sort (memory-bound n log n).
+    bucket.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let n = bucket.len() as f64;
+    if n > 0.0 {
+        comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n * n.log2().max(1.0));
+    }
+
+    // Verification data: my bucket's size, min, max, and sortedness.
+    let my_min = bucket.first().copied().unwrap_or(f64::INFINITY);
+    let my_max = bucket.last().copied().unwrap_or(f64::NEG_INFINITY);
+    let locally_sorted = bucket.windows(2).all(|w| w[0] <= w[1]);
+    // Boundary check against the next rank: my max must not exceed its
+    // min (empty buckets pass trivially).
+    let maxes = comm.allgather(&[my_max])?;
+    let mins = comm.allgather(&[my_min])?;
+    let globally_ordered = (0..comm.size() - 1).all(|r| {
+        let later_min = mins[r + 1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        maxes[r] <= later_min
+    });
+    // Element-count conservation via MPI_Reduce (the module's required
+    // collective): the root checks nothing was lost in the exchange.
+    let total = comm.reduce(&[bucket.len() as u64], Op::Sum, 0)?;
+    if let Some(total) = total {
+        debug_assert_eq!(total[0] as usize, n_per_rank * comm.size());
+    }
+    Ok((bucket.len(), locally_sorted && globally_ordered))
+}
 
 /// Sequential baseline: sort the concatenated input on one rank, no
 /// exchange needed (the module's "the sequential program does not require
@@ -305,7 +325,11 @@ mod tests {
         let r = run_distribution_sort(2000, 4, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
             .expect("uniform sort");
         assert!(r.sorted_ok);
-        assert_eq!(r.bucket_sizes.iter().sum::<usize>(), 8000, "no element lost");
+        assert_eq!(
+            r.bucket_sizes.iter().sum::<usize>(),
+            8000,
+            "no element lost"
+        );
         assert!(r.imbalance < 1.15, "uniform imbalance {}", r.imbalance);
     }
 
@@ -334,7 +358,11 @@ mod tests {
         let r = run_distribution_sort(2000, 4, InputDist::Zipf, BucketStrategy::EqualWidth, 3)
             .expect("zipf sort");
         assert!(r.sorted_ok);
-        assert!(r.imbalance > 2.0, "hot keys overload bucket 0: {:?}", r.bucket_sizes);
+        assert!(
+            r.imbalance > 2.0,
+            "hot keys overload bucket 0: {:?}",
+            r.bucket_sizes
+        );
         // The histogram remedy copes with duplicates as well.
         let h = run_distribution_sort(
             2000,
@@ -446,8 +474,9 @@ mod tests {
         let p = 16;
         let n_per = 50_000;
         let seq = sequential_sort_time(n_per * p, InputDist::Uniform, 4).expect("seq");
-        let par = run_distribution_sort(n_per, p, InputDist::Uniform, BucketStrategy::EqualWidth, 4)
-            .expect("par");
+        let par =
+            run_distribution_sort(n_per, p, InputDist::Uniform, BucketStrategy::EqualWidth, 4)
+                .expect("par");
         let speedup = seq / par.sim_time;
         assert!(speedup > 1.5, "parallel should win: {speedup}");
         assert!(
@@ -493,8 +522,14 @@ mod tests {
 
     #[test]
     fn single_rank_sort_works() {
-        let r = run_distribution_sort(500, 1, InputDist::Exponential, BucketStrategy::EqualWidth, 1)
-            .expect("p=1");
+        let r = run_distribution_sort(
+            500,
+            1,
+            InputDist::Exponential,
+            BucketStrategy::EqualWidth,
+            1,
+        )
+        .expect("p=1");
         assert!(r.sorted_ok);
         assert_eq!(r.bucket_sizes, vec![500]);
         assert_eq!(r.imbalance, 1.0);

@@ -18,7 +18,7 @@
 //! Learning outcomes 4, 8, 10–15 (Table I).
 
 use pdc_datagen::Asteroid;
-use pdc_mpi::{Op, Result, World, WorldConfig};
+use pdc_mpi::{Comm, Op, Result, World, WorldConfig};
 use pdc_spatial::{KdTree, QueryStats, RTree, Rect};
 use serde::{Deserialize, Serialize};
 
@@ -115,80 +115,7 @@ pub fn run_range_queries_cfg(
     let n_points = catalog.len();
     let n_queries = queries.len();
     let out = World::run(cfg, move |comm| {
-        let p = comm.size();
-        let r = comm.rank();
-        // Contiguous query partition (input data is pre-distributed per the
-        // module; no initial communication needed).
-        let q_lo = r * n_queries / p;
-        let q_hi = (r + 1) * n_queries / p;
-        let my_queries = &queries[q_lo..q_hi];
-
-        let (matches, tested): (u64, u64) = match engine {
-            Engine::BruteForce => {
-                let mut m = 0u64;
-                for (lo, hi) in my_queries {
-                    m += brute_force_query(&catalog, lo, hi);
-                }
-                let tested = (my_queries.len() * n_points) as u64;
-                // Compute-bound: 4 comparisons (≈4 flops) per point test;
-                // the catalog (16 B/point) is streamed from DRAM once and
-                // then served from cache across queries.
-                comm.charge_kernel(tested as f64 * 4.0, (n_points * 16) as f64);
-                (m, tested)
-            }
-            Engine::RTree => {
-                let tree = RTree::bulk_load(
-                    catalog
-                        .iter()
-                        .enumerate()
-                        .map(|(i, a)| (a.as_point(), i as u32))
-                        .collect(),
-                );
-                let mut m = 0u64;
-                let mut stats = QueryStats::default();
-                for (lo, hi) in my_queries {
-                    let (hits, qs) = tree.range_query(&Rect::new(*lo, *hi));
-                    m += hits.len() as u64;
-                    stats.add(&qs);
-                }
-                // Memory-bound: every node visit and point test is a
-                // dependent access into an out-of-cache structure.
-                let bytes = stats.bytes_touched(NODE_BYTES, POINT_BYTES) as f64;
-                let flops = stats.points_tested as f64 * 4.0;
-                comm.charge_kernel(flops, bytes);
-                (m, stats.points_tested)
-            }
-            Engine::KdTree => {
-                let tree = KdTree::build(
-                    catalog
-                        .iter()
-                        .enumerate()
-                        .map(|(i, a)| (a.as_point(), i as u32))
-                        .collect(),
-                );
-                let mut m = 0u64;
-                let mut stats = QueryStats::default();
-                for (lo, hi) in my_queries {
-                    let (hits, qs) = tree.range_query(&Rect::new(*lo, *hi));
-                    m += hits.len() as u64;
-                    stats.add(&qs);
-                }
-                // Same memory-bound profile as the R-tree (pointer-chased
-                // nodes), with smaller per-node footprints.
-                let bytes = stats.bytes_touched(KD_NODE_BYTES, POINT_BYTES) as f64;
-                let flops = stats.points_tested as f64 * 4.0;
-                comm.charge_kernel(flops, bytes);
-                (m, stats.points_tested)
-            }
-        };
-
-        // Global result via MPI_Reduce (the module's required primitive).
-        let total = comm.reduce(&[matches], Op::Sum, 0)?;
-        let tested_total = comm.reduce(&[tested], Op::Sum, 0)?;
-        Ok((
-            total.map(|t| t[0]).unwrap_or(0),
-            tested_total.map(|t| t[0]).unwrap_or(0),
-        ))
+        range_queries_rank(comm, &catalog, &queries, engine)
     })?;
     Ok(RangeQueryReport {
         n_points,
@@ -201,6 +128,94 @@ pub fn run_range_queries_cfg(
         sim_time: out.sim_time,
         primitives: crate::primitive_names(&out),
     })
+}
+
+/// One rank's share of the range-query workload: answer a contiguous
+/// slice of `queries` against the replicated `catalog`, then reduce the
+/// global match and work counts to rank 0. Returns
+/// `(total_matches, points_tested)` on rank 0 and `(0, 0)` elsewhere.
+pub fn range_queries_rank(
+    comm: &mut Comm,
+    catalog: &[Asteroid],
+    queries: &[QueryBox],
+    engine: Engine,
+) -> Result<(u64, u64)> {
+    let n_points = catalog.len();
+    let n_queries = queries.len();
+    let p = comm.size();
+    let r = comm.rank();
+    // Contiguous query partition (input data is pre-distributed per the
+    // module; no initial communication needed).
+    let q_lo = r * n_queries / p;
+    let q_hi = (r + 1) * n_queries / p;
+    let my_queries = &queries[q_lo..q_hi];
+
+    let (matches, tested): (u64, u64) = match engine {
+        Engine::BruteForce => {
+            let mut m = 0u64;
+            for (lo, hi) in my_queries {
+                m += brute_force_query(catalog, lo, hi);
+            }
+            let tested = (my_queries.len() * n_points) as u64;
+            // Compute-bound: 4 comparisons (≈4 flops) per point test;
+            // the catalog (16 B/point) is streamed from DRAM once and
+            // then served from cache across queries.
+            comm.charge_kernel(tested as f64 * 4.0, (n_points * 16) as f64);
+            (m, tested)
+        }
+        Engine::RTree => {
+            let tree = RTree::bulk_load(
+                catalog
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.as_point(), i as u32))
+                    .collect(),
+            );
+            let mut m = 0u64;
+            let mut stats = QueryStats::default();
+            for (lo, hi) in my_queries {
+                let (hits, qs) = tree.range_query(&Rect::new(*lo, *hi));
+                m += hits.len() as u64;
+                stats.add(&qs);
+            }
+            // Memory-bound: every node visit and point test is a
+            // dependent access into an out-of-cache structure.
+            let bytes = stats.bytes_touched(NODE_BYTES, POINT_BYTES) as f64;
+            let flops = stats.points_tested as f64 * 4.0;
+            comm.charge_kernel(flops, bytes);
+            (m, stats.points_tested)
+        }
+        Engine::KdTree => {
+            let tree = KdTree::build(
+                catalog
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.as_point(), i as u32))
+                    .collect(),
+            );
+            let mut m = 0u64;
+            let mut stats = QueryStats::default();
+            for (lo, hi) in my_queries {
+                let (hits, qs) = tree.range_query(&Rect::new(*lo, *hi));
+                m += hits.len() as u64;
+                stats.add(&qs);
+            }
+            // Same memory-bound profile as the R-tree (pointer-chased
+            // nodes), with smaller per-node footprints.
+            let bytes = stats.bytes_touched(KD_NODE_BYTES, POINT_BYTES) as f64;
+            let flops = stats.points_tested as f64 * 4.0;
+            comm.charge_kernel(flops, bytes);
+            (m, stats.points_tested)
+        }
+    };
+
+    // Global result via MPI_Reduce (the module's required primitive).
+    let total = comm.reduce(&[matches], Op::Sum, 0)?;
+    let tested_total = comm.reduce(&[tested], Op::Sum, 0)?;
+    Ok((
+        total.map(|t| t[0]).unwrap_or(0),
+        tested_total.map(|t| t[0]).unwrap_or(0),
+    ))
 }
 
 #[cfg(test)]
@@ -310,9 +325,18 @@ mod tests {
     #[test]
     fn brute_force_query_boundary_semantics() {
         let cat = vec![
-            Asteroid { amplitude: 0.5, period: 50.0 },
-            Asteroid { amplitude: 0.2, period: 30.0 },  // on the boundary
-            Asteroid { amplitude: 1.5, period: 50.0 },  // outside amplitude
+            Asteroid {
+                amplitude: 0.5,
+                period: 50.0,
+            },
+            Asteroid {
+                amplitude: 0.2,
+                period: 30.0,
+            }, // on the boundary
+            Asteroid {
+                amplitude: 1.5,
+                period: 50.0,
+            }, // outside amplitude
         ];
         assert_eq!(brute_force_query(&cat, &[0.2, 30.0], &[1.0, 100.0]), 2);
     }

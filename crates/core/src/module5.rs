@@ -63,11 +63,7 @@ pub const MAX_ITERS: usize = 200;
 
 /// Sequential reference k-means (identical math, one address space).
 /// Returns (centroids, assignments, iterations).
-pub fn sequential_kmeans(
-    points: &Dataset,
-    k: usize,
-    tol: f64,
-) -> (Vec<f64>, Vec<usize>, usize) {
+pub fn sequential_kmeans(points: &Dataset, k: usize, tol: f64) -> (Vec<f64>, Vec<usize>, usize) {
     let dim = points.dim();
     let mut centroids: Vec<f64> = (0..k.min(points.len()))
         .flat_map(|i| points.point(i).to_vec())
@@ -167,7 +163,6 @@ pub fn run_kmeans(
     tol: f64,
 ) -> Result<KMeansReport> {
     assert!(k > 0 && k <= points.len(), "need 1 <= k <= n");
-    let dim = points.dim();
     let n = points.len();
     let cfg = if nodes > 1 {
         WorldConfig::new(ranks).on_nodes(nodes)
@@ -175,94 +170,7 @@ pub fn run_kmeans(
         WorldConfig::new(ranks)
     };
     let points = points.clone();
-    let out = World::run(cfg, move |comm| {
-        let p = comm.size();
-        // Scatter contiguous point blocks.
-        let (flat, counts): (Option<Vec<f64>>, Option<Vec<usize>>) = if comm.rank() == 0 {
-            let counts = (0..p)
-                .map(|r| ((r + 1) * n / p - r * n / p) * dim)
-                .collect();
-            (Some(points.flat().to_vec()), Some(counts))
-        } else {
-            (None, None)
-        };
-        let local_flat = comm.scatterv(flat.as_deref(), counts.as_deref(), 0)?;
-        let local = Dataset::from_flat(dim, local_flat);
-        let n_local = local.len();
-
-        // Initial centroids: first k points, broadcast from root.
-        let init: Option<Vec<f64>> = if comm.rank() == 0 {
-            Some((0..k).flat_map(|i| points.point(i).to_vec()).collect())
-        } else {
-            None
-        };
-        let mut centroids = comm.bcast(init.as_deref(), 0)?;
-
-        let mut iterations = 0;
-        for _ in 0..MAX_ITERS {
-            iterations += 1;
-            // Local assignment phase.
-            let mut assign = vec![0u32; n_local];
-            for (i, a) in assign.iter_mut().enumerate() {
-                *a = nearest_centroid(local.point(i), &centroids, dim).0 as u32;
-            }
-            charge_assignment(comm, n_local, k, dim);
-
-            // Centroid update phase.
-            let new_centroids = match option {
-                CommOption::WeightedMeans => {
-                    // Pack sums and counts into one buffer: k*(dim+1).
-                    let mut buf = vec![0.0f64; k * (dim + 1)];
-                    for (i, &a) in assign.iter().enumerate() {
-                        let c = a as usize;
-                        buf[k * dim + c] += 1.0;
-                        for (d, &x) in local.point(i).iter().enumerate() {
-                            buf[c * dim + d] += x;
-                        }
-                    }
-                    let total = comm.allreduce(&buf, Op::Sum)?;
-                    finalize_centroids(&total[..k * dim], &total[k * dim..], &centroids, dim)
-                }
-                CommOption::ExplicitAssignment => {
-                    // Ship full assignments and points to the root every
-                    // iteration (the deliberately expensive option).
-                    let parts = comm.gatherv(&assign, 0)?;
-                    let pts = comm.gatherv(local.flat(), 0)?;
-                    let updated: Option<Vec<f64>> = match (parts, pts) {
-                        (Some(parts), Some(pts)) => {
-                            let mut sums = vec![0.0f64; k * dim];
-                            let mut counts = vec![0.0f64; k];
-                            for (blk, pblk) in parts.iter().zip(&pts) {
-                                for (i, &a) in blk.iter().enumerate() {
-                                    counts[a as usize] += 1.0;
-                                    for d in 0..dim {
-                                        sums[a as usize * dim + d] += pblk[i * dim + d];
-                                    }
-                                }
-                            }
-                            Some(finalize_centroids(&sums, &counts, &centroids, dim))
-                        }
-                        _ => None,
-                    };
-                    comm.bcast(updated.as_deref(), 0)?
-                }
-            };
-            let moved = max_move(&centroids, &new_centroids, dim);
-            centroids = new_centroids;
-            // Everyone computes the same `moved` from the same centroids,
-            // so the loop exit is globally consistent.
-            if moved <= tol {
-                break;
-            }
-        }
-
-        // Final inertia via reduce.
-        let local_inertia: f64 = (0..n_local)
-            .map(|i| nearest_centroid(local.point(i), &centroids, dim).1)
-            .sum();
-        let inertia = comm.allreduce(&[local_inertia], Op::Sum)?[0];
-        Ok((centroids, inertia, iterations))
-    })?;
+    let out = World::run(cfg, move |comm| kmeans_rank(comm, &points, k, option, tol))?;
 
     let (centroids, inertia, iterations) = out.values[0].clone();
     let primitives = crate::primitive_names(&out);
@@ -280,6 +188,107 @@ pub fn run_kmeans(
         comm_bytes: total.bytes_sent,
         primitives,
     })
+}
+
+/// One rank's share of distributed k-means. Rank 0 must hold the full
+/// dataset in `points` (other ranks only need its dimensionality and
+/// first `k` points for the initial broadcast, which the root supplies).
+/// Returns `(centroids, inertia, iterations)` — identical on every rank.
+pub fn kmeans_rank(
+    comm: &mut Comm,
+    points: &Dataset,
+    k: usize,
+    option: CommOption,
+    tol: f64,
+) -> Result<(Vec<f64>, f64, usize)> {
+    let dim = points.dim();
+    let n = points.len();
+    let p = comm.size();
+    // Scatter contiguous point blocks.
+    let (flat, counts): (Option<Vec<f64>>, Option<Vec<usize>>) = if comm.rank() == 0 {
+        let counts = (0..p)
+            .map(|r| ((r + 1) * n / p - r * n / p) * dim)
+            .collect();
+        (Some(points.flat().to_vec()), Some(counts))
+    } else {
+        (None, None)
+    };
+    let local_flat = comm.scatterv(flat.as_deref(), counts.as_deref(), 0)?;
+    let local = Dataset::from_flat(dim, local_flat);
+    let n_local = local.len();
+
+    // Initial centroids: first k points, broadcast from root.
+    let init: Option<Vec<f64>> = if comm.rank() == 0 {
+        Some((0..k).flat_map(|i| points.point(i).to_vec()).collect())
+    } else {
+        None
+    };
+    let mut centroids = comm.bcast(init.as_deref(), 0)?;
+
+    let mut iterations = 0;
+    for _ in 0..MAX_ITERS {
+        iterations += 1;
+        // Local assignment phase.
+        let mut assign = vec![0u32; n_local];
+        for (i, a) in assign.iter_mut().enumerate() {
+            *a = nearest_centroid(local.point(i), &centroids, dim).0 as u32;
+        }
+        charge_assignment(comm, n_local, k, dim);
+
+        // Centroid update phase.
+        let new_centroids = match option {
+            CommOption::WeightedMeans => {
+                // Pack sums and counts into one buffer: k*(dim+1).
+                let mut buf = vec![0.0f64; k * (dim + 1)];
+                for (i, &a) in assign.iter().enumerate() {
+                    let c = a as usize;
+                    buf[k * dim + c] += 1.0;
+                    for (d, &x) in local.point(i).iter().enumerate() {
+                        buf[c * dim + d] += x;
+                    }
+                }
+                let total = comm.allreduce(&buf, Op::Sum)?;
+                finalize_centroids(&total[..k * dim], &total[k * dim..], &centroids, dim)
+            }
+            CommOption::ExplicitAssignment => {
+                // Ship full assignments and points to the root every
+                // iteration (the deliberately expensive option).
+                let parts = comm.gatherv(&assign, 0)?;
+                let pts = comm.gatherv(local.flat(), 0)?;
+                let updated: Option<Vec<f64>> = match (parts, pts) {
+                    (Some(parts), Some(pts)) => {
+                        let mut sums = vec![0.0f64; k * dim];
+                        let mut counts = vec![0.0f64; k];
+                        for (blk, pblk) in parts.iter().zip(&pts) {
+                            for (i, &a) in blk.iter().enumerate() {
+                                counts[a as usize] += 1.0;
+                                for d in 0..dim {
+                                    sums[a as usize * dim + d] += pblk[i * dim + d];
+                                }
+                            }
+                        }
+                        Some(finalize_centroids(&sums, &counts, &centroids, dim))
+                    }
+                    _ => None,
+                };
+                comm.bcast(updated.as_deref(), 0)?
+            }
+        };
+        let moved = max_move(&centroids, &new_centroids, dim);
+        centroids = new_centroids;
+        // Everyone computes the same `moved` from the same centroids,
+        // so the loop exit is globally consistent.
+        if moved <= tol {
+            break;
+        }
+    }
+
+    // Final inertia via reduce.
+    let local_inertia: f64 = (0..n_local)
+        .map(|i| nearest_centroid(local.point(i), &centroids, dim).1)
+        .sum();
+    let inertia = comm.allreduce(&[local_inertia], Op::Sum)?[0];
+    Ok((centroids, inertia, iterations))
 }
 
 #[cfg(test)]

@@ -81,7 +81,7 @@ const LEFT_TAG: u32 = 1;
 const RIGHT_TAG: u32 = 2;
 
 /// One rank's body: returns its local field after `iters` steps.
-fn stencil_rank(
+pub fn stencil_rank(
     comm: &mut Comm,
     n_per_rank: usize,
     iters: usize,
@@ -164,7 +164,14 @@ pub fn run_stencil(
     variant: HaloVariant,
     nodes: usize,
 ) -> Result<StencilReport> {
-    run_stencil_placed(n_per_rank, ranks, iters, variant, nodes, PlacementPolicy::Block)
+    run_stencil_placed(
+        n_per_rank,
+        ranks,
+        iters,
+        variant,
+        nodes,
+        PlacementPolicy::Block,
+    )
 }
 
 /// Like [`run_stencil`] but with an explicit rank→node policy. Round-robin

@@ -18,7 +18,7 @@
 //!
 //! Learning outcomes exercised: 4, 8, 13 (communication volumes), 15.
 
-use pdc_mpi::{Result, World, WorldConfig};
+use pdc_mpi::{Comm, Result, World, WorldConfig};
 use serde::{Deserialize, Serialize};
 
 /// Communication strategy for the distributed top-k.
@@ -111,39 +111,7 @@ pub fn run_top_k(
 ) -> Result<TopKReport> {
     assert!(k > 0, "top-k needs k >= 1");
     let out = World::run(WorldConfig::new(ranks), move |comm| {
-        let scores = local_scores(n_per_rank, comm.rank(), seed);
-        // Local work: selection is an O(n log n) sort here (students may
-        // improve it — outcome 15).
-        let n = scores.len() as f64;
-        comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n);
-
-        let result: Option<Vec<f64>> = match strategy {
-            TopKStrategy::GatherAll => {
-                let all = comm.gather(&scores, 0)?;
-                Ok::<_, pdc_mpi::Error>(all.map(|all| top_k(&all, k)))
-            }
-            TopKStrategy::LocalPrune => {
-                let local = top_k(&scores, k.min(n_per_rank));
-                let cand = comm.gatherv(&local, 0)?;
-                Ok(cand.map(|blocks| {
-                    let flat: Vec<f64> = blocks.into_iter().flatten().collect();
-                    top_k(&flat, k)
-                }))
-            }
-            TopKStrategy::TreeMerge => {
-                // Pad to a fixed k so every tree message is the same shape.
-                // (`reduce_with` folds elementwise and cannot express a
-                // list merge, so students build the binomial tree from
-                // point-to-point primitives — see `tree_merge`.)
-                let mut local = top_k(&scores, k.min(n_per_rank));
-                local.resize(k, f64::NEG_INFINITY);
-                tree_merge(comm, local, k)
-            }
-        }?;
-        // Broadcast the answer so every rank returns it (and so the result
-        // is rank-count invariant to the caller).
-        let answer = comm.bcast(result.as_deref(), 0)?;
-        Ok(answer)
+        top_k_rank(comm, n_per_rank, k, strategy, seed)
     })?;
     let top: Vec<f64> = out.values[0]
         .iter()
@@ -162,14 +130,56 @@ pub fn run_top_k(
     })
 }
 
+/// One rank's share of the distributed top-k query: generate its local
+/// scores deterministically from `seed`, apply `strategy`, and return the
+/// broadcast global answer (`NEG_INFINITY`-padded when the data has fewer
+/// than `k` records) — identical on every rank.
+pub fn top_k_rank(
+    comm: &mut Comm,
+    n_per_rank: usize,
+    k: usize,
+    strategy: TopKStrategy,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let scores = local_scores(n_per_rank, comm.rank(), seed);
+    // Local work: selection is an O(n log n) sort here (students may
+    // improve it — outcome 15).
+    let n = scores.len() as f64;
+    comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n);
+
+    let result: Option<Vec<f64>> = match strategy {
+        TopKStrategy::GatherAll => {
+            let all = comm.gather(&scores, 0)?;
+            Ok::<_, pdc_mpi::Error>(all.map(|all| top_k(&all, k)))
+        }
+        TopKStrategy::LocalPrune => {
+            let local = top_k(&scores, k.min(n_per_rank));
+            let cand = comm.gatherv(&local, 0)?;
+            Ok(cand.map(|blocks| {
+                let flat: Vec<f64> = blocks.into_iter().flatten().collect();
+                top_k(&flat, k)
+            }))
+        }
+        TopKStrategy::TreeMerge => {
+            // Pad to a fixed k so every tree message is the same shape.
+            // (`reduce_with` folds elementwise and cannot express a
+            // list merge, so students build the binomial tree from
+            // point-to-point primitives — see `tree_merge`.)
+            let mut local = top_k(&scores, k.min(n_per_rank));
+            local.resize(k, f64::NEG_INFINITY);
+            tree_merge(comm, local, k)
+        }
+    }?;
+    // Broadcast the answer so every rank returns it (and so the result
+    // is rank-count invariant to the caller).
+    let answer = comm.bcast(result.as_deref(), 0)?;
+    Ok(answer)
+}
+
 /// Binomial-tree merge of fixed-length descending lists toward rank 0,
 /// built from point-to-point primitives (the "custom reduction" students
 /// write by hand).
-fn tree_merge(
-    comm: &mut pdc_mpi::Comm,
-    mut acc: Vec<f64>,
-    k: usize,
-) -> Result<Option<Vec<f64>>> {
+fn tree_merge(comm: &mut Comm, mut acc: Vec<f64>, k: usize) -> Result<Option<Vec<f64>>> {
     const TAG: u32 = 77;
     let p = comm.size();
     let rank = comm.rank();

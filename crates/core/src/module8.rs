@@ -147,11 +147,7 @@ fn brute_force_rank(comm: &mut Comm, points: &Dataset, eps2: f64) -> (u64, u64) 
 
 type CellKey = (i64, i64);
 
-fn grid_rank(
-    comm: &mut Comm,
-    points: &Dataset,
-    epsilon: f64,
-) -> Result<(u64, u64)> {
+fn grid_rank(comm: &mut Comm, points: &Dataset, epsilon: f64) -> Result<(u64, u64)> {
     use std::collections::BTreeMap;
     let p = comm.size();
     let r = comm.rank();
@@ -269,16 +265,7 @@ pub fn run_self_join(
     let n = points.len();
     let points = points.clone();
     let out = World::run(WorldConfig::new(ranks), move |comm| {
-        let eps2 = epsilon * epsilon;
-        let (pairs, candidates) = match method {
-            JoinMethod::BruteForce => brute_force_rank(comm, &points, eps2),
-            JoinMethod::Grid => grid_rank(comm, &points, epsilon)?,
-        };
-        // Charge: 5 flops per candidate test; grid pays its shuffles via
-        // the traced messages automatically.
-        comm.charge_kernel(candidates as f64 * 5.0, candidates as f64 * 8.0);
-        let totals = comm.allreduce(&[pairs, candidates], Op::Sum)?;
-        Ok((totals[0], totals[1], candidates))
+        self_join_rank(comm, &points, epsilon, method)
     })?;
     Ok(SelfJoinReport {
         n,
@@ -291,6 +278,27 @@ pub fn run_self_join(
         comm_bytes: out.total_bytes_sent(),
         rank_candidates: out.values.iter().map(|&(_, _, c)| c).collect(),
     })
+}
+
+/// One rank's share of the distributed self-join over the replicated
+/// `points`. Returns `(global_pairs, global_candidates, local_candidates)`
+/// — the first two identical on every rank via the final allreduce.
+pub fn self_join_rank(
+    comm: &mut Comm,
+    points: &Dataset,
+    epsilon: f64,
+    method: JoinMethod,
+) -> Result<(u64, u64, u64)> {
+    let eps2 = epsilon * epsilon;
+    let (pairs, candidates) = match method {
+        JoinMethod::BruteForce => brute_force_rank(comm, points, eps2),
+        JoinMethod::Grid => grid_rank(comm, points, epsilon)?,
+    };
+    // Charge: 5 flops per candidate test; grid pays its shuffles via
+    // the traced messages automatically.
+    comm.charge_kernel(candidates as f64 * 5.0, candidates as f64 * 8.0);
+    let totals = comm.allreduce(&[pairs, candidates], Op::Sum)?;
+    Ok((totals[0], totals[1], candidates))
 }
 
 #[cfg(test)]

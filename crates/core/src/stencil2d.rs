@@ -87,7 +87,7 @@ impl LocalGrid {
 }
 
 /// One rank's body; returns its local block (row-major, no ghosts).
-fn stencil2d_rank(
+pub fn stencil2d_rank(
     comm: &mut Comm,
     cart: &CartTopology,
     gx: usize,
@@ -99,9 +99,17 @@ fn stencil2d_rank(
     let (ry, rx) = (coords[0], coords[1]);
     // Block extents (last block takes the remainder).
     let lx0 = rx * (gx / pc);
-    let lx1 = if rx + 1 == pc { gx } else { (rx + 1) * (gx / pc) };
+    let lx1 = if rx + 1 == pc {
+        gx
+    } else {
+        (rx + 1) * (gx / pc)
+    };
     let ly0 = ry * (gy / pr);
-    let ly1 = if ry + 1 == pr { gy } else { (ry + 1) * (gy / pr) };
+    let ly1 = if ry + 1 == pr {
+        gy
+    } else {
+        (ry + 1) * (gy / pr)
+    };
     let (lx, ly) = (lx1 - lx0, ly1 - ly0);
 
     let mut g = LocalGrid {
@@ -118,8 +126,8 @@ fn stencil2d_rank(
     // Neighbour ranks (None = physical boundary).
     let (up, down) = cart.shift(comm.rank(), 0, 1); // dim 0 = rows (y)
     let (left, right) = cart.shift(comm.rank(), 1, 1); // dim 1 = cols (x)
-    // `shift(dim, +1)` returns (source, destination): the rank "above" us
-    // in the dimension is the source; the one "below" is the destination.
+                                                       // `shift(dim, +1)` returns (source, destination): the rank "above" us
+                                                       // in the dimension is the source; the one "below" is the destination.
 
     for _ in 0..iters {
         // Row exchange (contiguous): send bottom row down, receive top
@@ -163,10 +171,8 @@ fn stencil2d_rank(
         for y in 1..=ly {
             for x in 1..=lx {
                 let c = g.at(x, y);
-                next[g.idx(x, y)] = c
-                    + ALPHA_2D
-                        * (g.at(x - 1, y) + g.at(x + 1, y) + g.at(x, y - 1) + g.at(x, y + 1)
-                            - 4.0 * c);
+                next[g.idx(x, y)] = c + ALPHA_2D
+                    * (g.at(x - 1, y) + g.at(x + 1, y) + g.at(x, y - 1) + g.at(x, y + 1) - 4.0 * c);
             }
         }
         // Copy interior; ghosts are refreshed each iteration anyway.
@@ -209,12 +215,7 @@ fn exchange(
 
 /// Run the distributed 2-d stencil on `ranks` ranks (factored into a grid
 /// with [`dims_create`]).
-pub fn run_stencil_2d(
-    gx: usize,
-    gy: usize,
-    ranks: usize,
-    iters: usize,
-) -> Result<Stencil2dReport> {
+pub fn run_stencil_2d(gx: usize, gy: usize, ranks: usize, iters: usize) -> Result<Stencil2dReport> {
     let dims = dims_create(ranks, 2);
     let (pr, pc) = (dims[0], dims[1]);
     assert!(
@@ -251,14 +252,21 @@ pub fn run_stencil_2d_field(gx: usize, gy: usize, ranks: usize, iters: usize) ->
     let blocks = out.values[0].clone().expect("rank 0 gathered");
     let mut field = vec![0.0f64; gx * gy];
     for (rank, block) in blocks.into_iter().enumerate() {
-        let cart = CartTopology::new(pr * pc, &[pr, pc], &[false, false])
-            .expect("validated grid");
+        let cart = CartTopology::new(pr * pc, &[pr, pc], &[false, false]).expect("validated grid");
         let coords = cart.coords(rank);
         let (ry, rx) = (coords[0], coords[1]);
         let lx0 = rx * (gx / pc);
-        let lx1 = if rx + 1 == pc { gx } else { (rx + 1) * (gx / pc) };
+        let lx1 = if rx + 1 == pc {
+            gx
+        } else {
+            (rx + 1) * (gx / pc)
+        };
         let ly0 = ry * (gy / pr);
-        let ly1 = if ry + 1 == pr { gy } else { (ry + 1) * (gy / pr) };
+        let ly1 = if ry + 1 == pr {
+            gy
+        } else {
+            (ry + 1) * (gy / pr)
+        };
         let lx = lx1 - lx0;
         for (i, v) in block.into_iter().enumerate() {
             let (y, x) = (i / lx, i % lx);
@@ -287,10 +295,7 @@ mod tests {
                 .unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
             let reference = sequential_stencil_2d(24, 24, 15);
             for (i, (a, b)) in field.iter().zip(&reference).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-12,
-                    "ranks={ranks} cell {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-12, "ranks={ranks} cell {i}: {a} vs {b}");
             }
         }
     }
@@ -309,8 +314,8 @@ mod tests {
     fn checksum_is_rank_count_invariant() {
         let reference: f64 = sequential_stencil_2d(20, 20, 12).iter().sum();
         for ranks in [1, 3, 4, 8] {
-            let rep = run_stencil_2d(20, 20, ranks, 12)
-                .unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
+            let rep =
+                run_stencil_2d(20, 20, ranks, 12).unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
             assert!(
                 (rep.checksum - reference).abs() < 1e-9,
                 "ranks={ranks}: {} vs {reference}",

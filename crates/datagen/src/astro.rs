@@ -54,7 +54,10 @@ pub fn asteroid_catalog(n: usize, seed: u64) -> Vec<Asteroid> {
 /// # Panics
 /// Panics unless `0 < frac <= 1`.
 pub fn random_range_queries(n: usize, frac: f64, seed: u64) -> Vec<([f64; 2], [f64; 2])> {
-    assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1], got {frac}");
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "frac must be in (0, 1], got {frac}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
@@ -65,10 +68,7 @@ pub fn random_range_queries(n: usize, frac: f64, seed: u64) -> Vec<([f64; 2], [f
             let pw = (phi.ln() - plo.ln()) * frac;
             let a0 = rng.gen_range(alo.ln()..(ahi.ln() - aw));
             let p0 = rng.gen_range(plo.ln()..(phi.ln() - pw));
-            (
-                [a0.exp(), p0.exp()],
-                [(a0 + aw).exp(), (p0 + pw).exp()],
-            )
+            ([a0.exp(), p0.exp()], [(a0 + aw).exp(), (p0 + pw).exp()])
         })
         .collect()
 }

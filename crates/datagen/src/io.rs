@@ -59,9 +59,8 @@ pub fn dataset_from_csv(text: &str) -> io::Result<Dataset> {
         }
         values.extend(row);
     }
-    let dim = dim.ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "CSV contains no data rows")
-    })?;
+    let dim =
+        dim.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "CSV contains no data rows"))?;
     Ok(Dataset::from_flat(dim, values))
 }
 

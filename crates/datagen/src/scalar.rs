@@ -68,7 +68,11 @@ mod tests {
         assert_eq!(a.len(), 1000);
         assert!(a.iter().all(|&x| (-2.0..3.0).contains(&x)));
         assert_eq!(a, uniform_f64(1000, -2.0, 3.0, 42), "same seed, same data");
-        assert_ne!(a, uniform_f64(1000, -2.0, 3.0, 43), "different seed differs");
+        assert_ne!(
+            a,
+            uniform_f64(1000, -2.0, 3.0, 43),
+            "different seed differs"
+        );
     }
 
     #[test]
@@ -96,7 +100,10 @@ mod tests {
         assert!(a.iter().all(|&x| (1.0..=100.0).contains(&x)));
         let ones = a.iter().filter(|&&x| x == 1.0).count();
         let hundreds = a.iter().filter(|&&x| x == 100.0).count();
-        assert!(ones > 20 * (hundreds + 1), "rank 1 dominates: {ones} vs {hundreds}");
+        assert!(
+            ones > 20 * (hundreds + 1),
+            "rank 1 dominates: {ones} vs {hundreds}"
+        );
         assert_eq!(a, zipf_f64(20_000, 100, 1.2, 3), "seeded");
     }
 

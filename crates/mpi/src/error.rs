@@ -1,5 +1,6 @@
 //! Error type for the message-passing runtime.
 
+use crate::check::DeadlockInfo;
 use std::fmt;
 
 /// Errors surfaced by runtime primitives.
@@ -13,7 +14,10 @@ use std::fmt;
 pub enum Error {
     /// The watchdog observed every rank blocked with no progress: the
     /// program has deadlocked (e.g. all ranks in a blocking ring `send`).
-    Deadlock,
+    /// Carries the watchdog's explanation — which calls were blocked on
+    /// which peers, and the wait-for cycle — when one was assembled (an
+    /// empty [`DeadlockInfo`] renders just the headline).
+    Deadlock(DeadlockInfo),
     /// A receive matched a message whose element type differs from the
     /// receiver's type parameter.
     TypeMismatch {
@@ -41,12 +45,21 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Deadlock => write!(
-                f,
-                "deadlock detected: every rank is blocked and no message has moved"
-            ),
+            Error::Deadlock(info) => {
+                write!(
+                    f,
+                    "deadlock detected: every rank is blocked and no message has moved"
+                )?;
+                if !info.is_empty() {
+                    write!(f, "\n{}", info.render().trim_end())?;
+                }
+                Ok(())
+            }
             Error::TypeMismatch { expected, found } => {
-                write!(f, "datatype mismatch: receiving {expected} but message holds {found}")
+                write!(
+                    f,
+                    "datatype mismatch: receiving {expected} but message holds {found}"
+                )
             }
             Error::Truncated {
                 message_bytes,
@@ -79,7 +92,31 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("f64") && s.contains("i32"));
-        assert!(Error::Deadlock.to_string().contains("deadlock"));
+        assert!(Error::Deadlock(DeadlockInfo::default())
+            .to_string()
+            .contains("deadlock"));
         assert!(Error::RankPanicked(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn deadlock_display_includes_explanation() {
+        use crate::check::{BlockedOp, CallSite, WaitTarget};
+        let info = DeadlockInfo {
+            blocked: vec![BlockedOp {
+                rank: 2,
+                op: "ssend",
+                waiting_on: WaitTarget::Rank(3),
+                detail: "tag 0".into(),
+                site: CallSite {
+                    file: "ring.rs",
+                    line: 9,
+                },
+            }],
+            cycle: vec![2],
+        };
+        let s = Error::Deadlock(info).to_string();
+        assert!(s.contains("deadlock detected"), "{s}");
+        assert!(s.contains("rank 2 ssend(tag 0) waiting on rank 3"), "{s}");
+        assert!(s.contains("ring.rs:9"), "{s}");
     }
 }

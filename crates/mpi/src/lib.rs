@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
@@ -66,6 +67,7 @@ pub mod topology;
 pub mod trace;
 pub mod world;
 
+pub use check::{BlockedOp, CallSite, CheckEvent, CheckMode, DeadlockInfo, WaitTarget};
 pub use comm::{Comm, RecvRequest, SendRequest};
 pub use datatype::{Datatype, Loc};
 pub use envelope::{SourceSel, Status, TagSel};

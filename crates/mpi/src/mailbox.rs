@@ -12,11 +12,13 @@
 //! the previous sample, the program cannot progress and the world is
 //! poisoned — every blocked primitive then returns [`Error::Deadlock`].
 
+use crate::check::{BlockedOp, DeadlockInfo};
 use crate::envelope::{Envelope, MatchSpec, SourceSel, Status};
 use crate::error::{Error, Result};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// How often blocked primitives re-check the poison flag.
@@ -37,6 +39,12 @@ pub struct Progress {
     pub poisoned: AtomicBool,
     /// World size.
     pub size: usize,
+    /// What each blocked rank is waiting for, indexed by rank. Registered
+    /// by [`Progress::enter_blocked_as`]; the watchdog snapshots it to
+    /// explain a deadlock instead of merely timing it out.
+    blocked_ops: Mutex<Vec<Option<BlockedOp>>>,
+    /// The watchdog's explanation, written immediately before poisoning.
+    deadlock: Mutex<Option<DeadlockInfo>>,
 }
 
 impl Progress {
@@ -48,6 +56,8 @@ impl Progress {
             done: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             size,
+            blocked_ops: Mutex::new((0..size).map(|_| None).collect()),
+            deadlock: Mutex::new(None),
         }
     }
 
@@ -61,21 +71,64 @@ impl Progress {
         self.poisoned.load(Ordering::Relaxed)
     }
 
-    /// RAII guard marking the current rank as blocked.
+    /// RAII guard marking the current rank as blocked (anonymously: the
+    /// watchdog will see the rank counted but cannot name its operation).
     pub fn enter_blocked(&self) -> BlockedGuard<'_> {
         self.blocked.fetch_add(1, Ordering::SeqCst);
-        BlockedGuard { progress: self }
+        BlockedGuard {
+            progress: self,
+            rank: None,
+        }
+    }
+
+    /// RAII guard marking the current rank as blocked *in* `op`, so the
+    /// watchdog can report the call and build the wait-for graph.
+    pub fn enter_blocked_as(&self, op: BlockedOp) -> BlockedGuard<'_> {
+        let rank = op.rank;
+        if let Ok(mut ops) = self.blocked_ops.lock() {
+            if let Some(slot) = ops.get_mut(rank) {
+                *slot = Some(op);
+            }
+        }
+        // Register the op before the count: once `blocked` says the rank
+        // is stuck, its slot is already filled.
+        self.blocked.fetch_add(1, Ordering::SeqCst);
+        BlockedGuard {
+            progress: self,
+            rank: Some(rank),
+        }
+    }
+
+    /// The error blocked primitives return when the world is poisoned:
+    /// deadlock, carrying the watchdog's explanation when one was stored.
+    pub fn deadlock_error(&self) -> Error {
+        let info = self
+            .deadlock
+            .lock()
+            .ok()
+            .and_then(|guard| guard.clone())
+            .unwrap_or_default();
+        Error::Deadlock(info)
     }
 }
 
-/// Guard that decrements the blocked count on drop.
+/// Guard that decrements the blocked count (and clears the registered
+/// operation, if any) on drop.
 pub struct BlockedGuard<'a> {
     progress: &'a Progress,
+    rank: Option<usize>,
 }
 
 impl Drop for BlockedGuard<'_> {
     fn drop(&mut self) {
         self.progress.blocked.fetch_sub(1, Ordering::SeqCst);
+        if let Some(rank) = self.rank {
+            if let Ok(mut ops) = self.progress.blocked_ops.lock() {
+                if let Some(slot) = ops.get_mut(rank) {
+                    *slot = None;
+                }
+            }
+        }
     }
 }
 
@@ -106,6 +159,22 @@ pub fn watchdog(progress: &Progress, interval: Duration) {
         let deliveries = progress.deliveries.load(Ordering::SeqCst);
         let all_stuck = blocked > 0 && blocked + done == progress.size;
         if all_stuck && deliveries == prev_deliveries {
+            // Explain before poisoning: snapshot what every blocked rank
+            // was waiting for and look for a wait-for cycle, so the error
+            // the ranks observe names the calls instead of just timing
+            // out.
+            let blocked_ops: Vec<BlockedOp> = progress
+                .blocked_ops
+                .lock()
+                .map(|ops| ops.iter().flatten().cloned().collect())
+                .unwrap_or_default();
+            let info = DeadlockInfo {
+                cycle: DeadlockInfo::find_cycle(&blocked_ops),
+                blocked: blocked_ops,
+            };
+            if let Ok(mut slot) = progress.deadlock.lock() {
+                *slot = Some(info);
+            }
             progress.poisoned.store(true, Ordering::SeqCst);
             return;
         }
@@ -118,6 +187,13 @@ pub fn watchdog(progress: &Progress, interval: Duration) {
 pub struct Mailbox {
     rx: Receiver<Envelope>,
     pending: VecDeque<Envelope>,
+    /// xorshift64* state for perturbed wildcard delivery; `None` keeps the
+    /// default (sim-earliest) rule.
+    perturb: Option<u64>,
+    /// Matching candidates at the most recent successful `try_match` —
+    /// more than one under a wildcard spec means the match was
+    /// order-dependent (a message-race candidate).
+    last_candidates: usize,
 }
 
 impl Mailbox {
@@ -126,7 +202,42 @@ impl Mailbox {
         Self {
             rx,
             pending: VecDeque::new(),
+            perturb: None,
+            last_candidates: 0,
         }
+    }
+
+    /// Enable perturbed wildcard delivery ([`CheckMode::Perturb`]
+    /// (crate::check::CheckMode::Perturb)): ties are broken
+    /// pseudo-randomly instead of by simulated send time.
+    pub fn set_perturb(&mut self, seed: u64) {
+        // xorshift needs a nonzero state.
+        self.perturb = Some(seed | 1);
+        // Warm the generator up: small neighbouring seeds otherwise share
+        // their first few draws (the state diffuses slowly from low bits).
+        for _ in 0..4 {
+            self.next_perturb();
+        }
+    }
+
+    /// Matching candidates in flight at the last successful match.
+    pub fn last_candidates(&self) -> usize {
+        self.last_candidates
+    }
+
+    fn next_perturb(&mut self) -> u64 {
+        let state = self.perturb.as_mut().expect("perturbation enabled");
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Drain everything (channel + pending queue): the messages this rank
+    /// never received. Called at finalize time by the leak check.
+    pub fn drain_all(&mut self) -> Vec<Envelope> {
+        self.drain_channel();
+        self.pending.drain(..).collect()
     }
 
     /// Drain everything currently sitting in the channel into the pending
@@ -150,19 +261,40 @@ impl Mailbox {
         self.drain_channel();
         let wildcard = matches!(spec, MatchSpec::User(SourceSel::Any, _));
         let idx = if wildcard {
-            self.pending
+            let candidates: Vec<usize> = self
+                .pending
                 .iter()
                 .enumerate()
                 .filter(|(_, env)| spec.matches(env))
-                .min_by(|(ia, a), (ib, b)| {
-                    a.send_time
-                        .partial_cmp(&b.send_time)
-                        .expect("finite send times")
-                        .then(ia.cmp(ib))
-                })
-                .map(|(i, _)| i)?
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            self.last_candidates = candidates.len();
+            if self.perturb.is_some() && candidates.len() > 1 {
+                // Perturbed delivery: any candidate is a legal match under
+                // MPI's wildcard rules; picking one pseudo-randomly
+                // exposes order-dependent programs. The high half of the
+                // xorshift* output is used — its low bits are weak.
+                let pick = (self.next_perturb() >> 33) as usize % candidates.len();
+                candidates[pick]
+            } else {
+                candidates
+                    .into_iter()
+                    .min_by(|&ia, &ib| {
+                        self.pending[ia]
+                            .send_time
+                            .partial_cmp(&self.pending[ib].send_time)
+                            .expect("finite send times")
+                            .then(ia.cmp(&ib))
+                    })
+                    .expect("nonempty candidate set")
+            }
         } else {
-            self.pending.iter().position(|env| spec.matches(env))?
+            let idx = self.pending.iter().position(|env| spec.matches(env))?;
+            self.last_candidates = 1;
+            idx
         };
         progress.bump();
         self.pending.remove(idx)
@@ -170,14 +302,24 @@ impl Mailbox {
 
     /// Blocking match: waits for a satisfying envelope, returning
     /// [`Error::Deadlock`] if the watchdog poisons the world while waiting.
-    pub fn recv_matching(&mut self, spec: &MatchSpec, progress: &Progress) -> Result<Envelope> {
+    /// `op` (when given) registers what this rank is waiting for, so the
+    /// watchdog can explain rather than just detect a deadlock.
+    pub fn recv_matching(
+        &mut self,
+        spec: &MatchSpec,
+        progress: &Progress,
+        op: Option<BlockedOp>,
+    ) -> Result<Envelope> {
         if let Some(env) = self.try_match(spec, progress) {
             return Ok(env);
         }
-        let _guard = progress.enter_blocked();
+        let _guard = match op {
+            Some(op) => progress.enter_blocked_as(op),
+            None => progress.enter_blocked(),
+        };
         loop {
             if progress.is_poisoned() {
-                return Err(Error::Deadlock);
+                return Err(progress.deadlock_error());
             }
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => {
@@ -201,7 +343,7 @@ impl Mailbox {
                         return Ok(env);
                     }
                     if progress.is_poisoned() {
-                        return Err(Error::Deadlock);
+                        return Err(progress.deadlock_error());
                     }
                     return Err(Error::WorldShutDown);
                 }
@@ -222,15 +364,23 @@ impl Mailbox {
     /// Blocking peek: waits until a satisfying user envelope exists and
     /// returns its [`Status`] without consuming it (the analogue of
     /// `MPI_Probe`).
-    pub fn probe_matching(&mut self, spec: &MatchSpec, progress: &Progress) -> Result<Status> {
+    pub fn probe_matching(
+        &mut self,
+        spec: &MatchSpec,
+        progress: &Progress,
+        op: Option<BlockedOp>,
+    ) -> Result<Status> {
         self.drain_channel();
         if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
             return Ok(Status::of(&self.pending[idx]));
         }
-        let _guard = progress.enter_blocked();
+        let _guard = match op {
+            Some(op) => progress.enter_blocked_as(op),
+            None => progress.enter_blocked(),
+        };
         loop {
             if progress.is_poisoned() {
-                return Err(Error::Deadlock);
+                return Err(progress.deadlock_error());
             }
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => {
@@ -242,7 +392,7 @@ impl Mailbox {
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     if progress.is_poisoned() {
-                        return Err(Error::Deadlock);
+                        return Err(progress.deadlock_error());
                     }
                     return Err(Error::WorldShutDown);
                 }
@@ -269,6 +419,7 @@ mod tests {
             type_size: 4,
             payload: encode_slice(&[val]),
             send_time: 0.0,
+            seq: 0,
             ack: None,
         }
     }
@@ -284,7 +435,10 @@ mod tests {
         let first = mb.try_match(&spec, &progress).expect("message pending");
         assert_eq!(crate::datatype::decode_vec::<i32>(&first.payload), vec![10]);
         let second = mb.try_match(&spec, &progress).expect("message pending");
-        assert_eq!(crate::datatype::decode_vec::<i32>(&second.payload), vec![20]);
+        assert_eq!(
+            crate::datatype::decode_vec::<i32>(&second.payload),
+            vec![20]
+        );
         assert!(mb.try_match(&spec, &progress).is_none());
     }
 
@@ -324,7 +478,7 @@ mod tests {
             tx.send(env(0, 3, 42)).expect("open channel");
         });
         let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Tag(3));
-        let got = mb.recv_matching(&spec, &progress).expect("arrives");
+        let got = mb.recv_matching(&spec, &progress, None).expect("arrives");
         assert_eq!(crate::datatype::decode_vec::<i32>(&got.payload), vec![42]);
         handle.join().expect("sender thread");
     }
@@ -336,10 +490,11 @@ mod tests {
         progress.poisoned.store(true, Ordering::SeqCst);
         let mut mb = Mailbox::new(rx);
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
-        assert_eq!(
-            mb.recv_matching(&spec, &progress).expect_err("poisoned"),
-            Error::Deadlock
-        );
+        assert!(matches!(
+            mb.recv_matching(&spec, &progress, None)
+                .expect_err("poisoned"),
+            Error::Deadlock(_)
+        ));
     }
 
     #[test]
@@ -350,7 +505,8 @@ mod tests {
         let mut mb = Mailbox::new(rx);
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
         assert_eq!(
-            mb.recv_matching(&spec, &progress).expect_err("closed"),
+            mb.recv_matching(&spec, &progress, None)
+                .expect_err("closed"),
             Error::WorldShutDown
         );
     }
@@ -362,7 +518,7 @@ mod tests {
         let mut mb = Mailbox::new(rx);
         tx.send(env(4, 8, 5)).expect("open channel");
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
-        let peeked = mb.probe_matching(&spec, &progress).expect("pending");
+        let peeked = mb.probe_matching(&spec, &progress, None).expect("pending");
         assert_eq!(peeked.source, 4);
         assert!(mb.try_match(&spec, &progress).is_some(), "still consumable");
     }
@@ -374,6 +530,80 @@ mod tests {
         progress.blocked.store(2, Ordering::SeqCst);
         watchdog(&progress, Duration::from_millis(5));
         assert!(progress.is_poisoned());
+    }
+
+    #[test]
+    fn watchdog_explains_registered_blocked_ops() {
+        use crate::check::{CallSite, WaitTarget};
+        let progress = Progress::new(2);
+        // Two ranks blocked on each other: a 2-cycle the watchdog should
+        // name in its explanation.
+        let guards: Vec<_> = (0..2)
+            .map(|rank| {
+                progress.enter_blocked_as(BlockedOp {
+                    rank,
+                    op: "ssend",
+                    waiting_on: WaitTarget::Rank(1 - rank),
+                    detail: format!("tag {rank}"),
+                    site: CallSite {
+                        file: "pair.rs",
+                        line: 10 + rank as u32,
+                    },
+                })
+            })
+            .collect();
+        watchdog(&progress, Duration::from_millis(5));
+        assert!(progress.is_poisoned());
+        drop(guards);
+        match progress.deadlock_error() {
+            Error::Deadlock(info) => {
+                assert_eq!(info.blocked.len(), 2);
+                assert_eq!(info.cycle.len(), 2);
+                let s = info.render();
+                assert!(s.contains("pair.rs:10"), "{s}");
+                assert!(s.contains("pair.rs:11"), "{s}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_match_counts_candidates() {
+        let (tx, rx) = unbounded();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(1, 9, 1)).expect("open channel");
+        tx.send(env(2, 9, 2)).expect("open channel");
+        tx.send(env(3, 9, 3)).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        mb.try_match(&spec, &progress).expect("pending");
+        assert_eq!(mb.last_candidates(), 3);
+        mb.try_match(&spec, &progress).expect("pending");
+        assert_eq!(mb.last_candidates(), 2);
+    }
+
+    #[test]
+    fn perturbed_delivery_is_deterministic_per_seed_and_legal() {
+        let run = |seed: u64| -> Vec<usize> {
+            let (tx, rx) = unbounded();
+            let progress = Progress::new(1);
+            let mut mb = Mailbox::new(rx);
+            mb.set_perturb(seed);
+            for src in 0..4 {
+                tx.send(env(src, 9, src as i32)).expect("open channel");
+            }
+            let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+            (0..4)
+                .map(|_| mb.try_match(&spec, &progress).expect("pending").src)
+                .collect()
+        };
+        let a = run(12345);
+        let b = run(12345);
+        assert_eq!(a, b, "same seed, same delivery order");
+        // Every message is still delivered exactly once.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
     }
 
     #[test]

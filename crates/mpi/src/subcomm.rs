@@ -13,6 +13,7 @@
 //! message tags, so concurrent collectives on different communicators can
 //! never cross-match — MPI's communicator-isolation guarantee.
 
+use crate::check::CallSite;
 use crate::comm::Comm;
 use crate::datatype::Datatype;
 use crate::error::{Error, Result};
@@ -107,7 +108,18 @@ impl Comm<'_> {
     }
 
     /// Barrier over a sub-communicator (dissemination).
+    #[track_caller]
     pub fn sub_barrier(&mut self, sc: &mut SubComm) -> Result<()> {
+        self.record_sub_coll(
+            "sub_barrier",
+            sc.ctx,
+            &sc.members,
+            None,
+            None,
+            None,
+            "-",
+            CallSite::here(),
+        );
         self.record(Primitive::Barrier);
         let base = sc.next_base();
         let p = sc.size();
@@ -125,12 +137,27 @@ impl Comm<'_> {
     }
 
     /// Broadcast over a sub-communicator. `root` is a *sub-rank*.
+    #[track_caller]
     pub fn sub_bcast<T: Datatype>(
         &mut self,
         sc: &mut SubComm,
         data: Option<&[T]>,
         root: usize,
     ) -> Result<Vec<T>> {
+        self.record_sub_coll(
+            "sub_bcast",
+            sc.ctx,
+            &sc.members,
+            Some(root),
+            None,
+            if sc.my_idx == root {
+                data.map(|d| d.len())
+            } else {
+                None
+            },
+            T::NAME,
+            CallSite::here(),
+        );
         sc.validate_root(root)?;
         self.record(Primitive::Bcast);
         let base = sc.next_base();
@@ -172,6 +199,7 @@ impl Comm<'_> {
 
     /// Reduction over a sub-communicator with a custom combiner; the
     /// sub-rank `root` receives the result.
+    #[track_caller]
     pub fn sub_reduce_with<T: Datatype, F: Fn(&T, &T) -> T>(
         &mut self,
         sc: &mut SubComm,
@@ -179,6 +207,16 @@ impl Comm<'_> {
         root: usize,
         combine: F,
     ) -> Result<Option<Vec<T>>> {
+        self.record_sub_coll(
+            "sub_reduce",
+            sc.ctx,
+            &sc.members,
+            Some(root),
+            None,
+            Some(data.len()),
+            T::NAME,
+            CallSite::here(),
+        );
         sc.validate_root(root)?;
         self.record(Primitive::Reduce);
         let base = sc.next_base();
@@ -221,6 +259,7 @@ impl Comm<'_> {
     }
 
     /// Reduction over a sub-communicator with a built-in operator.
+    #[track_caller]
     pub fn sub_reduce<T: Datatype + Reducible>(
         &mut self,
         sc: &mut SubComm,
@@ -228,20 +267,45 @@ impl Comm<'_> {
         op: Op,
         root: usize,
     ) -> Result<Option<Vec<T>>> {
-        self.sub_reduce_with(sc, data, root, move |a, b| T::reduce(op, *a, *b))
+        self.record_sub_coll(
+            "sub_reduce",
+            sc.ctx,
+            &sc.members,
+            Some(root),
+            Some(op),
+            Some(data.len()),
+            T::NAME,
+            CallSite::here(),
+        );
+        sc.validate_root(root)?;
+        self.record(Primitive::Reduce);
+        let base = sc.next_base();
+        self.sub_reduce_tree(sc, data, root, base, &move |a, b| T::reduce(op, *a, *b))
     }
 
     /// Allreduce over a sub-communicator.
+    #[track_caller]
     pub fn sub_allreduce<T: Datatype + Reducible>(
         &mut self,
         sc: &mut SubComm,
         data: &[T],
         op: Op,
     ) -> Result<Vec<T>> {
+        self.record_sub_coll(
+            "sub_allreduce",
+            sc.ctx,
+            &sc.members,
+            None,
+            Some(op),
+            Some(data.len()),
+            T::NAME,
+            CallSite::here(),
+        );
         self.record(Primitive::Allreduce);
         let base = sc.next_base();
-        let reduced =
-            self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| T::reduce(op, *a, *b))?;
+        let reduced = self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| {
+            T::reduce(op, *a, *b)
+        })?;
         // Broadcast phase with a shifted tag sub-range.
         let p = sc.size();
         let mut buf = reduced.unwrap_or_default();
@@ -274,12 +338,23 @@ impl Comm<'_> {
     }
 
     /// Gather equal-length contributions to sub-rank `root`.
+    #[track_caller]
     pub fn sub_gather<T: Datatype>(
         &mut self,
         sc: &mut SubComm,
         data: &[T],
         root: usize,
     ) -> Result<Option<Vec<T>>> {
+        self.record_sub_coll(
+            "sub_gather",
+            sc.ctx,
+            &sc.members,
+            Some(root),
+            None,
+            Some(data.len()),
+            T::NAME,
+            CallSite::here(),
+        );
         sc.validate_root(root)?;
         self.record(Primitive::Gather);
         let base = sc.next_base();

@@ -34,9 +34,7 @@ pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
     }
     factors.sort_unstable_by(|a, b| b.cmp(a));
     for factor in factors {
-        let smallest = (0..ndims)
-            .min_by_key(|&i| dims[i])
-            .expect("ndims > 0");
+        let smallest = (0..ndims).min_by_key(|&i| dims[i]).expect("ndims > 0");
         dims[smallest] *= factor;
     }
     dims.sort_unstable_by(|a, b| b.cmp(a));

@@ -1,6 +1,7 @@
 //! World bootstrap: spawn one thread per rank, run the closure, collect
 //! results, statistics, and simulated times.
 
+use crate::check::{CheckEvent, CheckMode, DeadlockInfo};
 use crate::comm::Comm;
 use crate::error::{Error, Result};
 use crate::mailbox::{watchdog, Mailbox, Progress};
@@ -34,6 +35,11 @@ pub struct WorldConfig {
     pub watchdog: Option<Duration>,
     /// Record per-rank execution traces (see [`crate::trace`]).
     pub tracing: bool,
+    /// Correctness-checker instrumentation (see [`crate::check`]). `Off`
+    /// costs nothing; `Record` logs per-rank communication events for
+    /// offline analysis; `Perturb` additionally randomises wildcard
+    /// message delivery to expose message races.
+    pub check: CheckMode,
 }
 
 impl WorldConfig {
@@ -56,6 +62,7 @@ impl WorldConfig {
             placement_policy: PlacementPolicy::Block,
             watchdog: Some(Duration::from_millis(100)),
             tracing: false,
+            check: CheckMode::Off,
         }
     }
 
@@ -104,6 +111,13 @@ impl WorldConfig {
     /// [`crate::trace::render_timeline`].
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Enable correctness-checker instrumentation (builder style). Use
+    /// [`World::run_with_check`] to retrieve the recorded event logs.
+    pub fn with_check(mut self, mode: CheckMode) -> Self {
+        self.check = mode;
         self
     }
 }
@@ -155,6 +169,30 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> Result<T> + Send + Sync,
     {
+        Self::run_inner(cfg, f).0
+    }
+
+    /// Like [`World::run`], but also returns the per-rank checker event
+    /// logs (indexed by rank; empty unless [`WorldConfig::with_check`]
+    /// enabled instrumentation). The logs are returned even when the run
+    /// itself fails — a deadlocked or crashed run is exactly when the
+    /// checker has the most to say.
+    pub fn run_with_check<T, F>(
+        cfg: WorldConfig,
+        f: F,
+    ) -> (Result<RunOutput<T>>, Vec<Vec<CheckEvent>>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
+        Self::run_inner(cfg, f)
+    }
+
+    fn run_inner<T, F>(cfg: WorldConfig, f: F) -> (Result<RunOutput<T>>, Vec<Vec<CheckEvent>>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
         assert!(cfg.size > 0, "a world needs at least one rank");
         let placement = Placement::new(
             cfg.size,
@@ -174,7 +212,7 @@ impl World {
         }
 
         let started = Instant::now();
-        type RankOutcome<T> = (Result<T>, CommStats, f64, Timeline);
+        type RankOutcome<T> = (Result<T>, CommStats, f64, Timeline, Vec<CheckEvent>);
         let mut slots: Vec<Option<RankOutcome<T>>> = (0..cfg.size).map(|_| None).collect();
 
         std::thread::scope(|scope| {
@@ -186,6 +224,8 @@ impl World {
                 let f = &f;
                 let eager = cfg.eager_threshold;
                 let tracing = cfg.tracing;
+                let check = cfg.check;
+                let size = cfg.size;
                 handles.push(scope.spawn(move || {
                     let mut comm = Comm::new(
                         rank,
@@ -195,15 +235,27 @@ impl World {
                         cost,
                         eager,
                         tracing,
+                        check,
                     );
-                    let value =
-                        match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
-                            Ok(result) => result,
-                            Err(_) => Err(Error::RankPanicked(rank)),
-                        };
-                    progress.done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    let (stats, sim_time, trace) = comm.into_report();
-                    (value, stats, sim_time, trace)
+                    let value = match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                        Ok(result) => result,
+                        Err(_) => Err(Error::RankPanicked(rank)),
+                    };
+                    progress
+                        .done
+                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if check.is_on() {
+                        // The finalize-time leak check drains this rank's
+                        // mailbox; wait until every rank has finished so
+                        // all in-flight sends have landed first. (Blocked
+                        // ranks are released by the watchdog's poison, so
+                        // this terminates even on deadlocked runs.)
+                        while progress.done.load(std::sync::atomic::Ordering::SeqCst) < size {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    let (stats, sim_time, trace, events) = comm.into_report();
+                    (value, stats, sim_time, trace, events)
                 }));
             }
             if let Some(interval) = cfg.watchdog {
@@ -212,7 +264,13 @@ impl World {
             }
             for (rank, handle) in handles.into_iter().enumerate() {
                 let outcome = handle.join().unwrap_or_else(|_| {
-                    (Err(Error::RankPanicked(rank)), CommStats::new(), 0.0, Vec::new())
+                    (
+                        Err(Error::RankPanicked(rank)),
+                        CommStats::new(),
+                        0.0,
+                        Vec::new(),
+                        Vec::new(),
+                    )
                 });
                 slots[rank] = Some(outcome);
             }
@@ -223,17 +281,25 @@ impl World {
         let mut values = Vec::with_capacity(cfg.size);
         let mut stats = Vec::with_capacity(cfg.size);
         let mut traces = Vec::with_capacity(cfg.size);
+        let mut events = Vec::with_capacity(cfg.size);
         let mut sim_time = 0.0f64;
         let mut first_error: Option<Error> = None;
-        let mut deadlock_seen = false;
+        let mut deadlock: Option<DeadlockInfo> = None;
         for slot in slots {
-            let (value, st, t, trace) = slot.expect("every rank produced a slot");
+            let (value, st, t, trace, ev) = slot.expect("every rank produced a slot");
             sim_time = sim_time.max(t);
             stats.push(st);
             traces.push(trace);
+            events.push(ev);
             match value {
                 Ok(v) => values.push(v),
-                Err(Error::Deadlock) => deadlock_seen = true,
+                // Every deadlocked rank carries the same watchdog analysis;
+                // keep the first non-empty one.
+                Err(Error::Deadlock(info)) => {
+                    if deadlock.as_ref().is_none_or(|d| d.is_empty()) {
+                        deadlock = Some(info);
+                    }
+                }
                 Err(e) => {
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -242,18 +308,21 @@ impl World {
             }
         }
         if let Some(e) = first_error {
-            return Err(e);
+            return (Err(e), events);
         }
-        if deadlock_seen {
-            return Err(Error::Deadlock);
+        if let Some(info) = deadlock {
+            return (Err(Error::Deadlock(info)), events);
         }
-        Ok(RunOutput {
-            values,
-            stats,
-            sim_time,
-            wall_time: started.elapsed(),
-            traces,
-        })
+        (
+            Ok(RunOutput {
+                values,
+                stats,
+                sim_time,
+                wall_time: started.elapsed(),
+                traces,
+            }),
+            events,
+        )
     }
 
     /// Convenience: run with the default single-node configuration.

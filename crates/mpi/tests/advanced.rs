@@ -6,10 +6,8 @@ use pdc_mpi::{Op, World};
 #[test]
 fn scan_computes_inclusive_prefixes() {
     for p in [1, 2, 3, 5, 8] {
-        let out = World::run_simple(p, |comm| {
-            comm.scan(&[comm.rank() as u64 + 1, 1], Op::Sum)
-        })
-        .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        let out = World::run_simple(p, |comm| comm.scan(&[comm.rank() as u64 + 1, 1], Op::Sum))
+            .unwrap_or_else(|e| panic!("p={p}: {e}"));
         for (rank, v) in out.values.iter().enumerate() {
             let expect: u64 = (1..=rank as u64 + 1).sum();
             assert_eq!(v[0], expect, "p={p} rank={rank}");
@@ -38,10 +36,8 @@ fn scan_respects_noncommutative_order() {
 
 #[test]
 fn exscan_shifts_the_prefix() {
-    let out = World::run_simple(6, |comm| {
-        comm.exscan(&[comm.rank() as u64 + 1], Op::Sum)
-    })
-    .expect("exscan runs");
+    let out = World::run_simple(6, |comm| comm.exscan(&[comm.rank() as u64 + 1], Op::Sum))
+        .expect("exscan runs");
     assert!(out.values[0].is_none(), "rank 0 gets nothing");
     for (rank, v) in out.values.iter().enumerate().skip(1) {
         let expect: u64 = (1..=rank as u64).sum();
@@ -84,10 +80,8 @@ fn reduce_scatter_block_distributes_the_reduction() {
 
 #[test]
 fn reduce_scatter_block_rejects_uneven_input() {
-    let err = World::run_simple(3, |comm| {
-        comm.reduce_scatter_block(&[1u64; 4], Op::Sum)
-    })
-    .expect_err("4 does not divide over 3");
+    let err = World::run_simple(3, |comm| comm.reduce_scatter_block(&[1u64; 4], Op::Sum))
+        .expect_err("4 does not divide over 3");
     assert!(matches!(err, pdc_mpi::Error::InvalidArgument(_)));
 }
 
@@ -120,7 +114,11 @@ fn sub_collectives_stay_inside_their_partition() {
         let total = comm.sub_allreduce(&mut sc, &[comm.rank() as u64], Op::Sum)?;
         // Broadcast the sub-leader's id within the quad.
         let my_id = [comm.rank() as u64];
-        let payload = if sc.rank() == 0 { Some(&my_id[..]) } else { None };
+        let payload = if sc.rank() == 0 {
+            Some(&my_id[..])
+        } else {
+            None
+        };
         let leader = comm.sub_bcast(&mut sc, payload, 0)?;
         Ok((total[0], leader[0]))
     })
@@ -277,7 +275,11 @@ fn wildcard_matching_prefers_earliest_simulated_send() {
         }
     })
     .expect("runs");
-    assert_eq!(out.values[0], (2, 2), "sim-earliest message wins the wildcard");
+    assert_eq!(
+        out.values[0],
+        (2, 2),
+        "sim-earliest message wins the wildcard"
+    );
 }
 
 #[test]
@@ -323,13 +325,15 @@ fn cartesian_shift_pairs_with_sendrecv() {
         let cart = comm.cart(&[2, 3], &[true, true])?;
         let (src, dst) = cart.shift(comm.rank(), 1, 1);
         let (dst, src) = (dst.expect("torus"), src.expect("torus"));
-        let (got, _) =
-            comm.sendrecv::<u64, u64>(&[comm.rank() as u64], dst, 5, src, 5)?;
+        let (got, _) = comm.sendrecv::<u64, u64>(&[comm.rank() as u64], dst, 5, src, 5)?;
         Ok((src, got[0]))
     })
     .expect("torus shift");
     for (rank, &(src, got)) in out.values.iter().enumerate() {
-        assert_eq!(got as usize, src, "rank {rank} received its left neighbour's id");
+        assert_eq!(
+            got as usize, src,
+            "rank {rank} received its left neighbour's id"
+        );
     }
 }
 

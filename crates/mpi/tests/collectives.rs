@@ -175,7 +175,11 @@ fn allreduce_agrees_on_every_rank() {
 fn allreduce_maxloc_finds_the_owner() {
     let out = World::run_simple(6, |comm| {
         // Rank 4 holds the largest value.
-        let value = if comm.rank() == 4 { 100.0 } else { comm.rank() as f64 };
+        let value = if comm.rank() == 4 {
+            100.0
+        } else {
+            comm.rank() as f64
+        };
         let loc = Loc::new(value, comm.rank() as u64);
         comm.allreduce(&[loc], Op::Max)
     })
@@ -239,8 +243,22 @@ fn consecutive_collectives_do_not_cross_match() {
     // Two bcasts and a reduce back-to-back with different payloads; any
     // tag-space collision would mix them up.
     let out = World::run_simple(7, |comm| {
-        let a = comm.bcast(if comm.rank() == 0 { Some(&[1u64][..]) } else { None }, 0)?;
-        let b = comm.bcast(if comm.rank() == 3 { Some(&[2u64][..]) } else { None }, 3)?;
+        let a = comm.bcast(
+            if comm.rank() == 0 {
+                Some(&[1u64][..])
+            } else {
+                None
+            },
+            0,
+        )?;
+        let b = comm.bcast(
+            if comm.rank() == 3 {
+                Some(&[2u64][..])
+            } else {
+                None
+            },
+            3,
+        )?;
         let c = comm.allreduce(&[comm.rank() as u64], Op::Sum)?;
         Ok((a[0], b[0], c[0]))
     })

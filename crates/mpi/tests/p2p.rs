@@ -175,8 +175,7 @@ fn sendrecv_ring_shift_never_deadlocks() {
     let out = World::run(cfg, |comm| {
         let right = (comm.rank() + 1) % comm.size();
         let left = (comm.rank() + comm.size() - 1) % comm.size();
-        let (got, _) =
-            comm.sendrecv::<u64, u64>(&[comm.rank() as u64], right, 0, left, 0)?;
+        let (got, _) = comm.sendrecv::<u64, u64>(&[comm.rank() as u64], right, 0, left, 0)?;
         Ok(got[0])
     })
     .expect("sendrecv ring");
@@ -200,7 +199,21 @@ fn blocking_ring_with_rendezvous_deadlocks_and_is_detected() {
         Ok(v[0])
     })
     .expect_err("rendezvous ring must deadlock");
-    assert_eq!(err, Error::Deadlock);
+    let Error::Deadlock(info) = err else {
+        panic!("expected a deadlock, got {err}");
+    };
+    // The watchdog names every blocked rank, the call it was blocked in,
+    // and the wait-for cycle over the ring.
+    assert_eq!(info.blocked.len(), 4, "{}", info.render());
+    assert_eq!(info.cycle.len(), 4, "{}", info.render());
+    for b in &info.blocked {
+        assert_eq!(b.op, "send(rendezvous)");
+        assert!(b.site.file.ends_with("p2p.rs"), "site {}", b.site);
+    }
+    let rendered = info.render();
+    for rank in 0..4 {
+        assert!(rendered.contains(&format!("rank {rank}")), "{rendered}");
+    }
 }
 
 #[test]
@@ -250,7 +263,13 @@ fn missing_receive_is_reported_as_deadlock() {
         }
     })
     .expect_err("mutual recv deadlocks");
-    assert_eq!(err, Error::Deadlock);
+    let Error::Deadlock(info) = err else {
+        panic!("expected a deadlock, got {err}");
+    };
+    // Both ranks are blocked in recv, each waiting on the other.
+    assert_eq!(info.blocked.len(), 2, "{}", info.render());
+    assert!(info.blocked.iter().all(|b| b.op == "recv"));
+    assert_eq!(info.cycle.len(), 2, "{}", info.render());
 }
 
 #[test]
@@ -287,7 +306,13 @@ fn recv_into_reports_truncation() {
         }
     })
     .expect_err("message larger than buffer");
-    assert!(matches!(err, Error::Truncated { message_bytes: 100, buffer_bytes: 10 }));
+    assert!(matches!(
+        err,
+        Error::Truncated {
+            message_bytes: 100,
+            buffer_bytes: 10
+        }
+    ));
 }
 
 #[test]

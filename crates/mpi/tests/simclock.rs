@@ -1,8 +1,8 @@
 //! Behaviour of the simulated performance clock: deterministic, placement-
 //! aware, and reproducing the scaling shapes the modules teach.
 
-use pdc_mpi::{Op, World, WorldConfig};
 use pdc_cluster::metrics::ScalingCurve;
+use pdc_mpi::{Op, World, WorldConfig};
 
 /// Simulated time of a perfectly parallel compute-bound kernel at `p` ranks.
 fn compute_bound_time(p: usize, total_flops: f64) -> f64 {
@@ -40,7 +40,11 @@ fn compute_bound_kernels_scale_linearly() {
     let curve = ScalingCurve::from_times("compute", &samples);
     // Perfect scaling: speedup at p=16 is 16.
     let last = curve.points.last().expect("non-empty");
-    assert!((last.speedup - 16.0).abs() < 1e-6, "speedup {}", last.speedup);
+    assert!(
+        (last.speedup - 16.0).abs() < 1e-6,
+        "speedup {}",
+        last.speedup
+    );
     assert!(!curve.saturates(0.2));
 }
 
@@ -53,8 +57,16 @@ fn memory_bound_kernels_saturate_on_one_node() {
     let curve = ScalingCurve::from_times("memory", &samples);
     let last = curve.points.last().expect("non-empty");
     // The 100 GB/s bus over a 12 GB/s core cap saturates near 8.3x.
-    assert!(last.speedup < 9.0, "memory speedup {} too high", last.speedup);
-    assert!(last.speedup > 7.0, "memory speedup {} too low", last.speedup);
+    assert!(
+        last.speedup < 9.0,
+        "memory speedup {} too high",
+        last.speedup
+    );
+    assert!(
+        last.speedup > 7.0,
+        "memory speedup {} too low",
+        last.speedup
+    );
     assert!(curve.saturates(0.2), "memory-bound curve must flatten");
 }
 
@@ -98,7 +110,10 @@ fn two_nodes_do_not_help_compute_bound_work() {
     })
     .expect("world")
     .sim_time;
-    assert!((one - two).abs() / one < 1e-9, "compute time is placement-independent");
+    assert!(
+        (one - two).abs() / one < 1e-9,
+        "compute time is placement-independent"
+    );
 }
 
 #[test]
@@ -117,7 +132,10 @@ fn message_cost_grows_with_size() {
     };
     let small = time_for(1 << 10);
     let large = time_for(1 << 24);
-    assert!(large > small * 10.0, "16 MiB ({large:e}) vs 1 KiB ({small:e})");
+    assert!(
+        large > small * 10.0,
+        "16 MiB ({large:e}) vs 1 KiB ({small:e})"
+    );
 }
 
 #[test]

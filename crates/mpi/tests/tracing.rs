@@ -1,8 +1,9 @@
 //! Integration tests for execution tracing: spans must reconstruct the
 //! phase structure of the program.
 
-use pdc_mpi::trace::{summarize, SpanKind};
+use pdc_mpi::trace::{summarize, Span, SpanKind};
 use pdc_mpi::{render_timeline, Op, World, WorldConfig};
+use proptest::prelude::*;
 
 #[test]
 fn tracing_is_off_by_default() {
@@ -109,4 +110,73 @@ fn straggler_shows_up_as_peer_idle_time() {
     // Rank 1 spent ~2 simulated seconds blocked in recv.
     let s = summarize(&out.traces[1]);
     assert!(s.recv > 1.9, "recv wait {:.3}", s.recv);
+}
+
+#[test]
+fn render_timeline_golden_output() {
+    // Hand-built spans over a fixed horizon: the rendered strip is pinned
+    // character for character so any drift in the renderer is visible.
+    let span = |kind, start: f64, end: f64| Span {
+        kind,
+        start,
+        end,
+        peer: 0,
+        bytes: 0,
+    };
+    let traces = vec![
+        vec![
+            span(SpanKind::Compute, 0.0, 1.0),
+            span(SpanKind::Send, 1.0, 1.5),
+            span(SpanKind::Recv, 1.5, 2.0),
+        ],
+        vec![
+            span(SpanKind::Recv, 0.0, 0.5),
+            span(SpanKind::Compute, 1.0, 2.0),
+        ],
+    ];
+    let rendered = render_timeline(&traces, 8, Some(2.0));
+    let golden = "\
+rank   0 │####>><<
+rank   1 │<<··####
+         └ # compute  > send  < recv/wait  · idle
+";
+    assert_eq!(rendered, golden, "rendered:\n{rendered}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tracing is deterministic: the same fixed-partner program run twice
+    /// produces bit-identical span lists (the simulated clock, not the OS
+    /// scheduler, decides every timestamp).
+    #[test]
+    fn traces_are_deterministic_across_runs(
+        p in 2usize..6,
+        rounds in 1usize..4,
+        kilobytes in 1usize..32,
+    ) {
+        let run = || {
+            let cfg = WorldConfig::new(p).with_tracing();
+            World::run(cfg, move |comm| {
+                let partner = comm.rank() ^ 1;
+                for i in 0..rounds as u32 {
+                    comm.charge_flops(1.0e8);
+                    if partner < comm.size() {
+                        let payload = vec![comm.rank() as u8; kilobytes * 1024];
+                        let _ = comm.sendrecv::<u8, u8>(&payload, partner, i, partner, i)?;
+                    }
+                    let _ = comm.allreduce(&[comm.rank() as f64], Op::Sum)?;
+                }
+                Ok(())
+            })
+            .expect("runs")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a.traces, &b.traces);
+        prop_assert_eq!(
+            render_timeline(&a.traces, 40, None),
+            render_timeline(&b.traces, 40, None)
+        );
+        prop_assert!((a.sim_time - b.sim_time).abs() == 0.0);
+    }
 }

@@ -63,7 +63,11 @@ pub fn table_ii_spec() -> Vec<SpecRow> {
             [N, X, N, X, X],
             &["MPI_Ssend", "MPI_Sendrecv", "MPI_Irecv"],
         ),
-        row("MPI_Scatter", [X, R, X, X, N], &["MPI_Scatter", "MPI_Scatterv"]),
+        row(
+            "MPI_Scatter",
+            [X, R, X, X, N],
+            &["MPI_Scatter", "MPI_Scatterv"],
+        ),
         row("MPI_Reduce", [X, R, R, R, X], &["MPI_Reduce"]),
         row("MPI_Get_count", [X, X, N, X, X], &["MPI_Get_count"]),
         row("MPI_Allreduce", [X, X, X, X, N], &["MPI_Allreduce"]),
@@ -102,7 +106,14 @@ pub fn audit_modules() -> Result<UsageAudit> {
         let _ = ring_step(comm, RingVariant::NaiveBlocking)?;
         let _ = ring_step(comm, RingVariant::Nonblocking)?;
         let _ = ring_step(comm, RingVariant::SendRecv)?;
-        let _ = comm.bcast(if comm.rank() == 0 { Some(&[9u8][..]) } else { None }, 0)?;
+        let _ = comm.bcast(
+            if comm.rank() == 0 {
+                Some(&[9u8][..])
+            } else {
+                None
+            },
+            0,
+        )?;
         Ok(())
     })?;
     let m1_names: BTreeSet<String> = primitive_names(&m1).into_iter().collect();
@@ -205,10 +216,16 @@ mod tests {
         let audit = audit_modules().expect("audit runs");
         // Module 3's reference solution uses the optional Get_count.
         let spec = table_ii_spec();
-        let get_count = spec.iter().find(|r| r.label == "MPI_Get_count").expect("row");
+        let get_count = spec
+            .iter()
+            .find(|r| r.label == "MPI_Get_count")
+            .expect("row");
         assert!(audit.satisfies(ModuleId::M3, get_count));
         // Module 5's weighted-means option uses the optional Allreduce.
-        let allreduce = spec.iter().find(|r| r.label == "MPI_Allreduce").expect("row");
+        let allreduce = spec
+            .iter()
+            .find(|r| r.label == "MPI_Allreduce")
+            .expect("row");
         assert!(audit.satisfies(ModuleId::M5, allreduce));
         // Module 1's reference uses the optional Bcast.
         let bcast = spec.iter().find(|r| r.label == "MPI_Bcast").expect("row");

@@ -101,7 +101,10 @@ pub fn grade_module2(
             ),
             item(
                 "solution uses MPI_Scatter and MPI_Reduce",
-                rowwise.primitives.iter().any(|p| p.starts_with("MPI_Scatter"))
+                rowwise
+                    .primitives
+                    .iter()
+                    .any(|p| p.starts_with("MPI_Scatter"))
                     && rowwise.primitives.iter().any(|p| p == "MPI_Reduce"),
                 &[4, 11],
             ),
@@ -119,7 +122,11 @@ pub fn grade_module3(
         module: 3,
         items: vec![
             item("uniform run sorts correctly", uniform.sorted_ok, &[4, 11]),
-            item("exponential run sorts correctly", exponential.sorted_ok, &[9]),
+            item(
+                "exponential run sorts correctly",
+                exponential.sorted_ok,
+                &[9],
+            ),
             item("histogram run sorts correctly", histogram.sorted_ok, &[9]),
             item(
                 "uniform equal-width buckets are balanced (max/mean < 1.5)",
@@ -138,8 +145,7 @@ pub fn grade_module3(
             ),
             item(
                 "no element lost in the exchange",
-                uniform.bucket_sizes.iter().sum::<usize>()
-                    == uniform.n_per_rank * uniform.ranks,
+                uniform.bucket_sizes.iter().sum::<usize>() == uniform.n_per_rank * uniform.ranks,
                 &[11],
             ),
         ],
@@ -166,7 +172,11 @@ pub fn grade_module4(
                     && brute1.total_matches == brute_p.total_matches,
                 &[4],
             ),
-            item("engines declare their variant", brute1.engine == Engine::BruteForce && rtree1.engine == Engine::RTree, &[11]),
+            item(
+                "engines declare their variant",
+                brute1.engine == Engine::BruteForce && rtree1.engine == Engine::RTree,
+                &[11],
+            ),
             item(
                 "the R-tree is faster in absolute time",
                 rtree_p.sim_time < brute_p.sim_time,
@@ -197,12 +207,19 @@ pub fn grade_module5(
     GradeReport {
         module: 5,
         items: vec![
-            item("weighted-means inertia matches the reference", close(weighted.inertia), &[4]),
-            item("explicit-assignment inertia matches the reference", close(explicit.inertia), &[4]),
+            item(
+                "weighted-means inertia matches the reference",
+                close(weighted.inertia),
+                &[4],
+            ),
+            item(
+                "explicit-assignment inertia matches the reference",
+                close(explicit.inertia),
+                &[4],
+            ),
             item(
                 "both options converge to the same clustering",
-                (weighted.inertia - explicit.inertia).abs()
-                    <= 1e-6 * weighted.inertia.max(1e-12),
+                (weighted.inertia - explicit.inertia).abs() <= 1e-6 * weighted.inertia.max(1e-12),
                 &[11],
             ),
             item(
@@ -252,11 +269,17 @@ mod tests {
 
     #[test]
     fn reference_module3_submission_gets_full_marks() {
-        let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
-            .expect("runs");
-        let exp =
-            run_distribution_sort(5_000, 8, InputDist::Exponential, BucketStrategy::EqualWidth, 3)
+        let uni =
+            run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
                 .expect("runs");
+        let exp = run_distribution_sort(
+            5_000,
+            8,
+            InputDist::Exponential,
+            BucketStrategy::EqualWidth,
+            3,
+        )
+        .expect("runs");
         let hist = run_distribution_sort(
             5_000,
             8,
@@ -273,8 +296,9 @@ mod tests {
     fn module3_grader_flags_a_missing_skew_demo() {
         // A student who ran uniform data for "activity 2" fails the
         // imbalance-evidence item.
-        let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
-            .expect("runs");
+        let uni =
+            run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)
+                .expect("runs");
         let grade = grade_module3(&uni, &uni, &uni);
         assert!(!grade.perfect());
         let skew_item = grade
@@ -320,10 +344,7 @@ mod tests {
     fn grade_report_renders_checkboxes_and_outcomes() {
         let report = GradeReport {
             module: 2,
-            items: vec![
-                item("a", true, &[4]),
-                item("b", false, &[5, 6]),
-            ],
+            items: vec![item("a", true, &[4]), item("b", false, &[5, 6])],
         };
         let s = report.render();
         assert!(s.contains("[x] a"));

@@ -34,8 +34,8 @@ pub mod survey;
 
 pub use audit::{audit_modules, table_ii_spec, Requirement, UsageAudit};
 pub use cohort::{demographics, StudentRecord};
+pub use grading::{grade_module2, grade_module3, grade_module4, grade_module5, GradeReport};
 pub use outcomes::{outcome_matrix, Bloom, Outcome};
 pub use quiz::{figure2_rows, table_iv, QuizPair, TableIV};
-pub use grading::{grade_module2, grade_module3, grade_module4, grade_module5, GradeReport};
 pub use quizbank::{example_quiz_question, quiz_bank, verify_answer_key, QuizQuestion};
 pub use survey::{render_survey, survey_results, SurveyResults};

@@ -47,27 +47,89 @@ pub fn outcome_matrix() -> Vec<Outcome> {
         levels,
     };
     vec![
-        row(1, "Implement several canonical MPI communication patterns", [Some(A), None, None, None, None]),
-        row(2, "Understand blocking and non-blocking message passing", [Some(A), None, None, None, None]),
-        row(3, "Examine how blocking message passing may lead to deadlock", [Some(A), None, None, None, None]),
-        row(4, "Understand MPI collective communication primitives", [None, Some(A), Some(E), Some(E), Some(E)]),
-        row(5, "Understand how data locality can be exploited via tiling", [None, Some(E), None, None, None]),
-        row(6, "Understand performance trade-offs of small vs large tiles", [None, Some(E), None, None, None]),
-        row(7, "Utilize a performance tool to measure cache misses", [None, Some(A), None, None, None]),
-        row(8, "Understand how algorithm components scale with rank count", [None, Some(E), Some(E), Some(E), Some(C)]),
-        row(9, "Understand how input data distributions impact load balancing", [None, None, Some(E), None, None]),
-        row(10, "Discover how compute- and memory-bound algorithms vary in scalability", [None, Some(E), Some(E), Some(E), Some(E)]),
-        row(11, "Understand common patterns in distributed-memory programs", [Some(A), Some(A), Some(E), Some(A), Some(C)]),
-        row(12, "Reason about performance beyond asymptotic complexity", [None, None, Some(E), Some(E), Some(E)]),
-        row(13, "Reason about performance from communication patterns and volumes", [None, None, Some(E), None, Some(E)]),
-        row(14, "Reason about resource allocation alternatives", [None, None, Some(A), Some(E), Some(C)]),
-        row(15, "Reason about improving the algorithms beyond the module scope", [None, None, Some(C), Some(C), Some(C)]),
+        row(
+            1,
+            "Implement several canonical MPI communication patterns",
+            [Some(A), None, None, None, None],
+        ),
+        row(
+            2,
+            "Understand blocking and non-blocking message passing",
+            [Some(A), None, None, None, None],
+        ),
+        row(
+            3,
+            "Examine how blocking message passing may lead to deadlock",
+            [Some(A), None, None, None, None],
+        ),
+        row(
+            4,
+            "Understand MPI collective communication primitives",
+            [None, Some(A), Some(E), Some(E), Some(E)],
+        ),
+        row(
+            5,
+            "Understand how data locality can be exploited via tiling",
+            [None, Some(E), None, None, None],
+        ),
+        row(
+            6,
+            "Understand performance trade-offs of small vs large tiles",
+            [None, Some(E), None, None, None],
+        ),
+        row(
+            7,
+            "Utilize a performance tool to measure cache misses",
+            [None, Some(A), None, None, None],
+        ),
+        row(
+            8,
+            "Understand how algorithm components scale with rank count",
+            [None, Some(E), Some(E), Some(E), Some(C)],
+        ),
+        row(
+            9,
+            "Understand how input data distributions impact load balancing",
+            [None, None, Some(E), None, None],
+        ),
+        row(
+            10,
+            "Discover how compute- and memory-bound algorithms vary in scalability",
+            [None, Some(E), Some(E), Some(E), Some(E)],
+        ),
+        row(
+            11,
+            "Understand common patterns in distributed-memory programs",
+            [Some(A), Some(A), Some(E), Some(A), Some(C)],
+        ),
+        row(
+            12,
+            "Reason about performance beyond asymptotic complexity",
+            [None, None, Some(E), Some(E), Some(E)],
+        ),
+        row(
+            13,
+            "Reason about performance from communication patterns and volumes",
+            [None, None, Some(E), None, Some(E)],
+        ),
+        row(
+            14,
+            "Reason about resource allocation alternatives",
+            [None, None, Some(A), Some(E), Some(C)],
+        ),
+        row(
+            15,
+            "Reason about improving the algorithms beyond the module scope",
+            [None, None, Some(C), Some(C), Some(C)],
+        ),
     ]
 }
 
 /// Render Table I in the paper's format (one line per outcome).
 pub fn render_table_i() -> String {
-    let mut s = String::from("#   Outcome                                                              M1 M2 M3 M4 M5\n");
+    let mut s = String::from(
+        "#   Outcome                                                              M1 M2 M3 M4 M5\n",
+    );
     for o in outcome_matrix() {
         s.push_str(&format!("{:<3} {:<68}", o.number, o.text));
         for lv in o.levels {
@@ -121,9 +183,17 @@ mod tests {
         let count = |col: usize| m.iter().filter(|o| o.levels[col].is_some()).count();
         assert_eq!(count(0), 4, "module 1 covers outcomes 1,2,3,11");
         assert_eq!(count(1), 7, "module 2 covers outcomes 4,5,6,7,8,10,11");
-        assert_eq!(count(2), 9, "module 3 covers outcomes 4,8,9,10,11,12,13,14,15");
+        assert_eq!(
+            count(2),
+            9,
+            "module 3 covers outcomes 4,8,9,10,11,12,13,14,15"
+        );
         assert_eq!(count(3), 7, "module 4 covers outcomes 4,8,10,11,12,14,15");
-        assert_eq!(count(4), 8, "module 5 covers outcomes 4,8,10,11,12,13,14,15");
+        assert_eq!(
+            count(4),
+            8,
+            "module 5 covers outcomes 4,8,10,11,12,13,14,15"
+        );
     }
 
     #[test]

@@ -83,9 +83,7 @@ pub struct QuizPair {
 impl QuizPair {
     /// Did the score improve, stay equal, or drop?
     pub fn direction(&self) -> std::cmp::Ordering {
-        self.post
-            .partial_cmp(&self.pre)
-            .expect("scores are finite")
+        self.post.partial_cmp(&self.pre).expect("scores are finite")
     }
 }
 
@@ -195,10 +193,22 @@ pub fn figure2_rows() -> Vec<StudentRow> {
 pub fn render_table_iv() -> String {
     let t = table_iv();
     let mut s = String::new();
-    s.push_str(&format!("Total Pre & Post Quiz Pairs          {}\n", t.total_pairs));
-    s.push_str(&format!("Pre & Post: Equal in Score           {}\n", t.equal));
-    s.push_str(&format!("Pre & Post: Increase in Score (i)    {}\n", t.increased));
-    s.push_str(&format!("Pre & Post: Decrease in Score (d)    {}\n", t.decreased));
+    s.push_str(&format!(
+        "Total Pre & Post Quiz Pairs          {}\n",
+        t.total_pairs
+    ));
+    s.push_str(&format!(
+        "Pre & Post: Equal in Score           {}\n",
+        t.equal
+    ));
+    s.push_str(&format!(
+        "Pre & Post: Increase in Score (i)    {}\n",
+        t.increased
+    ));
+    s.push_str(&format!(
+        "Pre & Post: Decrease in Score (d)    {}\n",
+        t.decreased
+    ));
     s.push_str(&format!(
         "Mean Relative Performance Increase   {:.2}%\n",
         t.mean_rel_increase
@@ -255,8 +265,20 @@ mod tests {
             .zip(PAPER_TABLE_IV.quiz_means.iter())
             .enumerate()
         {
-            assert!((pre - ppre).abs() < 0.005, "quiz {} pre {} vs {}", q + 1, pre, ppre);
-            assert!((post - ppost).abs() < 0.005, "quiz {} post {} vs {}", q + 1, post, ppost);
+            assert!(
+                (pre - ppre).abs() < 0.005,
+                "quiz {} pre {} vs {}",
+                q + 1,
+                pre,
+                ppre
+            );
+            assert!(
+                (post - ppost).abs() < 0.005,
+                "quiz {} post {} vs {}",
+                q + 1,
+                post,
+                ppost
+            );
         }
     }
 

@@ -239,7 +239,13 @@ pub fn verify_answer_key() -> Vec<String> {
     );
 
     // Q3a: exponential data really imbalances equal-width buckets.
-    let exp = run_distribution_sort(5_000, 8, InputDist::Exponential, BucketStrategy::EqualWidth, 3);
+    let exp = run_distribution_sort(
+        5_000,
+        8,
+        InputDist::Exponential,
+        BucketStrategy::EqualWidth,
+        3,
+    );
     check(
         exp.map(|r| r.imbalance > 2.0).unwrap_or(false),
         "Q3a: exponential imbalance should exceed 2x",
@@ -334,7 +340,10 @@ mod tests {
     #[test]
     fn answer_key_is_verified_by_the_system() {
         let problems = verify_answer_key();
-        assert!(problems.is_empty(), "answer-key discrepancies: {problems:?}");
+        assert!(
+            problems.is_empty(),
+            "answer-key discrepancies: {problems:?}"
+        );
     }
 
     #[test]
@@ -342,6 +351,9 @@ mod tests {
         let sheet = render_quiz_sheet();
         assert_eq!(sheet.matches("== Quiz").count(), 5);
         assert!(sheet.contains("(a)"));
-        assert!(!sheet.to_lowercase().contains("answer:"), "answers stay hidden");
+        assert!(
+            !sheet.to_lowercase().contains("answer:"),
+            "answers stay hidden"
+        );
     }
 }

@@ -36,9 +36,10 @@ fn narrative_facts_connect_survey_and_quizzes() {
     // mean — both facts must hold in the encoded data (the paper discusses
     // them separately).
     let s = survey_results();
-    assert!(s.most_challenging.iter().any(|&(m, n)| {
-        m == pdc_modules::ModuleId::M2 && n == 4
-    }));
+    assert!(s
+        .most_challenging
+        .iter()
+        .any(|&(m, n)| { m == pdc_modules::ModuleId::M2 && n == 4 }));
     let t = table_iv();
     let lowest_post = t
         .quiz_means

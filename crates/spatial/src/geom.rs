@@ -154,8 +154,14 @@ mod tests {
     #[test]
     fn intersection_cases() {
         let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
-        assert!(r.intersects(&Rect::new([1.0, 1.0], [2.0, 2.0])), "corner touch");
-        assert!(r.intersects(&Rect::new([0.25, 0.25], [0.75, 0.75])), "inside");
+        assert!(
+            r.intersects(&Rect::new([1.0, 1.0], [2.0, 2.0])),
+            "corner touch"
+        );
+        assert!(
+            r.intersects(&Rect::new([0.25, 0.25], [0.75, 0.75])),
+            "inside"
+        );
         assert!(!r.intersects(&Rect::new([1.1, 0.0], [2.0, 1.0])));
         assert!(r.contains_rect(&Rect::new([0.25, 0.25], [0.75, 0.75])));
         assert!(!r.contains_rect(&Rect::new([0.5, 0.5], [1.5, 1.5])));

@@ -313,7 +313,9 @@ mod tests {
         // Deterministic pseudo-random 3-d points.
         (0..n as u32)
             .map(|i| {
-                let h = |k: u32| ((i.wrapping_mul(2654435761).wrapping_add(k * 97)) % 1000) as f64 / 10.0;
+                let h = |k: u32| {
+                    ((i.wrapping_mul(2654435761).wrapping_add(k * 97)) % 1000) as f64 / 10.0
+                };
                 ([h(1), h(2), h(3)], i)
             })
             .collect()
@@ -390,15 +392,11 @@ mod tests {
         for target in [[5.0, 5.0, 5.0], [50.0, 20.0, 80.0]] {
             for k in [1usize, 7, 25] {
                 let (got, stats) = t.knn(&target, k);
-                let mut expect: Vec<f64> =
-                    pts.iter().map(|(p, _)| dist2(p, &target)).collect();
+                let mut expect: Vec<f64> = pts.iter().map(|(p, _)| dist2(p, &target)).collect();
                 expect.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let got_d: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
                 assert_eq!(got_d, expect[..k].to_vec(), "k={k}");
-                assert!(
-                    stats.points_tested < 1200,
-                    "kNN must prune: {stats:?}"
-                );
+                assert!(stats.points_tested < 1200, "kNN must prune: {stats:?}");
             }
         }
     }

@@ -14,12 +14,8 @@ const MIN_ENTRIES: usize = 6;
 
 #[derive(Debug, Clone)]
 enum Node<const D: usize> {
-    Leaf {
-        points: Vec<([f64; D], u32)>,
-    },
-    Inner {
-        children: Vec<(Rect<D>, Node<D>)>,
-    },
+    Leaf { points: Vec<([f64; D], u32)> },
+    Inner { children: Vec<(Rect<D>, Node<D>)> },
 }
 
 impl<const D: usize> Node<D> {
@@ -45,7 +41,6 @@ impl<const D: usize> Node<D> {
             }
         }
     }
-
 }
 
 /// An R-tree over `D`-dimensional points carrying `u32` ids.

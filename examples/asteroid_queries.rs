@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's example query, answered directly.
     let matches = brute_force_query(&catalog, &[0.2, 30.0], &[1.0, 100.0]);
-    println!(
-        "asteroids with amplitude 0.2-1.0 mag and period 30-100 h: {matches}"
-    );
+    println!("asteroids with amplitude 0.2-1.0 mag and period 30-100 h: {matches}");
 
     // The same query through the R-tree, with pruning statistics.
     let tree = RTree::bulk_load(
@@ -41,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A distributed query workload: the efficiency-vs-scalability lesson.
     let queries = random_range_queries(400, 0.05, 7);
-    println!("\ndistributed workload: {} queries over {} ranks", queries.len(), 16);
+    println!(
+        "\ndistributed workload: {} queries over {} ranks",
+        queries.len(),
+        16
+    );
     for engine in [Engine::BruteForce, Engine::RTree] {
         let r1 = run_range_queries(&catalog, &queries, 1, engine, 1)?;
         let r16 = run_range_queries(&catalog, &queries, 16, engine, 1)?;

@@ -6,7 +6,9 @@
 //! cargo run --release --example autograder
 //! ```
 
-use pdc_suite::datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_suite::datagen::{
+    asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points,
+};
 use pdc_suite::modules::module2::{distance_rows, run_distance_matrix, Access};
 use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
 use pdc_suite::modules::module4::{run_range_queries, Engine};
@@ -23,8 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Module 3: a correct submission.
     let uni = run_distribution_sort(5_000, 8, InputDist::Uniform, BucketStrategy::EqualWidth, 3)?;
-    let exp =
-        run_distribution_sort(5_000, 8, InputDist::Exponential, BucketStrategy::EqualWidth, 3)?;
+    let exp = run_distribution_sort(
+        5_000,
+        8,
+        InputDist::Exponential,
+        BucketStrategy::EqualWidth,
+        3,
+    )?;
     let hist = run_distribution_sort(
         5_000,
         8,

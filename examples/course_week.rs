@@ -34,13 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in warmups::hello_world(4)? {
         println!("  {line}");
     }
-    println!("  token-ring sum of ranks 0..6 = {}", warmups::token_ring_sum(6)?);
+    println!(
+        "  token-ring sum of ranks 0..6 = {}",
+        warmups::token_ring_sum(6)?
+    );
     let data: Vec<f64> = (0..640).map(|i| i as f64).collect();
     println!(
         "  distributed mean of 0..640 = {}",
         warmups::distributed_mean(&data, 8)?
     );
-    println!("  pi by reduce = {:.10}", warmups::pi_estimate(1_000_000, 8)?);
+    println!(
+        "  pi by reduce = {:.10}",
+        warmups::pi_estimate(1_000_000, 8)?
+    );
 
     // Day 3: first look at the memory hierarchy.
     println!("\n== day 3: why does my kernel crawl? ==");

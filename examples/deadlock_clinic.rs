@@ -31,8 +31,11 @@ fn main() {
     println!("\nrendezvous protocol (every send waits for its receive):");
     match try_ring(RingVariant::NaiveBlocking, 0) {
         Ok(_) => println!("  naive blocking ring completed (?!)"),
-        Err(Error::Deadlock) => {
-            println!("  naive blocking ring DEADLOCKED — detected by the watchdog")
+        Err(Error::Deadlock(info)) => {
+            println!("  naive blocking ring DEADLOCKED — detected by the watchdog");
+            for line in info.render().lines() {
+                println!("    {line}");
+            }
         }
         Err(e) => println!("  unexpected failure: {e}"),
     }

@@ -64,9 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     for (rank, (team, team_total, world_total)) in out.values.iter().enumerate() {
         if rank % 4 == 0 {
-            println!(
-                "team {team}: team allreduce {team_total}, world allreduce {world_total}"
-            );
+            println!("team {team}: team allreduce {team_total}, world allreduce {world_total}");
         }
     }
     Ok(())

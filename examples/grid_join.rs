@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, pts) in [
         ("uniform", uniform_points(20_000, 2, 0.0, 100.0, 42)),
-        ("clustered", gaussian_mixture(20_000, 2, 4, 100.0, 2.0, 42).points),
+        (
+            "clustered",
+            gaussian_mixture(20_000, 2, 4, 100.0, 2.0, 42).points,
+        ),
     ] {
         println!("== {label} data: 20k points, eps = {eps} ==");
         let reference = sequential_self_join(&pts, eps);
@@ -24,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let grid = run_self_join(&pts, eps, ranks, JoinMethod::Grid)?;
         assert_eq!(bf.pairs, reference);
         assert_eq!(grid.pairs, reference);
-        println!("  pairs within eps : {} (all three methods agree)", reference);
+        println!(
+            "  pairs within eps : {} (all three methods agree)",
+            reference
+        );
         println!(
             "  candidates tested: brute {} vs grid {}  ({:.0}x pruned)",
             bf.candidates,

@@ -7,6 +7,7 @@
 //! See the individual crates for the real APIs:
 //!
 //! * [`mpi`] — the message-passing runtime ([`pdc_mpi`])
+//! * [`check`] — the MPI correctness checker ([`pdc_check`])
 //! * [`cluster`] — machine model, scheduler, contention ([`pdc_cluster`])
 //! * [`cachesim`] — cache simulator ([`pdc_cachesim`])
 //! * [`spatial`] — R-tree / kd-tree / quad-tree ([`pdc_spatial`])
@@ -15,6 +16,7 @@
 //! * [`pedagogy`] — outcomes, audits, quiz statistics ([`pdc_pedagogy`])
 
 pub use pdc_cachesim as cachesim;
+pub use pdc_check as check;
 pub use pdc_cluster as cluster;
 pub use pdc_datagen as datagen;
 pub use pdc_modules as modules;

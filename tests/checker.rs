@@ -1,0 +1,246 @@
+//! Every module's default communication pattern under the `pdc-check`
+//! correctness checker.
+//!
+//! This is the static-analysis acceptance gate: each of the eight core
+//! modules (plus the spatial- and cluster-integration paths) must come
+//! back with **zero violations** when its per-rank body runs under
+//! instrumentation. Warnings are allowed — e.g. Module 1's `ANY_SOURCE`
+//! exercise and Module 3's wildcard-probe exchange legitimately use
+//! wildcard receives whose results are order-independent.
+
+use pdc_check::{check_world, check_world_confirm};
+use pdc_cluster::PlacementPolicy;
+use pdc_datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_modules::module1::{random_comm_rank, ring_step, RingVariant};
+use pdc_modules::module2::{distance_matrix_rank, Access};
+use pdc_modules::module3::{distribution_sort_rank, BucketStrategy, InputDist};
+use pdc_modules::module4::{range_queries_rank, Engine};
+use pdc_modules::module5::{kmeans_rank, CommOption};
+use pdc_modules::module6::{sequential_stencil, stencil_rank, HaloVariant};
+use pdc_modules::module7::{local_scores, top_k, top_k_rank, TopKStrategy};
+use pdc_modules::module8::{self_join_rank, sequential_self_join, JoinMethod};
+use pdc_modules::stencil2d::stencil2d_rank;
+use pdc_mpi::{dims_create, Op, WorldConfig};
+
+#[test]
+fn module1_ring_fixes_run_clean() {
+    for variant in [
+        RingVariant::ParityShifted,
+        RingVariant::Nonblocking,
+        RingVariant::SendRecv,
+    ] {
+        let checked = check_world(WorldConfig::new(5), move |comm| ring_step(comm, variant));
+        let values = checked.expect_clean(&format!("module 1 ring ({variant:?})"));
+        // Every rank received its left neighbour's id.
+        for (rank, &got) in values.iter().enumerate() {
+            assert_eq!(got, ((rank + 4) % 5) as u64, "{variant:?}");
+        }
+    }
+}
+
+#[test]
+fn module1_random_communication_runs_clean() {
+    // The named-source protocol is fully deterministic; the ANY_SOURCE
+    // variant deliberately uses wildcards (that is the exercise), so it
+    // may carry race *warnings* but no violations.
+    let exact = check_world(WorldConfig::new(6), |comm| {
+        random_comm_rank(comm, 3, 42, false)
+    });
+    let exact_sum: u64 = exact.expect_clean("module 1 exact-source").iter().sum();
+
+    let wild = check_world(WorldConfig::new(6), |comm| {
+        random_comm_rank(comm, 3, 42, true)
+    });
+    let wild_sum: u64 = wild.expect_clean("module 1 ANY_SOURCE").iter().sum();
+    assert_eq!(exact_sum, wild_sum, "both protocols deliver the same data");
+}
+
+#[test]
+fn wildcard_idioms_survive_perturbed_delivery() {
+    // The two deliberate wildcard patterns in the seed modules are
+    // order-independent by construction: perturbed re-execution must not
+    // upgrade their race warnings to violations.
+    let wild = check_world_confirm(
+        WorldConfig::new(5),
+        |comm| random_comm_rank(comm, 3, 42, true),
+        &[1, 2, 3, 4],
+    );
+    assert!(wild.report.is_clean(), "{}", wild.report.render());
+
+    let sort = check_world_confirm(
+        WorldConfig::new(4),
+        |comm| distribution_sort_rank(comm, 150, InputDist::Uniform, BucketStrategy::EqualWidth, 3),
+        &[1, 2, 3],
+    );
+    assert!(sort.report.is_clean(), "{}", sort.report.render());
+}
+
+#[test]
+fn module2_distance_matrix_runs_clean() {
+    let points = uniform_points(120, 2, 0.0, 100.0, 3);
+    let mut checksums = Vec::new();
+    for access in [Access::RowWise, Access::Tiled { tile: 16 }] {
+        let pts = points.clone();
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            distance_matrix_rank(comm, &pts, access)
+        });
+        let values = checked.expect_clean("module 2 distance matrix");
+        checksums.push(values[0]);
+    }
+    assert!(
+        (checksums[0] - checksums[1]).abs() < 1e-6 * checksums[0].abs(),
+        "access order must not change the checksum: {checksums:?}"
+    );
+}
+
+#[test]
+fn module3_distribution_sort_runs_clean() {
+    for strategy in [
+        BucketStrategy::EqualWidth,
+        BucketStrategy::Histogram { bins: 32 },
+    ] {
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            distribution_sort_rank(comm, 200, InputDist::Exponential, strategy, 7)
+        });
+        let values = checked.expect_clean(&format!("module 3 sort ({strategy:?})"));
+        assert!(values.iter().all(|&(_, sorted)| sorted), "{strategy:?}");
+        let total: usize = values.iter().map(|&(n, _)| n).sum();
+        assert_eq!(total, 800, "{strategy:?}: no record lost in the shuffle");
+    }
+}
+
+#[test]
+fn module4_range_queries_run_clean_on_every_engine() {
+    let catalog = asteroid_catalog(1500, 11);
+    let queries = random_range_queries(24, 0.25, 12);
+    let mut matches = Vec::new();
+    for engine in [Engine::BruteForce, Engine::RTree, Engine::KdTree] {
+        let (cat, qs) = (catalog.clone(), queries.clone());
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            range_queries_rank(comm, &cat, &qs, engine)
+        });
+        let values = checked.expect_clean(&format!("module 4 range queries ({engine:?})"));
+        matches.push(values[0].0);
+    }
+    assert!(
+        matches.iter().all(|&m| m == matches[0]),
+        "all engines agree: {matches:?}"
+    );
+}
+
+#[test]
+fn module5_kmeans_runs_clean_on_both_comm_options() {
+    let points = gaussian_mixture(240, 2, 3, 100.0, 1.0, 5).points;
+    let mut inertias = Vec::new();
+    for option in [CommOption::WeightedMeans, CommOption::ExplicitAssignment] {
+        let pts = points.clone();
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            kmeans_rank(comm, &pts, 3, option, 1e-9)
+        });
+        let values = checked.expect_clean(&format!("module 5 k-means ({option:?})"));
+        inertias.push(values[0].1);
+    }
+    assert!(
+        (inertias[0] - inertias[1]).abs() < 1e-6 * inertias[0].max(1e-12),
+        "both comm options converge to the same clustering: {inertias:?}"
+    );
+}
+
+#[test]
+fn module6_stencil_runs_clean_on_both_variants() {
+    let reference: f64 = sequential_stencil(4 * 25, 12).iter().sum();
+    for variant in [HaloVariant::BlockingFirst, HaloVariant::Overlapped] {
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            let u = stencil_rank(comm, 25, 12, variant)?;
+            let local: f64 = u.iter().sum();
+            let total = comm.reduce(&[local], Op::Sum, 0)?;
+            Ok(total.map(|t| t[0]).unwrap_or(0.0))
+        });
+        let values = checked.expect_clean(&format!("module 6 stencil ({variant:?})"));
+        assert!(
+            (values[0] - reference).abs() < 1e-9,
+            "{variant:?}: {} vs {reference}",
+            values[0]
+        );
+    }
+}
+
+#[test]
+fn module7_top_k_runs_clean_on_every_strategy() {
+    let (n_per, ranks, k, seed) = (500, 4, 10, 9);
+    let mut all = Vec::new();
+    for r in 0..ranks {
+        all.extend(local_scores(n_per, r, seed));
+    }
+    let reference = top_k(&all, k);
+    for strategy in [
+        TopKStrategy::GatherAll,
+        TopKStrategy::LocalPrune,
+        TopKStrategy::TreeMerge,
+    ] {
+        let checked = check_world(WorldConfig::new(ranks), move |comm| {
+            top_k_rank(comm, n_per, k, strategy, seed)
+        });
+        let values = checked.expect_clean(&format!("module 7 top-k ({strategy:?})"));
+        for (a, b) in values[0].iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12, "{strategy:?}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn module8_self_join_runs_clean_on_both_methods() {
+    let points = uniform_points(400, 2, 0.0, 100.0, 13);
+    let expected = sequential_self_join(&points, 3.0);
+    for method in [JoinMethod::BruteForce, JoinMethod::Grid] {
+        let pts = points.clone();
+        let checked = check_world(WorldConfig::new(4), move |comm| {
+            self_join_rank(comm, &pts, 3.0, method)
+        });
+        let values = checked.expect_clean(&format!("module 8 self-join ({method:?})"));
+        assert_eq!(values[0].0, expected, "{method:?}");
+    }
+}
+
+#[test]
+fn stencil_2d_cart_topology_runs_clean() {
+    // The spatial-integration path: a 2-d halo exchange over a Cartesian
+    // topology, checked at two rank-grid shapes that must agree.
+    let (gx, gy, iters) = (12, 8, 5);
+    let mut checksums = Vec::new();
+    for ranks in [2usize, 4] {
+        let dims = dims_create(ranks, 2);
+        let (pr, pc) = (dims[0], dims[1]);
+        let checked = check_world(WorldConfig::new(ranks), move |comm| {
+            let cart = comm.cart(&[pr, pc], &[false, false])?;
+            let block = stencil2d_rank(comm, &cart, gx, gy, iters)?;
+            let local: f64 = block.iter().sum();
+            let total = comm.reduce(&[local], Op::Sum, 0)?;
+            Ok(total.map(|t| t[0]).unwrap_or(0.0))
+        });
+        let values = checked.expect_clean(&format!("2-d stencil on {ranks} ranks"));
+        checksums.push(values[0]);
+    }
+    assert!(
+        (checksums[0] - checksums[1]).abs() < 1e-9,
+        "rank-grid shape must not change the field: {checksums:?}"
+    );
+}
+
+#[test]
+fn multi_node_placement_runs_clean() {
+    // The cluster-integration path: ranks spread over two simulated nodes
+    // with round-robin placement (every halo edge crosses the network).
+    let reference: f64 = sequential_stencil(4 * 30, 8).iter().sum();
+    let cfg = WorldConfig::new(4)
+        .on_nodes(2)
+        .with_policy(PlacementPolicy::RoundRobin);
+    let checked = check_world(cfg, |comm| {
+        let u = stencil_rank(comm, 30, 8, HaloVariant::Overlapped)?;
+        let local: f64 = u.iter().sum();
+        let total = comm.reduce(&[local], Op::Sum, 0)?;
+        Ok(total.map(|t| t[0]).unwrap_or(0.0))
+    });
+    let values = checked.expect_clean("multi-node overlapped stencil");
+    assert!((values[0] - reference).abs() < 1e-9);
+}

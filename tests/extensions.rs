@@ -14,7 +14,10 @@ fn stencil_overlap_is_a_pure_optimization() {
     // Same numbers, strictly less simulated time on multi-node runs.
     let blocking = run_stencil(20_000, 8, 30, HaloVariant::BlockingFirst, 2).expect("blocking");
     let overlapped = run_stencil(20_000, 8, 30, HaloVariant::Overlapped, 2).expect("overlapped");
-    assert_eq!(blocking.checksum, overlapped.checksum, "bit-identical results");
+    assert_eq!(
+        blocking.checksum, overlapped.checksum,
+        "bit-identical results"
+    );
     assert!(overlapped.sim_time < blocking.sim_time);
 }
 
@@ -38,7 +41,10 @@ fn topk_and_subcomm_compose() {
         assert_eq!(wm, world_max, "world max agreed everywhere");
         assert!(team_max <= world_max);
     }
-    assert!(out.values.iter().any(|&(tm, wm)| tm == wm), "one team holds the max");
+    assert!(
+        out.values.iter().any(|&(tm, wm)| tm == wm),
+        "one team holds the max"
+    );
 }
 
 proptest! {

@@ -2,7 +2,9 @@
 //! scaffolded order on one dataset family, with the cross-module lessons
 //! asserted on the results.
 
-use pdc_suite::datagen::{asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points};
+use pdc_suite::datagen::{
+    asteroid_catalog, gaussian_mixture, random_range_queries, uniform_points,
+};
 use pdc_suite::modules::module1::{ping_pong, random_comm_with_any_source, ring, RingVariant};
 use pdc_suite::modules::module2::{run_distance_matrix, Access};
 use pdc_suite::modules::module3::{run_distribution_sort, BucketStrategy, InputDist};
@@ -68,7 +70,9 @@ fn scaffolding_lessons_compose_across_modules() {
     let cat = asteroid_catalog(50_000, 7);
     let qs = random_range_queries(200, 0.05, 8);
     let m4_eff = {
-        let t1 = run_range_queries(&cat, &qs, 1, Engine::RTree, 1).expect("p=1").sim_time;
+        let t1 = run_range_queries(&cat, &qs, 1, Engine::RTree, 1)
+            .expect("p=1")
+            .sim_time;
         let t16 = run_range_queries(&cat, &qs, 16, Engine::RTree, 1)
             .expect("p=16")
             .sim_time;

@@ -1,0 +1,152 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The workspace builds in a hermetic container with no crates.io access,
+//! so `vendor/` carries minimal, API-compatible implementations of the
+//! handful of external crates the code uses. This one provides [`Bytes`]
+//! (a cheaply cloneable immutable byte buffer) and [`BytesMut`] (an
+//! append-only builder), which is all the message runtime needs for
+//! payloads.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable, contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy an existing slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.data.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_clone_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(&[1, 2]);
+        b.extend_from_slice(&[3]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        let c = frozen.clone();
+        assert_eq!(c.len(), 3);
+        assert_eq!(frozen, c);
+    }
+
+    #[test]
+    fn conversions() {
+        let b: Bytes = vec![9u8, 8].into();
+        assert_eq!(b.as_ref(), &[9, 8]);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(&[5]).len(), 1);
+    }
+}

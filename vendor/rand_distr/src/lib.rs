@@ -1,0 +1,109 @@
+//! Offline shim for the `rand_distr` crate: the [`Normal`] and [`Exp`]
+//! distributions the data generators draw from, over the vendored `rand`
+//! shim's [`Distribution`] trait.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Gaussian distribution, sampled with Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the paired second variate is discarded so each draw
+        // consumes a fixed amount of the stream.
+        let u1 = loop {
+            let u = rng.gen_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate λ, sampled by inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.gen_f64();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Exp::new(0.5).unwrap();
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!(d.sample(&mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,471 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The real serde is a zero-copy streaming framework; this workspace only
+//! ever derives `Serialize`/`Deserialize` on plain structs and enums and
+//! round-trips them through `serde_json` strings, so the shim collapses
+//! the design to a value tree: [`Serialize`] renders `self` into a
+//! [`Value`], [`Deserialize`] rebuilds `Self` from one, and the vendored
+//! `serde_json` prints/parses `Value` as JSON text. The derive macros in
+//! `serde_derive` generate impls against exactly this surface, using the
+//! same externally-tagged enum representation as upstream so the JSON
+//! shape matches what real serde would emit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The JSON-shaped data model every (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative JSON integer.
+    U64(u64),
+    /// Negative JSON integer.
+    I64(i64),
+    /// JSON number with a fractional part or exponent.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, coercing any of the three number shapes.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of an integer-valued number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed view of an integer-valued number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::I64(n) => Some(*n),
+            Value::F64(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Object member lookup used by derived code: a missing key reads as
+    /// `null` so `Option` fields tolerate omitted members.
+    pub fn field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// A value of the wrong JSON type was found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.type_name()))
+    }
+
+    /// An enum tag did not name any variant of the target type.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type renderable into a [`Value`].
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("boolean", v))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // The workspace derives Deserialize on a few static reference
+        // tables whose fields are `&'static str`; leaking the handful of
+        // short strings a round-trip rebuilds is deliberate and bounded.
+        Ok(Box::leak(String::from_value(v)?.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal: $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if arr.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, found array of {}", $len, arr.len())));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1: A.0);
+impl_tuple!(2: A.0, B.1);
+impl_tuple!(3: A.0, B.1, C.2);
+impl_tuple!(4: A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [Some(1u32), None, Some(3)];
+        assert_eq!(
+            <[Option<u32>; 3]>::from_value(&arr.to_value()).unwrap(),
+            arr
+        );
+        let set: BTreeSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(BTreeSet::from_value(&set.to_value()).unwrap(), set);
+    }
+
+    #[test]
+    fn integers_keep_fidelity() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+    }
+
+    #[test]
+    fn missing_field_reads_null() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.field("a"), &Value::U64(1));
+        assert_eq!(obj.field("b"), &Value::Null);
+        assert_eq!(Option::<u64>::from_value(obj.field("b")).unwrap(), None);
+    }
+}

@@ -1,0 +1,380 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored serde
+//! shim's value-tree traits. The item is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote`, which are unavailable
+//! offline): this supports exactly the shapes the workspace derives —
+//! non-generic structs with named fields and non-generic enums with unit,
+//! tuple, or struct variants. `#[serde(...)]` attributes are not
+//! supported and generics are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Skip `#[...]` attributes and `pub`/`pub(...)` visibility at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("vendored serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Count of type slots in a tuple group: top-level commas + 1 (0 if empty).
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+/// Field names of a `{ ... }` group, skipping attributes, visibility,
+/// and each field's type tokens.
+fn named_field_names(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i, "field name"));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("vendored serde derive: expected `:` after field, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn enum_variants(group: &proc_macro::Group) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(named_field_names(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Struct(Fields::Named(named_field_names(g)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Struct(Fields::Tuple(tuple_arity(g)))
+        }
+        ("struct", _) => Body::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(enum_variants(g))
+        }
+        _ => panic!("vendored serde derive: cannot derive for `{kind} {name}`"),
+    };
+    Item { name, body }
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn named_from_value(name_path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({src}.field(\"{f}\"))?"))
+        .collect();
+    format!("{name_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => named_to_value(fields, "self."),
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = named_to_value(fs, "*");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let build = named_from_value(name, fields, "v");
+            format!(
+                "if v.as_object().is_none() {{\
+                   return ::std::result::Result::Err(::serde::Error::expected(\"object\", v));\
+                 }}\
+                 ::std::result::Result::Ok({build})"
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\
+                 if arr.len() != {n} {{\
+                   return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length\"));\
+                 }}\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => {
+                        let build = named_from_value(&format!("{name}::{vname}"), fs, "inner");
+                        Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({build}),"
+                        ))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => {{\
+                               let arr = inner.as_array()\
+                                 .ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\
+                               if arr.len() != {n} {{\
+                                 return ::std::result::Result::Err(\
+                                   ::serde::Error::custom(\"wrong tuple variant length\"));\
+                               }}\
+                               ::std::result::Result::Ok({name}::{vname}({}))\
+                             }},",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(tag) = v.as_str() {{\
+                   return match tag {{\
+                     {unit}\
+                     other => ::std::result::Result::Err(\
+                       ::serde::Error::unknown_variant(other, \"{name}\")),\
+                   }};\
+                 }}\
+                 if let ::std::option::Option::Some(pairs) = v.as_object() {{\
+                   if pairs.len() == 1 {{\
+                     let (tag, inner) = &pairs[0];\
+                     return match tag.as_str() {{\
+                       {data}\
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::unknown_variant(other, \"{name}\")),\
+                     }};\
+                   }}\
+                 }}\
+                 ::std::result::Result::Err(::serde::Error::expected(\"enum\", v))",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+/// Derive the vendored-serde `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde derive: generated Serialize impl parses")
+}
+
+/// Derive the vendored-serde `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde derive: generated Deserialize impl parses")
+}
