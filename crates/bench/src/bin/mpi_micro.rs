@@ -1,0 +1,79 @@
+//! `mpi-micro` — OSU-style wall-clock microbenchmarks for `pdc-mpi`.
+//!
+//! ```text
+//! mpi-micro                 full suite, human-readable table
+//! mpi-micro --quick         CI smoke budget (seconds)
+//! mpi-micro --json [PATH]   also write the suite as JSON (default
+//!                           BENCH_mpi.json in the working directory)
+//! mpi-micro --check         exit 1 if any point breaks its sanity ceiling
+//! ```
+//!
+//! The JSON artifact (`BENCH_mpi.json`) records wall-clock p50/p95 per
+//! primitive and payload size so later PRs have a perf trajectory to
+//! defend.
+
+use pdc_bench::micro::{run_suite, MicroConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json: Option<String> = None;
+    let mut check = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--json" => {
+                let path = match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        it.next().expect("peeked value").clone()
+                    }
+                    _ => "BENCH_mpi.json".to_string(),
+                };
+                json = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: mpi-micro [--quick] [--json [PATH]] [--check]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (cfg, mode) = if quick {
+        (MicroConfig::quick(), "quick")
+    } else {
+        (MicroConfig::full(), "full")
+    };
+    let suite = match run_suite(cfg, mode) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("microbenchmark run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", suite.render());
+
+    if let Some(path) = json {
+        let body = serde_json::to_string_pretty(&suite).expect("serializable suite");
+        if let Err(e) = std::fs::write(&path, body + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if check {
+        let markers = suite.regression_markers();
+        if !markers.is_empty() {
+            for m in &markers {
+                eprintln!("REGRESSION: {m}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("regression check: all points within ceilings");
+    }
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod figures;
+pub mod micro;
 
 pub use ablations::*;
 pub use experiments::*;

@@ -1,0 +1,361 @@
+//! OSU-style wall-clock microbenchmarks for the `pdc-mpi` runtime.
+//!
+//! Unlike the simulated-clock experiments (which charge the α–β model),
+//! these measure *real* wall time of the runtime hot path: point-to-point
+//! latency, one-way bandwidth, and collective completion times per payload
+//! size. The `mpi-micro` binary front-end emits `BENCH_mpi.json` so the
+//! repository carries a perf trajectory across PRs.
+//!
+//! The shapes follow the OSU microbenchmark suite: ping-pong latency is
+//! half the round-trip, bandwidth streams a window of eager sends before
+//! one acknowledgement, collectives are timed per iteration between
+//! barriers on rank 0.
+
+use pdc_mpi::{Op, Result, World, WorldConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark point: a primitive at a payload size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroResult {
+    /// Benchmark name (`pingpong`, `pingpong_rdv`, `bw`, `bcast`, …).
+    pub bench: String,
+    /// World size the benchmark ran with.
+    pub ranks: usize,
+    /// Per-message payload in bytes (per-rank contribution for
+    /// collectives).
+    pub payload_bytes: usize,
+    /// Timed iterations (after warmup).
+    pub iters: usize,
+    /// Median time per operation, microseconds of wall clock.
+    pub p50_us: f64,
+    /// 95th-percentile time per operation, microseconds.
+    pub p95_us: f64,
+    /// Mean time per operation, microseconds.
+    pub mean_us: f64,
+    /// Payload throughput derived from the median (bandwidth-style
+    /// benchmarks only; `null` elsewhere).
+    pub mb_per_s: Option<f64>,
+}
+
+/// A full suite run: every `MicroResult` plus run metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroSuite {
+    /// Suite identifier for downstream tooling.
+    pub suite: String,
+    /// `quick` (CI smoke) or `full`.
+    pub mode: String,
+    /// All benchmark points, in execution order.
+    pub results: Vec<MicroResult>,
+}
+
+/// Iteration budget per benchmark family.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Timed round-trips per ping-pong point.
+    pub lat_iters: usize,
+    /// Messages per bandwidth window.
+    pub bw_window: usize,
+    /// Timed windows per bandwidth point.
+    pub bw_reps: usize,
+    /// Timed iterations per small-payload collective point.
+    pub coll_iters: usize,
+    /// Timed iterations per large-payload (≥ 1 MiB) collective point.
+    pub coll_iters_large: usize,
+}
+
+impl MicroConfig {
+    /// CI smoke budget: seconds, not minutes.
+    pub fn quick() -> Self {
+        Self {
+            lat_iters: 200,
+            bw_window: 32,
+            bw_reps: 10,
+            coll_iters: 20,
+            coll_iters_large: 5,
+        }
+    }
+
+    /// Full budget for recorded `BENCH_mpi.json` trajectories.
+    pub fn full() -> Self {
+        Self {
+            lat_iters: 2000,
+            bw_window: 64,
+            bw_reps: 40,
+            coll_iters: 100,
+            coll_iters_large: 20,
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(
+    bench: &str,
+    ranks: usize,
+    payload_bytes: usize,
+    mut samples_us: Vec<f64>,
+    bytes_per_op: Option<usize>,
+) -> MicroResult {
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mean = samples_us.iter().sum::<f64>() / samples_us.len().max(1) as f64;
+    let p50 = percentile(&samples_us, 0.50);
+    let p95 = percentile(&samples_us, 0.95);
+    MicroResult {
+        bench: bench.to_string(),
+        ranks,
+        payload_bytes,
+        iters: samples_us.len(),
+        p50_us: p50,
+        p95_us: p95,
+        mean_us: mean,
+        mb_per_s: bytes_per_op.map(|b| b as f64 / p50),
+    }
+}
+
+/// Ping-pong latency between two ranks: half the round-trip per sample.
+/// `eager` selects the buffered protocol (threshold above the payload) or
+/// the rendezvous protocol (threshold 0).
+pub fn pingpong(bytes: usize, iters: usize, eager: bool) -> Result<MicroResult> {
+    let cfg = WorldConfig::new(2).with_eager_threshold(if eager { usize::MAX } else { 0 });
+    let warmup = (iters / 10).max(4);
+    let out = World::run(cfg, move |comm| {
+        let payload = vec![0u8; bytes];
+        let mut samples = Vec::with_capacity(iters);
+        for i in 0..warmup + iters {
+            if comm.rank() == 0 {
+                let t = Instant::now();
+                comm.send(&payload, 1, 7)?;
+                let _ = comm.recv::<u8>(1, 7)?;
+                if i >= warmup {
+                    samples.push(t.elapsed().as_secs_f64() * 1e6 / 2.0);
+                }
+            } else {
+                let (echo, _) = comm.recv::<u8>(0, 7)?;
+                comm.send(&echo, 0, 7)?;
+            }
+        }
+        Ok(samples)
+    })?;
+    Ok(summarize(
+        if eager { "pingpong" } else { "pingpong_rdv" },
+        2,
+        bytes,
+        out.values.into_iter().next().expect("rank 0 samples"),
+        None,
+    ))
+}
+
+/// One-way bandwidth: rank 0 streams a window of eager sends, rank 1
+/// acknowledges the whole window; each sample is one window.
+pub fn bandwidth(bytes: usize, window: usize, reps: usize) -> Result<MicroResult> {
+    let cfg = WorldConfig::new(2);
+    let out = World::run(cfg, move |comm| {
+        let payload = vec![0u8; bytes];
+        let mut samples = Vec::with_capacity(reps);
+        for rep in 0..reps + 1 {
+            if comm.rank() == 0 {
+                let t = Instant::now();
+                for _ in 0..window {
+                    comm.send(&payload, 1, 9)?;
+                }
+                let _ = comm.recv::<u8>(1, 10)?;
+                if rep > 0 {
+                    // Per-message time within the window.
+                    samples.push(t.elapsed().as_secs_f64() * 1e6 / window as f64);
+                }
+            } else {
+                for _ in 0..window {
+                    let _ = comm.recv::<u8>(0, 9)?;
+                }
+                comm.send(&[1u8], 0, 10)?;
+            }
+        }
+        Ok(samples)
+    })?;
+    Ok(summarize(
+        "bw",
+        2,
+        bytes,
+        out.values.into_iter().next().expect("rank 0 samples"),
+        Some(bytes),
+    ))
+}
+
+/// Which collective a [`collective`] point exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coll {
+    /// Binomial-tree broadcast from rank 0.
+    Bcast,
+    /// Ring allgather (per-rank contribution of `bytes`).
+    Allgather,
+    /// Reduce-to-0 + broadcast allreduce (sum).
+    Allreduce,
+    /// Full personalized exchange (per-destination chunk of `bytes`).
+    Alltoall,
+}
+
+impl Coll {
+    fn name(self) -> &'static str {
+        match self {
+            Coll::Bcast => "bcast",
+            Coll::Allgather => "allgather",
+            Coll::Allreduce => "allreduce",
+            Coll::Alltoall => "alltoall",
+        }
+    }
+}
+
+/// Time one collective at a per-rank payload of `bytes` on `ranks` ranks.
+/// Iterations are separated by barriers; rank 0's per-iteration times are
+/// the samples.
+pub fn collective(which: Coll, ranks: usize, bytes: usize, iters: usize) -> Result<MicroResult> {
+    let cfg = WorldConfig::new(ranks);
+    let warmup = (iters / 10).max(2);
+    let out = World::run(cfg, move |comm| {
+        let elems = (bytes / 8).max(1);
+        let data = vec![1.0f64; elems];
+        let all2all = vec![1.0f64; elems * comm.size()];
+        let mut samples = Vec::with_capacity(iters);
+        for i in 0..warmup + iters {
+            comm.barrier()?;
+            let t = Instant::now();
+            match which {
+                Coll::Bcast => {
+                    let root_data = if comm.rank() == 0 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    };
+                    let _ = comm.bcast(root_data, 0)?;
+                }
+                Coll::Allgather => {
+                    let _ = comm.allgather(&data)?;
+                }
+                Coll::Allreduce => {
+                    let _ = comm.allreduce(&data, Op::Sum)?;
+                }
+                Coll::Alltoall => {
+                    let _ = comm.alltoall(&all2all)?;
+                }
+            }
+            if comm.rank() == 0 && i >= warmup {
+                samples.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        Ok(samples)
+    })?;
+    Ok(summarize(
+        which.name(),
+        ranks,
+        bytes,
+        out.values.into_iter().next().expect("rank 0 samples"),
+        None,
+    ))
+}
+
+/// Payload sizes for the latency sweep, bytes.
+pub const LAT_SIZES: [usize; 4] = [8, 1024, 65_536, 1 << 20];
+
+/// Payload sizes for the collective sweep, bytes per rank.
+pub const COLL_SIZES: [usize; 3] = [1024, 65_536, 1 << 20];
+
+/// World size used for collective points.
+pub const COLL_RANKS: usize = 8;
+
+/// Run the whole suite with the given budget.
+pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
+    let mut results = Vec::new();
+    for &bytes in &LAT_SIZES {
+        // Large rendezvous payloads pay a blocking handshake per message;
+        // scale the iteration budget down so the point stays cheap.
+        let iters = if bytes >= 1 << 20 {
+            (cfg.lat_iters / 10).max(10)
+        } else {
+            cfg.lat_iters
+        };
+        results.push(pingpong(bytes, iters, true)?);
+        results.push(pingpong(bytes, iters, false)?);
+    }
+    for &bytes in &[65_536usize, 1 << 20] {
+        results.push(bandwidth(bytes, cfg.bw_window, cfg.bw_reps)?);
+    }
+    for which in [
+        Coll::Bcast,
+        Coll::Allgather,
+        Coll::Allreduce,
+        Coll::Alltoall,
+    ] {
+        for &bytes in &COLL_SIZES {
+            let iters = if bytes >= 1 << 20 {
+                cfg.coll_iters_large
+            } else {
+                cfg.coll_iters
+            };
+            results.push(collective(which, COLL_RANKS, bytes, iters)?);
+        }
+    }
+    Ok(MicroSuite {
+        suite: "pdc-mpi-micro".to_string(),
+        mode: mode.to_string(),
+        results,
+    })
+}
+
+impl MicroSuite {
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>5} {:>10} {:>7} {:>12} {:>12} {:>12} {:>10}\n",
+            "bench", "ranks", "bytes", "iters", "p50 (µs)", "p95 (µs)", "mean (µs)", "MB/s"
+        ));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<14} {:>5} {:>10} {:>7} {:>12.2} {:>12.2} {:>12.2} {:>10}\n",
+                r.bench,
+                r.ranks,
+                r.payload_bytes,
+                r.iters,
+                r.p50_us,
+                r.p95_us,
+                r.mean_us,
+                r.mb_per_s
+                    .map(|b| format!("{b:.0}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        out
+    }
+
+    /// Sanity ceilings for CI: generous absolute bounds that only a real
+    /// regression (not scheduler noise) can break. Returns the offending
+    /// points.
+    pub fn regression_markers(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for r in &self.results {
+            // Ceilings are ~50× the post-optimization numbers on a
+            // single-core CI container.
+            let ceiling_us = match (r.bench.as_str(), r.payload_bytes) {
+                ("pingpong", b) if b <= 1024 => 2_000.0,
+                ("pingpong" | "pingpong_rdv", _) => 20_000.0,
+                ("bw", _) => 20_000.0,
+                (_, b) if b < 1 << 20 => 50_000.0,
+                _ => 500_000.0,
+            };
+            if r.p50_us > ceiling_us {
+                bad.push(format!(
+                    "{} @ {} B: p50 {:.1} µs exceeds ceiling {:.0} µs",
+                    r.bench, r.payload_bytes, r.p50_us, ceiling_us
+                ));
+            }
+        }
+        bad
+    }
+}

@@ -1,0 +1,309 @@
+//! Event-driven channels for mailboxes and rendezvous acknowledgements.
+//!
+//! The progress engine used to spin in 1 ms `recv_timeout` loops: every
+//! blocked primitive woke a thousand times a second just to re-check the
+//! watchdog's poison flag, and on a loaded host (or a single-core CI
+//! container) those wakeups steal cycles from the rank that could actually
+//! run. This channel replaces polling with condvar wakeups:
+//!
+//! * a send locks the queue, pushes, and notifies the waiting receiver —
+//!   the receiver observes the message one wakeup later, not one poll
+//!   tick later;
+//! * the watchdog, having poisoned the world, calls [`Wake::wake_all`] on
+//!   every registered channel so blocked primitives observe the poison
+//!   flag *immediately* (the flag itself is re-checked under the queue
+//!   lock, so the wakeup cannot be lost);
+//! * dropping the last sender notifies too, turning an abandoned wait
+//!   into [`RecvError::Disconnected`] rather than a hang.
+//!
+//! A long backstop timeout ([`BACKSTOP`]) bounds the damage of any missed
+//! wakeup to tens of milliseconds; it is a safety net, never the wakeup
+//! path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::time::Duration;
+
+/// Safety-net re-check period for blocked waits. Orders of magnitude
+/// longer than any expected wait; the condvar signal is the real wakeup.
+const BACKSTOP: Duration = Duration::from_millis(50);
+
+/// Scheduler-yield iterations before a blocked receive parks on the
+/// condvar. Covers the common "reply is one context switch away" case.
+const SPIN_YIELDS: usize = 3;
+
+/// Something that can wake every thread blocked on it (the watchdog calls
+/// this through [`crate::mailbox::Progress`] after poisoning the world).
+pub trait Wake: Send + Sync {
+    /// Wake all blocked waiters so they re-check their stop condition.
+    fn wake_all(&self);
+}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A rank can panic (contained by the world's catch_unwind) while
+        // peers still use the channel; poisoned locks stay usable.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Send> Wake for Inner<T> {
+    fn wake_all(&self) {
+        // Taking the queue lock orders this notify after any in-progress
+        // "check stop flag, then wait" sequence, so the wakeup is never
+        // lost.
+        let _guard = self.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_or_stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+    /// The stop condition became true before a message arrived.
+    Stopped,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Sending half: cloneable, usable through a shared reference.
+#[derive(Debug)]
+pub struct Sender<T>(Arc<Inner<T>>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Turn abandoned waits into Disconnected.
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message and wake the receiver.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.lock();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        self.0.cv.notify_one();
+        Ok(())
+    }
+}
+
+/// Receiving half (single consumer).
+#[derive(Debug)]
+pub struct Receiver<T>(Arc<Inner<T>>);
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.lock();
+        state.receiver_alive = false;
+        // Drop queued messages now: an undelivered rendezvous envelope
+        // holds its sender's ack channel, and releasing it here unblocks
+        // (with Disconnected) a sender waiting on a rank that exited.
+        state.queue.clear();
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Pop a message if one is already queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.0.lock();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Block until a message arrives, every sender disconnects, or `stop`
+    /// becomes true. `stop` is evaluated under the channel lock and
+    /// re-evaluated on every wakeup, pairing with [`Wake::wake_all`]:
+    /// whoever flips the stop condition and then wakes this channel is
+    /// guaranteed to be observed.
+    pub fn recv_or_stop(&self, stop: impl Fn() -> bool) -> Result<T, RecvError> {
+        // Yield-spin briefly before parking: in a tight message exchange
+        // the peer usually produces the reply within one scheduler
+        // quantum, and a sched_yield round is cheaper than a futex sleep
+        // plus the wake latency on the other side. The spin re-locks per
+        // iteration, so it observes stop/disconnect just like the wait
+        // loop, and it is short enough not to starve peers when many
+        // ranks block at once (collectives on few cores).
+        for _ in 0..SPIN_YIELDS {
+            {
+                let mut state = self.0.lock();
+                if let Some(v) = state.queue.pop_front() {
+                    return Ok(v);
+                }
+                if stop() {
+                    return Err(RecvError::Stopped);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError::Disconnected);
+                }
+            }
+            std::thread::yield_now();
+        }
+        let mut state = self.0.lock();
+        loop {
+            // Deliver pending messages even when stopping: a message that
+            // already arrived should win over a concurrent poison.
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if stop() {
+                return Err(RecvError::Stopped);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            (state, _) = self
+                .0
+                .cv
+                .wait_timeout(state, BACKSTOP)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A weak wake handle for [`crate::mailbox::Progress`]'s poison
+    /// broadcast. Weak, so finished channels don't accumulate.
+    pub fn waker(&self) -> Weak<dyn Wake>
+    where
+        T: 'static,
+    {
+        let strong: Arc<dyn Wake> = Arc::clone(&self.0) as Arc<dyn Wake>;
+        Arc::downgrade(&strong)
+    }
+}
+
+/// Create an unbounded event-driven channel.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        cv: Condvar::new(),
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = channel();
+        tx.send(7).expect("receiver alive");
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_fails() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_wakes_on_delivery_not_backstop() {
+        let (tx, rx) = channel();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42).expect("receiver alive");
+        });
+        let t = Instant::now();
+        assert_eq!(rx.recv_or_stop(|| false), Ok(42));
+        // Event wakeup, not the 50 ms backstop tick.
+        assert!(t.elapsed() < BACKSTOP, "took {:?}", t.elapsed());
+        handle.join().expect("sender thread");
+    }
+
+    #[test]
+    fn wake_all_makes_stop_observable_immediately() {
+        let (tx, rx) = channel::<u8>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let waker = rx.waker();
+        let waiter = std::thread::spawn(move || {
+            let t = Instant::now();
+            let r = rx.recv_or_stop(|| stop2.load(Ordering::Relaxed));
+            (r, t.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        stop.store(true, Ordering::Relaxed);
+        waker.upgrade().expect("receiver alive").wake_all();
+        let (r, waited) = waiter.join().expect("waiter thread");
+        assert_eq!(r, Err(RecvError::Stopped));
+        assert!(
+            waited < BACKSTOP,
+            "woke via signal, not backstop: {waited:?}"
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn queued_message_beats_stop() {
+        let (tx, rx) = channel();
+        tx.send(1).expect("receiver alive");
+        assert_eq!(rx.recv_or_stop(|| true), Ok(1));
+        assert_eq!(rx.recv_or_stop(|| true), Err(RecvError::Stopped));
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_receiver() {
+        let (tx, rx) = channel::<u8>();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            drop(tx);
+        });
+        let t = Instant::now();
+        assert_eq!(rx.recv_or_stop(|| false), Err(RecvError::Disconnected));
+        assert!(t.elapsed() < BACKSTOP);
+        handle.join().expect("dropper thread");
+    }
+}

@@ -5,6 +5,17 @@
 //! *detected*, not undefined behaviour) behind a safe, typed API. All
 //! encodings are little-endian and fixed-width, so `Status::count` — the
 //! analogue of `MPI_Get_count` — is exact.
+//!
+//! ## Bulk codecs
+//!
+//! Every fixed-width numeric type's in-memory representation on a
+//! little-endian machine *is* its wire encoding, so whole slices encode
+//! and decode as a single `memcpy` instead of one call per element. The
+//! [`Datatype::POD_LE`] marker opts a type into this path; types whose
+//! representation differs from the wire format (e.g. `bool`, whose wire
+//! byte may be any nonzero value) keep the per-element codec. The two
+//! paths are byte-identical on the wire — a property test in
+//! `tests/proptests.rs` pins that down for every shipped datatype.
 
 use bytes::{Bytes, BytesMut};
 
@@ -15,9 +26,26 @@ use bytes::{Bytes, BytesMut};
 pub trait Datatype: Copy + Send + 'static {
     /// Stable name used for runtime type checking (appears in
     /// [`Error::TypeMismatch`](crate::Error::TypeMismatch) messages).
+    /// Names must distinguish any two datatypes with compatible sizes:
+    /// fixed arrays include their element type and arity (e.g.
+    /// `"[f32; 2]"`), so a `recv::<[u32; 2]>` of a sent `[f32; 2]` is a
+    /// detected mismatch, not silently decoded garbage.
     const NAME: &'static str;
     /// Encoded size in bytes.
     const SIZE: usize;
+    /// Marker enabling the bulk (`memcpy`) codec path. An implementation
+    /// may set this to `true` **only if** all of the following hold, and
+    /// the runtime trusts the claim (a wrong `true` is library-level
+    /// undefined behaviour):
+    ///
+    /// * `size_of::<Self>() == Self::SIZE` with no padding bytes,
+    /// * every bit pattern of `Self::SIZE` bytes is a valid `Self`,
+    /// * the in-memory byte order equals the little-endian wire encoding
+    ///   produced by [`Datatype::encode`] (i.e. the target is
+    ///   little-endian).
+    ///
+    /// Defaults to `false`, which is always safe.
+    const POD_LE: bool = false;
     /// Append the little-endian encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
     /// Decode one element from exactly `Self::SIZE` bytes.
@@ -27,11 +55,22 @@ pub trait Datatype: Copy + Send + 'static {
     fn decode(bytes: &[u8]) -> Self;
 }
 
+/// Is the bulk codec usable for `T`? Re-checks the size half of the
+/// [`Datatype::POD_LE`] contract at compile time (the branch const-folds).
+#[inline(always)]
+fn pod_layout<T: Datatype>() -> bool {
+    T::POD_LE && std::mem::size_of::<T>() == T::SIZE
+}
+
 macro_rules! impl_numeric_datatype {
     ($($t:ty),*) => {$(
         impl Datatype for $t {
             const NAME: &'static str = stringify!($t);
             const SIZE: usize = std::mem::size_of::<$t>();
+            // In-memory representation == wire format on little-endian
+            // targets; big-endian targets fall back to the per-element
+            // path.
+            const POD_LE: bool = cfg!(target_endian = "little");
             fn encode(&self, buf: &mut BytesMut) {
                 buf.extend_from_slice(&self.to_le_bytes());
             }
@@ -47,6 +86,8 @@ impl_numeric_datatype!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 impl Datatype for bool {
     const NAME: &'static str = "bool";
     const SIZE: usize = 1;
+    // Not POD: a wire byte of e.g. 2 decodes to `true`, but transmuting it
+    // into a `bool` would be undefined behaviour.
     fn encode(&self, buf: &mut BytesMut) {
         buf.extend_from_slice(&[u8::from(*self)]);
     }
@@ -55,9 +96,61 @@ impl Datatype for bool {
     }
 }
 
+/// Compile-time builder for array wire names. Rendered once per `[T; N]`
+/// instantiation during const evaluation; the buffer lives in static data.
+struct ArrayName<T, const N: usize>(std::marker::PhantomData<T>);
+
+impl<T: Datatype, const N: usize> ArrayName<T, N> {
+    /// `"[<elem>; <N>]"` rendered into a fixed buffer plus its length.
+    const RAW: ([u8; 64], usize) = {
+        let mut buf = [0u8; 64];
+        let elem = T::NAME.as_bytes();
+        // 1 for '[', 2 for "; ", up to 20 digits of N, 1 for ']'.
+        assert!(elem.len() + 24 <= buf.len(), "element type name too long");
+        let mut i = 0;
+        buf[i] = b'[';
+        i += 1;
+        let mut j = 0;
+        while j < elem.len() {
+            buf[i] = elem[j];
+            i += 1;
+            j += 1;
+        }
+        buf[i] = b';';
+        i += 1;
+        buf[i] = b' ';
+        i += 1;
+        let mut div = 1usize;
+        while N / div >= 10 {
+            div *= 10;
+        }
+        while div > 0 {
+            buf[i] = b'0' + ((N / div) % 10) as u8;
+            i += 1;
+            div /= 10;
+        }
+        buf[i] = b']';
+        i += 1;
+        (buf, i)
+    };
+    const NAME: &'static str = {
+        let (buf, len) = &Self::RAW;
+        match std::str::from_utf8(buf.split_at(*len).0) {
+            Ok(s) => s,
+            Err(_) => panic!("array names are ASCII"),
+        }
+    };
+}
+
 impl<T: Datatype, const N: usize> Datatype for [T; N] {
-    const NAME: &'static str = "array";
+    // The name carries the element type and arity (e.g. "[f32; 2]"), so
+    // two array types of equal byte size can never pass the runtime
+    // mismatch check for one another.
+    const NAME: &'static str = ArrayName::<T, N>::NAME;
     const SIZE: usize = T::SIZE * N;
+    // An array of POD elements is POD: no padding can appear between
+    // elements when size_of::<T>() == T::SIZE.
+    const POD_LE: bool = T::POD_LE;
     fn encode(&self, buf: &mut BytesMut) {
         for item in self {
             item.encode(buf);
@@ -70,7 +163,12 @@ impl<T: Datatype, const N: usize> Datatype for [T; N] {
 
 /// Value–index pair for `MinLoc`/`MaxLoc` reductions (e.g. "which rank holds
 /// the largest bucket" in Module 3).
+///
+/// `repr(C)` pins the field order to the wire order (value, then index),
+/// which lets the bulk codec treat slices of `Loc` as plain bytes on
+/// little-endian targets.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Loc {
     /// The compared value.
     pub value: f64,
@@ -88,6 +186,8 @@ impl Loc {
 impl Datatype for Loc {
     const NAME: &'static str = "Loc";
     const SIZE: usize = 16;
+    // repr(C) { f64, u64 }: 16 bytes, no padding, any bit pattern valid.
+    const POD_LE: bool = cfg!(target_endian = "little");
     fn encode(&self, buf: &mut BytesMut) {
         buf.extend_from_slice(&self.value.to_le_bytes());
         buf.extend_from_slice(&self.index.to_le_bytes());
@@ -101,7 +201,19 @@ impl Datatype for Loc {
 }
 
 /// Encode a slice of elements into a contiguous payload.
+///
+/// POD types take the bulk path: one `memcpy` of the whole slice. The
+/// wire bytes are identical to the per-element encoding.
 pub fn encode_slice<T: Datatype>(data: &[T]) -> Bytes {
+    if pod_layout::<T>() {
+        // SAFETY: `pod_layout` holds only when `T::POD_LE` asserts that
+        // `T` has no padding and its in-memory bytes are exactly the wire
+        // encoding, and we re-checked size_of::<T>() == T::SIZE.
+        let raw = unsafe {
+            std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+        };
+        return Bytes::copy_from_slice(raw);
+    }
     let mut buf = BytesMut::with_capacity(data.len() * T::SIZE);
     for item in data {
         item.encode(&mut buf);
@@ -116,13 +228,71 @@ pub fn encode_slice<T: Datatype>(data: &[T]) -> Bytes {
 /// checks this (returning [`Error::Truncated`](crate::Error::Truncated))
 /// before calling.
 pub fn decode_vec<T: Datatype>(payload: &[u8]) -> Vec<T> {
+    let mut out = Vec::new();
+    decode_extend(payload, &mut out);
+    out
+}
+
+/// Decode a payload, appending the elements to `out` (single allocation
+/// growth + one `memcpy` for POD types). Returns the element count.
+///
+/// # Panics
+/// Panics if the payload is not a whole number of elements.
+pub fn decode_extend<T: Datatype>(payload: &[u8], out: &mut Vec<T>) -> usize {
     assert!(
-        payload.len().is_multiple_of(T::SIZE),
+        payload.len().is_multiple_of(T::SIZE.max(1)),
         "payload of {} bytes is not a whole number of {} elements",
         payload.len(),
         T::NAME
     );
-    payload.chunks_exact(T::SIZE).map(T::decode).collect()
+    let n = payload.len() / T::SIZE.max(1);
+    if pod_layout::<T>() {
+        out.reserve(n);
+        // SAFETY: POD_LE guarantees any byte pattern is a valid `T` and
+        // layouts match; the reserved tail has room for `n` elements and
+        // `copy_nonoverlapping` tolerates the unaligned byte source.
+        unsafe {
+            let dst = out.as_mut_ptr().add(out.len()).cast::<u8>();
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len());
+            out.set_len(out.len() + n);
+        }
+        return n;
+    }
+    out.extend(payload.chunks_exact(T::SIZE).map(T::decode));
+    n
+}
+
+/// Decode a payload into the front of a caller-provided buffer (the
+/// allocation-free path behind `recv_into`). Returns the element count.
+///
+/// # Panics
+/// Panics if the payload is ragged or exceeds the buffer; the runtime
+/// checks both before calling.
+pub fn decode_into<T: Datatype>(payload: &[u8], out: &mut [T]) -> usize {
+    assert!(
+        payload.len().is_multiple_of(T::SIZE.max(1)),
+        "payload of {} bytes is not a whole number of {} elements",
+        payload.len(),
+        T::NAME
+    );
+    let n = payload.len() / T::SIZE.max(1);
+    assert!(n <= out.len(), "payload exceeds the receive buffer");
+    if pod_layout::<T>() {
+        // SAFETY: as in `decode_extend`; `out[..n]` is initialized memory
+        // being overwritten with valid-for-any-bit-pattern contents.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                payload.len(),
+            );
+        }
+        return n;
+    }
+    for (slot, chunk) in out[..n].iter_mut().zip(payload.chunks_exact(T::SIZE)) {
+        *slot = T::decode(chunk);
+    }
+    n
 }
 
 #[cfg(test)]
@@ -134,6 +304,12 @@ mod tests {
         assert_eq!(bytes.len(), data.len() * T::SIZE);
         let back: Vec<T> = decode_vec(&bytes);
         assert_eq!(back, data);
+        // The bulk encoding must be byte-identical to the per-element one.
+        let mut reference = BytesMut::with_capacity(data.len() * T::SIZE);
+        for item in data {
+            item.encode(&mut reference);
+        }
+        assert_eq!(&bytes[..], &reference[..], "wire format must not drift");
     }
 
     #[test]
@@ -153,8 +329,22 @@ mod tests {
     }
 
     #[test]
+    fn array_names_carry_element_type_and_arity() {
+        assert_eq!(<[f32; 2]>::NAME, "[f32; 2]");
+        assert_eq!(<[u32; 2]>::NAME, "[u32; 2]");
+        assert_ne!(
+            <[f32; 2]>::NAME,
+            <[u32; 2]>::NAME,
+            "same size, distinct names"
+        );
+        assert_eq!(<[[i16; 2]; 3]>::NAME, "[[i16; 2]; 3]");
+    }
+
+    #[test]
     fn loc_roundtrips() {
         roundtrip::<Loc>(&[Loc::new(3.25, 7), Loc::new(-1.0, u64::MAX)]);
+        // The POD claim requires the in-memory layout to match the wire.
+        assert_eq!(std::mem::size_of::<Loc>(), Loc::SIZE);
     }
 
     #[test]
@@ -173,5 +363,41 @@ mod tests {
         let bytes = encode_slice(&[f64::NAN]);
         let back: Vec<f64> = decode_vec(&bytes);
         assert!(back[0].is_nan());
+    }
+
+    #[test]
+    fn decode_into_fills_prefix_and_reports_count() {
+        let bytes = encode_slice(&[1.5f64, 2.5, 3.5]);
+        let mut buf = [0.0f64; 5];
+        assert_eq!(decode_into(&bytes, &mut buf), 3);
+        assert_eq!(buf, [1.5, 2.5, 3.5, 0.0, 0.0]);
+        // Non-POD path through the same API.
+        let flags = encode_slice(&[true, false]);
+        let mut fbuf = [false; 2];
+        assert_eq!(decode_into(&flags, &mut fbuf), 2);
+        assert_eq!(fbuf, [true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the receive buffer")]
+    fn decode_into_rejects_overflow() {
+        let bytes = encode_slice(&[1u32, 2, 3]);
+        let mut buf = [0u32; 2];
+        decode_into(&bytes, &mut buf);
+    }
+
+    #[test]
+    fn decode_extend_appends() {
+        let mut out = vec![7u16];
+        decode_extend(&encode_slice(&[8u16, 9]), &mut out);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn nonzero_wire_bytes_decode_to_true() {
+        // The per-element bool codec accepts any nonzero wire byte; this
+        // is exactly why bool must never take the POD decode path.
+        assert!(bool::decode(&[2]));
+        assert!(!bool::decode(&[0]));
     }
 }

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod chan;
 pub mod check;
 pub mod comm;
 pub mod datatype;

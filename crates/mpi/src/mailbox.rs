@@ -1,7 +1,7 @@
 //! Per-rank mailboxes, message matching, and the deadlock watchdog's shared
 //! progress state.
 //!
-//! Each rank owns a [`Mailbox`]: an unbounded channel endpoint plus a
+//! Each rank owns a [`Mailbox`]: an event-driven channel endpoint plus a
 //! pending queue of messages that arrived but have not matched a receive
 //! yet (MPI's "unexpected message queue"). Matching follows MPI's rules:
 //! messages from the same (source, tag) pair are matched in send order;
@@ -11,18 +11,19 @@
 //! deadlock: if every live rank is blocked and no envelope has moved since
 //! the previous sample, the program cannot progress and the world is
 //! poisoned — every blocked primitive then returns [`Error::Deadlock`].
+//! Blocked primitives do not poll for poison: the watchdog wakes every
+//! registered channel ([`Progress::register_waker`]) immediately after
+//! setting the flag, so a poisoned world unblocks in microseconds, not
+//! at the next poll tick.
 
+use crate::chan::{Receiver, RecvError, Wake};
 use crate::check::{BlockedOp, DeadlockInfo};
 use crate::envelope::{Envelope, MatchSpec, SourceSel, Status};
 use crate::error::{Error, Result};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
-
-/// How often blocked primitives re-check the poison flag.
-const POLL: Duration = Duration::from_millis(1);
+use std::sync::{Condvar, Mutex, PoisonError, Weak};
+use std::time::{Duration, Instant};
 
 /// Shared world state used for progress tracking and deadlock detection.
 #[derive(Debug)]
@@ -45,6 +46,15 @@ pub struct Progress {
     blocked_ops: Mutex<Vec<Option<BlockedOp>>>,
     /// The watchdog's explanation, written immediately before poisoning.
     deadlock: Mutex<Option<DeadlockInfo>>,
+    /// Wake handles of every channel a rank may block on (mailboxes,
+    /// rendezvous acks). [`Progress::poison`] wakes them all so blocked
+    /// primitives observe the flag immediately.
+    wakers: Mutex<Vec<Weak<dyn Wake>>>,
+    /// Completion signal: notified by [`Progress::mark_done`] and by
+    /// [`Progress::poison`], waited on by the watchdog (to exit promptly)
+    /// and by the finalize-time leak check.
+    done_sync: Mutex<()>,
+    done_cv: Condvar,
 }
 
 impl Progress {
@@ -58,6 +68,9 @@ impl Progress {
             size,
             blocked_ops: Mutex::new((0..size).map(|_| None).collect()),
             deadlock: Mutex::new(None),
+            wakers: Mutex::new(Vec::new()),
+            done_sync: Mutex::new(()),
+            done_cv: Condvar::new(),
         }
     }
 
@@ -69,6 +82,96 @@ impl Progress {
     /// Is the world poisoned?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Register a channel to be woken when the world is poisoned. Weak
+    /// handles of finished channels are pruned once the registry grows.
+    pub fn register_waker(&self, waker: Weak<dyn Wake>) {
+        let mut wakers = self.wakers.lock().unwrap_or_else(PoisonError::into_inner);
+        // Rendezvous acks register one short-lived channel per send; prune
+        // the dead ones occasionally so the registry stays O(live).
+        if wakers.len() >= 64 && wakers.len() >= 2 * self.size {
+            wakers.retain(|w| w.strong_count() > 0);
+        }
+        wakers.push(waker);
+    }
+
+    /// Poison the world with the watchdog's explanation and wake every
+    /// blocked primitive immediately.
+    pub fn poison(&self, info: DeadlockInfo) {
+        if let Ok(mut slot) = self.deadlock.lock() {
+            *slot = Some(info);
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        let wakers =
+            std::mem::take(&mut *self.wakers.lock().unwrap_or_else(PoisonError::into_inner));
+        for waker in &wakers {
+            if let Some(w) = waker.upgrade() {
+                w.wake_all();
+            }
+        }
+        self.notify_done();
+    }
+
+    /// Record that one rank finished its closure, waking completion
+    /// waiters (the watchdog and the finalize-time leak check).
+    pub fn mark_done(&self) {
+        self.done.fetch_add(1, Ordering::SeqCst);
+        self.notify_done();
+    }
+
+    fn notify_done(&self) {
+        let _guard = self
+            .done_sync
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.done_cv.notify_all();
+    }
+
+    /// Have all ranks finished (or has the world been poisoned)?
+    pub fn all_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst) == self.size
+    }
+
+    /// Block until every rank is done. Used by the finalize-time leak
+    /// check so all in-flight sends have landed before mailboxes drain.
+    /// (Blocked ranks are released by the watchdog's poison, so this
+    /// terminates even on deadlocked runs.)
+    pub fn wait_all_done(&self) {
+        let mut guard = self
+            .done_sync
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !self.all_done() {
+            (guard, _) = self
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Sleep until `deadline`, returning early (true) as soon as the world
+    /// completes or is poisoned. The watchdog paces its samples with this:
+    /// spurious wakeups re-wait the remainder, so the sampling cadence is
+    /// preserved while completion still wakes it immediately.
+    fn wait_done_until(&self, deadline: Instant) -> bool {
+        let mut guard = self
+            .done_sync
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if self.all_done() || self.is_poisoned() {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let remaining = remaining.max(Duration::from_micros(1));
+            (guard, _) = self
+                .done_cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
     /// RAII guard marking the current rank as blocked (anonymously: the
@@ -136,25 +239,18 @@ impl Drop for BlockedGuard<'_> {
 ///
 /// Two consecutive samples, `interval` apart, in which (a) every not-done
 /// rank is blocked, (b) at least one rank is blocked, and (c) no envelope
-/// moved, constitute deadlock.
+/// moved, constitute deadlock. Between samples the watchdog sleeps on the
+/// completion condvar, so it exits the moment the last rank finishes; on
+/// detecting deadlock it poisons the world, which wakes every blocked
+/// primitive immediately.
 pub fn watchdog(progress: &Progress, interval: Duration) {
     let mut prev_deliveries = u64::MAX;
-    // Tick finely so the watchdog exits within ~2 ms of world completion
-    // (its thread gates `World::run`'s return); deadlock *sampling* still
-    // happens only once per `interval`.
-    let tick = Duration::from_millis(2).min(interval);
-    let mut since_sample = Duration::ZERO;
     loop {
-        std::thread::sleep(tick);
-        let done = progress.done.load(Ordering::SeqCst);
-        if done == progress.size || progress.is_poisoned() {
+        let deadline = Instant::now() + interval;
+        if progress.wait_done_until(deadline) {
             return;
         }
-        since_sample += tick;
-        if since_sample < interval {
-            continue;
-        }
-        since_sample = Duration::ZERO;
+        let done = progress.done.load(Ordering::SeqCst);
         let blocked = progress.blocked.load(Ordering::SeqCst);
         let deliveries = progress.deliveries.load(Ordering::SeqCst);
         let all_stuck = blocked > 0 && blocked + done == progress.size;
@@ -172,10 +268,7 @@ pub fn watchdog(progress: &Progress, interval: Duration) {
                 cycle: DeadlockInfo::find_cycle(&blocked_ops),
                 blocked: blocked_ops,
             };
-            if let Ok(mut slot) = progress.deadlock.lock() {
-                *slot = Some(info);
-            }
-            progress.poisoned.store(true, Ordering::SeqCst);
+            progress.poison(info);
             return;
         }
         prev_deliveries = deliveries;
@@ -303,7 +396,8 @@ impl Mailbox {
     /// Blocking match: waits for a satisfying envelope, returning
     /// [`Error::Deadlock`] if the watchdog poisons the world while waiting.
     /// `op` (when given) registers what this rank is waiting for, so the
-    /// watchdog can explain rather than just detect a deadlock.
+    /// watchdog can explain rather than just detect a deadlock. The wait
+    /// is event-driven: delivery and poison both wake it immediately.
     pub fn recv_matching(
         &mut self,
         spec: &MatchSpec,
@@ -318,10 +412,7 @@ impl Mailbox {
             None => progress.enter_blocked(),
         };
         loop {
-            if progress.is_poisoned() {
-                return Err(progress.deadlock_error());
-            }
-            match self.rx.recv_timeout(POLL) {
+            match self.rx.recv_or_stop(|| progress.is_poisoned()) {
                 Ok(env) => {
                     self.pending.push_back(env);
                     // The new arrival may or may not be ours; re-scan.
@@ -329,14 +420,8 @@ impl Mailbox {
                         return Ok(env);
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    // Re-scan: another arrival may have been drained into
-                    // pending by a concurrent probe path.
-                    if let Some(env) = self.try_match(spec, progress) {
-                        return Ok(env);
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvError::Stopped) => return Err(progress.deadlock_error()),
+                Err(RecvError::Disconnected) => {
                     // All senders dropped: drain leftovers then fail,
                     // reporting deadlock as the root cause when poisoned.
                     if let Some(env) = self.try_match(spec, progress) {
@@ -379,18 +464,15 @@ impl Mailbox {
             None => progress.enter_blocked(),
         };
         loop {
-            if progress.is_poisoned() {
-                return Err(progress.deadlock_error());
-            }
-            match self.rx.recv_timeout(POLL) {
+            match self.rx.recv_or_stop(|| progress.is_poisoned()) {
                 Ok(env) => {
                     self.pending.push_back(env);
                     if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
                         return Ok(Status::of(&self.pending[idx]));
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvError::Stopped) => return Err(progress.deadlock_error()),
+                Err(RecvError::Disconnected) => {
                     if progress.is_poisoned() {
                         return Err(progress.deadlock_error());
                     }
@@ -402,14 +484,14 @@ impl Mailbox {
 }
 
 /// Sender handles to every rank's mailbox.
-pub type Outboxes = Vec<Sender<Envelope>>;
+pub type Outboxes = Vec<crate::chan::Sender<Envelope>>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chan::channel;
     use crate::datatype::encode_slice;
     use crate::envelope::{MsgClass, SourceSel, TagSel};
-    use crossbeam::channel::unbounded;
 
     fn env(src: usize, tag: u32, val: i32) -> Envelope {
         Envelope {
@@ -426,7 +508,7 @@ mod tests {
 
     #[test]
     fn messages_match_in_arrival_order() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         tx.send(env(0, 1, 10)).expect("open channel");
@@ -444,7 +526,7 @@ mod tests {
 
     #[test]
     fn non_matching_messages_stay_queued() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         tx.send(env(0, 5, 1)).expect("open channel");
@@ -459,7 +541,7 @@ mod tests {
 
     #[test]
     fn wildcard_takes_earliest_arrival() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         tx.send(env(2, 9, 1)).expect("open channel");
@@ -470,7 +552,7 @@ mod tests {
 
     #[test]
     fn blocking_recv_returns_when_message_arrives() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         let handle = std::thread::spawn(move || {
@@ -485,7 +567,7 @@ mod tests {
 
     #[test]
     fn poisoned_world_unblocks_receivers() {
-        let (_tx, rx) = unbounded::<Envelope>();
+        let (_tx, rx) = channel::<Envelope>();
         let progress = Progress::new(1);
         progress.poisoned.store(true, Ordering::SeqCst);
         let mut mb = Mailbox::new(rx);
@@ -498,8 +580,32 @@ mod tests {
     }
 
     #[test]
+    fn poison_mid_wait_wakes_via_registered_waker() {
+        use std::sync::Arc;
+        let (_tx, rx) = channel::<Envelope>();
+        let progress = Arc::new(Progress::new(1));
+        progress.register_waker(rx.waker());
+        let p2 = Arc::clone(&progress);
+        let poisoner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.poison(DeadlockInfo::default());
+        });
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        let t = Instant::now();
+        assert!(matches!(
+            mb.recv_matching(&spec, &progress, None)
+                .expect_err("poisoned"),
+            Error::Deadlock(_)
+        ));
+        // Event wakeup: far below the 50 ms backstop.
+        assert!(t.elapsed() < Duration::from_millis(45), "{:?}", t.elapsed());
+        poisoner.join().expect("poisoner thread");
+    }
+
+    #[test]
     fn disconnected_channel_is_shutdown_not_hang() {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         drop(tx);
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
@@ -513,7 +619,7 @@ mod tests {
 
     #[test]
     fn probe_does_not_consume() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         tx.send(env(4, 8, 5)).expect("open channel");
@@ -569,7 +675,7 @@ mod tests {
 
     #[test]
     fn wildcard_match_counts_candidates() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let progress = Progress::new(1);
         let mut mb = Mailbox::new(rx);
         tx.send(env(1, 9, 1)).expect("open channel");
@@ -585,7 +691,7 @@ mod tests {
     #[test]
     fn perturbed_delivery_is_deterministic_per_seed_and_legal() {
         let run = |seed: u64| -> Vec<usize> {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             let progress = Progress::new(1);
             let mut mb = Mailbox::new(rx);
             mb.set_perturb(seed);

@@ -15,10 +15,11 @@
 
 use crate::check::CallSite;
 use crate::comm::Comm;
-use crate::datatype::Datatype;
+use crate::datatype::{decode_vec, encode_slice, Datatype};
 use crate::error::{Error, Result};
 use crate::reduce::{fold_into, Op, Reducible};
 use crate::stats::Primitive;
+use bytes::Bytes;
 
 /// Tag stride per collective on a sub-communicator (matches the world's).
 const COLL_TAG_STRIDE: u64 = 1024;
@@ -163,18 +164,22 @@ impl Comm<'_> {
         let base = sc.next_base();
         let p = sc.size();
         let vrank = (sc.my_idx + p - root) % p;
-        let mut buf: Vec<T> = if sc.my_idx == root {
-            data.ok_or_else(|| Error::InvalidArgument("sub_bcast root must supply data".into()))?
-                .to_vec()
-        } else {
-            Vec::new()
-        };
+        // Zero-copy forwarding, like the world bcast: encode once at the
+        // root, relay the refcounted payload, decode once at each leaf.
+        let mut payload: Bytes =
+            if sc.my_idx == root {
+                encode_slice(data.ok_or_else(|| {
+                    Error::InvalidArgument("sub_bcast root must supply data".into())
+                })?)
+            } else {
+                Bytes::new()
+            };
         let mut mask = 1usize;
         let mut recv_bit = 0u64;
         while mask < p {
             if vrank & mask != 0 {
                 let parent = sc.members[(vrank - mask + root) % p];
-                buf = self.coll_recv::<T>(parent, base + recv_bit)?;
+                payload = self.coll_recv_raw::<T>(parent, base + recv_bit)?.payload;
                 break;
             }
             mask <<= 1;
@@ -190,11 +195,21 @@ impl Comm<'_> {
         while bit > 0 {
             if vrank + bit < p {
                 let child = sc.members[(vrank + bit + root) % p];
-                self.coll_send(&buf, child, base + bit.trailing_zeros() as u64)?;
+                self.coll_send_bytes(
+                    payload.clone(),
+                    T::NAME,
+                    T::SIZE,
+                    child,
+                    base + bit.trailing_zeros() as u64,
+                )?;
             }
             bit >>= 1;
         }
-        Ok(buf)
+        if sc.my_idx == root {
+            Ok(data.expect("validated above").to_vec())
+        } else {
+            Ok(decode_vec(&payload))
+        }
     }
 
     /// Reduction over a sub-communicator with a custom combiner; the
@@ -306,15 +321,21 @@ impl Comm<'_> {
         let reduced = self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| {
             T::reduce(op, *a, *b)
         })?;
-        // Broadcast phase with a shifted tag sub-range.
+        // Broadcast phase with a shifted tag sub-range, forwarding the
+        // encoded result zero-copy down the tree.
         let p = sc.size();
-        let mut buf = reduced.unwrap_or_default();
+        let mut payload: Bytes = match &reduced {
+            Some(d) => encode_slice(d),
+            None => Bytes::new(),
+        };
         let mut mask = 1usize;
         let mut recv_bit = 0u64;
         while mask < p {
             if sc.my_idx & mask != 0 {
                 let parent = sc.members[sc.my_idx - mask];
-                buf = self.coll_recv::<T>(parent, base + 512 + recv_bit)?;
+                payload = self
+                    .coll_recv_raw::<T>(parent, base + 512 + recv_bit)?
+                    .payload;
                 break;
             }
             mask <<= 1;
@@ -330,11 +351,20 @@ impl Comm<'_> {
         while bit > 0 {
             if sc.my_idx + bit < p {
                 let child = sc.members[sc.my_idx + bit];
-                self.coll_send(&buf, child, base + 512 + bit.trailing_zeros() as u64)?;
+                self.coll_send_bytes(
+                    payload.clone(),
+                    T::NAME,
+                    T::SIZE,
+                    child,
+                    base + 512 + bit.trailing_zeros() as u64,
+                )?;
             }
             bit >>= 1;
         }
-        Ok(buf)
+        match reduced {
+            Some(d) => Ok(d),
+            None => Ok(decode_vec(&payload)),
+        }
     }
 
     /// Gather equal-length contributions to sub-rank `root`.

@@ -1,13 +1,13 @@
 //! World bootstrap: spawn one thread per rank, run the closure, collect
 //! results, statistics, and simulated times.
 
+use crate::chan::channel;
 use crate::check::{CheckEvent, CheckMode, DeadlockInfo};
 use crate::comm::Comm;
 use crate::error::{Error, Result};
 use crate::mailbox::{watchdog, Mailbox, Progress};
 use crate::stats::CommStats;
 use crate::trace::Timeline;
-use crossbeam::channel::unbounded;
 use pdc_cluster::{CostModel, MachineModel, Placement, PlacementPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -45,6 +45,19 @@ pub struct WorldConfig {
 impl WorldConfig {
     /// A world of `size` ranks on a single simulated cluster node.
     ///
+    /// Defaults: every `send` is eager (threshold `usize::MAX`) and the
+    /// deadlock watchdog samples every 100 ms. Both can be overridden
+    /// without code changes — handy for benchmarking protocol regimes:
+    ///
+    /// * `PDC_MPI_EAGER_THRESHOLD` — eager/rendezvous switch-over in
+    ///   bytes (`0` makes every send synchronous);
+    /// * `PDC_MPI_WATCHDOG_MS` — watchdog sampling interval in
+    ///   milliseconds (`0` disables deadlock detection).
+    ///
+    /// Invalid values are ignored; explicit builder calls
+    /// ([`WorldConfig::with_eager_threshold`],
+    /// [`WorldConfig::with_watchdog`]) override the environment.
+    ///
     /// # Panics
     /// Panics if `size` is 0.
     pub fn new(size: usize) -> Self {
@@ -54,13 +67,25 @@ impl WorldConfig {
         // identical. (Real clusters would spill to more nodes — use
         // `on_nodes` to model that explicitly.)
         machine.cores_per_node = machine.cores_per_node.max(size);
+        let eager_threshold = std::env::var("PDC_MPI_EAGER_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(usize::MAX);
+        let watchdog = match std::env::var("PDC_MPI_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => Some(Duration::from_millis(100)),
+        };
         Self {
             size,
-            eager_threshold: usize::MAX,
+            eager_threshold,
             machine,
             nodes_used: 1,
             placement_policy: PlacementPolicy::Block,
-            watchdog: Some(Duration::from_millis(100)),
+            watchdog,
             tracing: false,
             check: CheckMode::Off,
         }
@@ -206,7 +231,11 @@ impl World {
         let mut outboxes = Vec::with_capacity(cfg.size);
         let mut inboxes = Vec::with_capacity(cfg.size);
         for _ in 0..cfg.size {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
+            // Register every inbox for the poison broadcast before any rank
+            // starts: the watchdog can then wake all blocked receivers the
+            // instant it detects deadlock.
+            progress.register_waker(rx.waker());
             outboxes.push(tx);
             inboxes.push(rx);
         }
@@ -225,7 +254,6 @@ impl World {
                 let eager = cfg.eager_threshold;
                 let tracing = cfg.tracing;
                 let check = cfg.check;
-                let size = cfg.size;
                 handles.push(scope.spawn(move || {
                     let mut comm = Comm::new(
                         rank,
@@ -241,18 +269,14 @@ impl World {
                         Ok(result) => result,
                         Err(_) => Err(Error::RankPanicked(rank)),
                     };
-                    progress
-                        .done
-                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    progress.mark_done();
                     if check.is_on() {
                         // The finalize-time leak check drains this rank's
                         // mailbox; wait until every rank has finished so
                         // all in-flight sends have landed first. (Blocked
                         // ranks are released by the watchdog's poison, so
                         // this terminates even on deadlocked runs.)
-                        while progress.done.load(std::sync::atomic::Ordering::SeqCst) < size {
-                            std::thread::sleep(Duration::from_micros(200));
-                        }
+                        progress.wait_all_done();
                     }
                     let (stats, sim_time, trace, events) = comm.into_report();
                     (value, stats, sim_time, trace, events)

@@ -294,6 +294,53 @@ fn type_mismatch_is_detected() {
 }
 
 #[test]
+fn array_type_confusion_is_detected() {
+    // Regression: `[T; N]` used to advertise the constant name "array", so
+    // a `recv::<[u32; 2]>` happily accepted a sent `[f32; 2]` (same byte
+    // size) and reinterpreted the bits. The wire name now carries element
+    // type and arity.
+    let err = World::run_simple(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[[1.0f32, 2.0f32]], 1, 0)?;
+            Ok(0)
+        } else {
+            let (v, _) = comm.recv::<[u32; 2]>(0, 0)?;
+            Ok(v[0][0] as i32)
+        }
+    })
+    .expect_err("[f32; 2] into [u32; 2] buffer");
+    assert_eq!(
+        err,
+        Error::TypeMismatch {
+            expected: "[u32; 2]",
+            found: "[f32; 2]"
+        }
+    );
+}
+
+#[test]
+fn array_arity_confusion_is_detected() {
+    // Same element type, different arity: must also be rejected.
+    let err = World::run_simple(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[[1u16, 2, 3, 4]], 1, 0)?;
+            Ok(0)
+        } else {
+            let (v, _) = comm.recv::<[u16; 2]>(0, 0)?;
+            Ok(v[0][0] as i32)
+        }
+    })
+    .expect_err("[u16; 4] into [u16; 2] buffer");
+    assert_eq!(
+        err,
+        Error::TypeMismatch {
+            expected: "[u16; 2]",
+            found: "[u16; 4]"
+        }
+    );
+}
+
+#[test]
 fn recv_into_reports_truncation() {
     let err = World::run_simple(2, |comm| {
         if comm.rank() == 0 {

@@ -1,8 +1,31 @@
 //! Property-based tests: collectives must agree with sequential references
-//! for arbitrary inputs, world sizes, and roots.
+//! for arbitrary inputs, world sizes, and roots, and the bulk (memcpy)
+//! codec must be byte-identical to the per-element reference codec.
 
-use pdc_mpi::{Op, World};
+use pdc_mpi::datatype::{decode_vec, encode_slice};
+use pdc_mpi::{Datatype, Loc, Op, World};
 use proptest::prelude::*;
+
+/// Assert that the bulk codec produces exactly the bytes the per-element
+/// reference codec does, and that decoding restores the input.
+fn assert_wire_identical<T>(data: &[T])
+where
+    T: Datatype + PartialEq + std::fmt::Debug + Copy,
+{
+    let bulk = encode_slice(data);
+    let mut reference = bytes::BytesMut::new();
+    for x in data {
+        x.encode(&mut reference);
+    }
+    assert_eq!(
+        &bulk[..],
+        &reference[..],
+        "bulk wire bytes differ from per-element encoding for {}",
+        T::NAME
+    );
+    let decoded: Vec<T> = decode_vec(&bulk);
+    assert_eq!(&decoded[..], data, "roundtrip mangled {}", T::NAME);
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -124,5 +147,60 @@ proptest! {
         for v in &out.values {
             prop_assert_eq!(v, payload.as_ref());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Byte-identity of the bulk codec over every wire type. The integer
+    // variants are all derived from the same random u64s (casts preserve
+    // arbitrary bit patterns), covering the POD fast path; `bool` covers
+    // the per-element fallback.
+    #[test]
+    fn bulk_codec_wire_identical_ints(v in proptest::collection::vec(any::<u64>(), 0..100)) {
+        assert_wire_identical(&v);
+        assert_wire_identical(&v.iter().map(|&x| x as i64).collect::<Vec<i64>>());
+        assert_wire_identical(&v.iter().map(|&x| x as u32).collect::<Vec<u32>>());
+        assert_wire_identical(&v.iter().map(|&x| x as i32).collect::<Vec<i32>>());
+        assert_wire_identical(&v.iter().map(|&x| x as u16).collect::<Vec<u16>>());
+        assert_wire_identical(&v.iter().map(|&x| x as i16).collect::<Vec<i16>>());
+        assert_wire_identical(&v.iter().map(|&x| x as u8).collect::<Vec<u8>>());
+        assert_wire_identical(&v.iter().map(|&x| x as i8).collect::<Vec<i8>>());
+    }
+
+    #[test]
+    fn bulk_codec_wire_identical_floats(
+        v in proptest::collection::vec(-1.0e300f64..1.0e300, 0..100),
+    ) {
+        assert_wire_identical(&v);
+        assert_wire_identical(&v.iter().map(|&x| (x * 1.0e-270) as f32).collect::<Vec<f32>>());
+    }
+
+    #[test]
+    fn bulk_codec_wire_identical_bool(v in proptest::collection::vec(any::<bool>(), 0..200)) {
+        assert_wire_identical(&v);
+    }
+
+    #[test]
+    fn bulk_codec_wire_identical_arrays(v in proptest::collection::vec(any::<u64>(), 0..60)) {
+        let f32x2: Vec<[f32; 2]> = v
+            .iter()
+            .map(|&x| [(x as u32 >> 8) as f32, (x >> 40) as f32])
+            .collect();
+        assert_wire_identical(&f32x2);
+        let u32x3: Vec<[u32; 3]> = v
+            .iter()
+            .map(|&x| [x as u32, (x >> 16) as u32, (x >> 32) as u32])
+            .collect();
+        assert_wire_identical(&u32x3);
+    }
+
+    #[test]
+    fn bulk_codec_wire_identical_loc(
+        v in proptest::collection::vec((-1.0e300f64..1.0e300, any::<u64>()), 0..60),
+    ) {
+        let v: Vec<Loc> = v.into_iter().map(|(value, index)| Loc::new(value, index)).collect();
+        assert_wire_identical(&v);
     }
 }

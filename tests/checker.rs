@@ -228,6 +228,70 @@ fn stencil_2d_cart_topology_runs_clean() {
 }
 
 #[test]
+fn rendezvous_stress_straddling_eager_threshold_runs_clean() {
+    // Transport stress gate: eight ranks exchange payloads on both sides
+    // of a deliberately tiny eager threshold (4 KiB) through every
+    // point-to-point flavour. Sizes are in u64 elements, so 512 elements
+    // sit exactly on the threshold, 511 stays eager, and 513 tips into
+    // the rendezvous path.
+    let sizes: [usize; 5] = [16, 511, 512, 513, 4096];
+    let cfg = WorldConfig::new(8).with_eager_threshold(4096);
+    let checked = check_world(cfg, move |comm| {
+        let p = comm.size();
+        let me = comm.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut received = 0u64;
+
+        // Parity-shifted blocking ring; ssend forces a rendezvous
+        // handshake even for the payloads below the threshold.
+        for (round, &n) in sizes.iter().enumerate() {
+            let tag = round as u32;
+            let data: Vec<u64> = (0..n as u64)
+                .map(|i| me as u64 * 1_000_000 + u64::from(tag) * 10_000 + i)
+                .collect();
+            let mut buf = vec![0u64; n];
+            if me % 2 == 0 {
+                comm.ssend(&data, right, tag)?;
+                comm.recv_into(&mut buf, left, tag)?;
+            } else {
+                comm.recv_into(&mut buf, left, tag)?;
+                comm.ssend(&data, right, tag)?;
+            }
+            assert_eq!(buf[0], left as u64 * 1_000_000 + u64::from(tag) * 10_000);
+            received += n as u64;
+        }
+
+        // Nonblocking ring: the isend completes only after the matching
+        // receive drains it, so rendezvous-sized payloads must not jam.
+        for (round, &n) in sizes.iter().enumerate() {
+            let tag = 100 + round as u32;
+            let data: Vec<u64> = vec![me as u64; n];
+            let req = comm.isend(&data, right, tag)?;
+            let (got, status) = comm.recv::<u64>(left, tag)?;
+            comm.wait_send(req)?;
+            assert_eq!(status.bytes, n * 8);
+            assert!(got.iter().all(|&x| x == left as u64));
+            received += n as u64;
+        }
+
+        // Full-ring sendrecv with payloads twice the threshold in both
+        // directions (MPI_Sendrecv guarantees progress regardless).
+        let n = 1024;
+        let data: Vec<u64> = vec![me as u64; n];
+        let (got, _) = comm.sendrecv::<u64, u64>(&data, right, 200, left, 200)?;
+        assert!(got.iter().all(|&x| x == left as u64));
+        received += n as u64;
+
+        comm.barrier()?;
+        Ok(received)
+    });
+    let values = checked.expect_clean("rendezvous stress straddling the eager threshold");
+    let expected: u64 = sizes.iter().map(|&n| n as u64).sum::<u64>() * 2 + 1024;
+    assert!(values.iter().all(|&r| r == expected), "{values:?}");
+}
+
+#[test]
 fn multi_node_placement_runs_clean() {
     // The cluster-integration path: ranks spread over two simulated nodes
     // with round-robin placement (every halo edge crosses the network).

@@ -11,9 +11,14 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// Cheaply cloneable, immutable, contiguous byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that freezing a
+/// [`BytesMut`] (or converting a `Vec<u8>`) transfers ownership of the
+/// existing heap allocation instead of copying it — payload bytes are
+/// copied exactly once, at encode time.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -34,7 +39,9 @@ impl Bytes {
 
     /// Copy an existing slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.into() }
+        Self {
+            data: Arc::new(data.to_vec()),
+        }
     }
 }
 
@@ -53,13 +60,15 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into() }
+        Self { data: Arc::new(v) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Self { data: v.into() }
+        Self {
+            data: Arc::new(v.to_vec()),
+        }
     }
 }
 
@@ -111,10 +120,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Convert into an immutable [`Bytes`].
+    /// Convert into an immutable [`Bytes`] without copying: the builder's
+    /// allocation is handed to the `Arc` as-is.
     pub fn freeze(self) -> Bytes {
         Bytes {
-            data: self.data.into(),
+            data: Arc::new(self.data),
         }
     }
 }
