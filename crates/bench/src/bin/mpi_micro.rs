@@ -6,6 +6,10 @@
 //! mpi-micro --json [PATH]   also write the suite as JSON (default
 //!                           BENCH_mpi.json in the working directory)
 //! mpi-micro --check         exit 1 if any point breaks its sanity ceiling
+//! mpi-micro --drop-rate P   inject message drops at rate P (0 ≤ P < 1),
+//!                           repaired by the default retry policy; each
+//!                           result records the rate in its `drop_rate`
+//!                           field (fault-free points carry `null`)
 //! ```
 //!
 //! The JSON artifact (`BENCH_mpi.json`) records wall-clock p50/p95 per
@@ -20,6 +24,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut json: Option<String> = None;
     let mut check = false;
+    let mut drop_rate: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -34,19 +39,33 @@ fn main() -> ExitCode {
                 };
                 json = Some(path);
             }
+            "--drop-rate" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--drop-rate needs a probability (e.g. --drop-rate 0.1)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(p) if (0.0..1.0).contains(&p) => drop_rate = Some(p),
+                    _ => {
+                        eprintln!("--drop-rate must be in [0, 1), got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: mpi-micro [--quick] [--json [PATH]] [--check]");
+                eprintln!("usage: mpi-micro [--quick] [--json [PATH]] [--check] [--drop-rate P]");
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    let (cfg, mode) = if quick {
+    let (mut cfg, mode) = if quick {
         (MicroConfig::quick(), "quick")
     } else {
         (MicroConfig::full(), "full")
     };
+    cfg.drop_rate = drop_rate;
     let suite = match run_suite(cfg, mode) {
         Ok(suite) => suite,
         Err(e) => {

@@ -1,5 +1,6 @@
-//! The four analyses over recorded executions: collective matching,
-//! deadlock explanation, message-race candidates, and finalize-time leaks.
+//! The analyses over recorded executions: collective matching, deadlock
+//! explanation, message-race candidates, finalize-time leaks, and
+//! injected-fault attribution.
 
 use crate::report::{Finding, FindingKind, Report, Severity};
 use pdc_mpi::{CheckEvent, Error, RunOutput};
@@ -36,7 +37,92 @@ pub fn analyze<T>(outcome: &pdc_mpi::Result<RunOutput<T>>, logs: &[Vec<CheckEven
     check_collectives(logs, completed, &mut report);
     check_races(logs, &mut report);
     check_leaks(logs, completed, &mut report);
+    let (crashed, lossy) = check_faults(logs, &mut report);
+    attribute_to_faults(&mut report, &crashed, lossy);
     report
+}
+
+/// Summarise the faults the run's plan injected: one finding per crash,
+/// one aggregate finding per message-fault kind. Returns the crashed
+/// ranks and whether any message was dropped, for attribution.
+fn check_faults(logs: &[Vec<CheckEvent>], report: &mut Report) -> (BTreeSet<usize>, bool) {
+    let mut crashed = BTreeSet::new();
+    // kind -> (ranks touched, event count).
+    let mut by_kind: BTreeMap<&'static str, (BTreeSet<usize>, usize)> = BTreeMap::new();
+    for (rank, log) in logs.iter().enumerate() {
+        for ev in log {
+            if let CheckEvent::FaultInjected {
+                kind, src, dst, at, ..
+            } = ev
+            {
+                if *kind == "crash" {
+                    crashed.insert(rank);
+                    report.push(Finding {
+                        kind: FindingKind::InjectedFault,
+                        severity: Severity::Warning,
+                        ranks: vec![rank],
+                        message: format!(
+                            "rank {rank} crashed at simulated time {at:.6}s \
+                             (scheduled by the fault plan)"
+                        ),
+                        sites: Vec::new(),
+                    });
+                } else {
+                    let entry = by_kind.entry(kind).or_insert((BTreeSet::new(), 0));
+                    entry.0.insert(*src);
+                    entry.0.insert(*dst);
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    let lossy = by_kind.contains_key("drop") || by_kind.contains_key("lost");
+    for (kind, (ranks, count)) in by_kind {
+        report.push(Finding {
+            kind: FindingKind::InjectedFault,
+            severity: Severity::Warning,
+            ranks: ranks.into_iter().collect(),
+            message: format!(
+                "{count} message-{kind} event(s) injected by the fault plan \
+                 (deliberate, not an application defect)"
+            ),
+            sites: Vec::new(),
+        });
+    }
+    (crashed, lossy)
+}
+
+/// Downgrade violations that injected faults plausibly explain: a
+/// deadlock under message loss or a crash, and stranded state (unmatched
+/// sends, leaked requests, collective divergence) involving a crashed
+/// rank. They stay visible as warnings, annotated — the checker's job in
+/// a fault clinic is to separate injected failures from genuine defects,
+/// not to hide either.
+fn attribute_to_faults(report: &mut Report, crashed: &BTreeSet<usize>, lossy: bool) {
+    if crashed.is_empty() && !lossy {
+        return;
+    }
+    let mut keep = Vec::new();
+    for mut f in std::mem::take(&mut report.violations) {
+        let explained = match f.kind {
+            FindingKind::Deadlock => lossy || !crashed.is_empty(),
+            FindingKind::UnmatchedSend
+            | FindingKind::RequestLeak
+            | FindingKind::CollectiveMismatch => f.ranks.iter().any(|r| crashed.contains(r)),
+            _ => false,
+        };
+        if explained {
+            f.severity = Severity::Warning;
+            f.message.push_str(
+                "\nlikely fallout of an injected fault (see the injected section), \
+                 not necessarily an application defect",
+            );
+            report.warnings.push(f);
+        } else {
+            keep.push(f);
+        }
+    }
+    report.violations = keep;
 }
 
 /// A rank's view of one collective entry, flattened for comparison.

@@ -19,7 +19,13 @@
 //! * **leaks** — messages sent but never received, nonblocking requests
 //!   never completed, and datatype mismatches, checked when every rank
 //!   has finished ([`FindingKind::UnmatchedSend`],
-//!   [`FindingKind::RequestLeak`], [`FindingKind::TypeMismatch`]).
+//!   [`FindingKind::RequestLeak`], [`FindingKind::TypeMismatch`]);
+//! * **fault attribution** — faults injected by a
+//!   [`FaultPlan`](pdc_mpi::FaultPlan) (crashes, drops, duplicates,
+//!   delays) are listed in a separate report section
+//!   ([`FindingKind::InjectedFault`], [`Report::faults`]), and violations
+//!   they plausibly explain are downgraded to annotated warnings — a
+//!   fault-injection clinic must not report its own faults as bugs.
 //!
 //! ## Usage
 //!

@@ -23,6 +23,10 @@ pub enum FindingKind {
     RequestLeak,
     /// A receive's element type differed from the message's.
     TypeMismatch,
+    /// A fault deliberately injected by the run's
+    /// [`FaultPlan`](pdc_mpi::FaultPlan) — reported separately so injected
+    /// failures are never mistaken for application defects.
+    InjectedFault,
 }
 
 impl fmt::Display for FindingKind {
@@ -34,6 +38,7 @@ impl fmt::Display for FindingKind {
             FindingKind::UnmatchedSend => "unmatched send",
             FindingKind::RequestLeak => "request leak",
             FindingKind::TypeMismatch => "type mismatch",
+            FindingKind::InjectedFault => "injected fault",
         };
         f.write_str(s)
     }
@@ -76,6 +81,11 @@ pub struct Report {
     pub violations: Vec<Finding>,
     /// Possible problems (severity [`Severity::Warning`]).
     pub warnings: Vec<Finding>,
+    /// Faults injected by the run's fault plan
+    /// ([`FindingKind::InjectedFault`]) — deliberate, not defects. Kept
+    /// out of `violations`/`warnings` so fault-injection runs can still
+    /// check clean.
+    pub faults: Vec<Finding>,
 }
 
 impl Report {
@@ -87,6 +97,10 @@ impl Report {
 
     /// Add a finding to the matching list.
     pub fn push(&mut self, finding: Finding) {
+        if finding.kind == FindingKind::InjectedFault {
+            self.faults.push(finding);
+            return;
+        }
         match finding.severity {
             Severity::Error => self.violations.push(finding),
             Severity::Warning => self.warnings.push(finding),
@@ -104,12 +118,19 @@ impl Report {
     /// Human rendering: a verdict line followed by every finding.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "pdc-check: {} violation(s), {} warning(s) over {} rank(s)\n",
+            "pdc-check: {} violation(s), {} warning(s)",
             self.violations.len(),
             self.warnings.len(),
-            self.world_size
         );
-        for (label, list) in [("VIOLATION", &self.violations), ("warning", &self.warnings)] {
+        if !self.faults.is_empty() {
+            out.push_str(&format!(", {} injected fault(s)", self.faults.len()));
+        }
+        out.push_str(&format!(" over {} rank(s)\n", self.world_size));
+        for (label, list) in [
+            ("VIOLATION", &self.violations),
+            ("warning", &self.warnings),
+            ("injected", &self.faults),
+        ] {
             for (i, f) in list.iter().enumerate() {
                 out.push_str(&format!("{label} {} [{}]", i + 1, f.kind));
                 if !f.ranks.is_empty() {
@@ -152,6 +173,13 @@ mod tests {
             message: "2 candidates".into(),
             sites: vec![],
         });
+        report.push(Finding {
+            kind: FindingKind::InjectedFault,
+            severity: Severity::Warning,
+            ranks: vec![2],
+            message: "rank 2 crashed at simulated time 0.5s".into(),
+            sites: vec![],
+        });
         report
     }
 
@@ -162,6 +190,29 @@ mod tests {
         assert_eq!(r.warnings.len(), 1);
         assert!(!r.is_clean());
         assert!(Report::default().is_clean());
+    }
+
+    #[test]
+    fn injected_faults_live_in_their_own_section() {
+        let r = sample();
+        assert_eq!(r.faults.len(), 1);
+        // Injected faults do not make a report dirty...
+        let mut only_faults = Report {
+            world_size: 2,
+            ..Report::default()
+        };
+        only_faults.push(Finding {
+            kind: FindingKind::InjectedFault,
+            severity: Severity::Warning,
+            ranks: vec![0],
+            message: "drop".into(),
+            sites: vec![],
+        });
+        assert!(only_faults.is_clean());
+        // ...but they do render, with their own verdict clause.
+        let s = r.render();
+        assert!(s.contains("1 injected fault(s)"), "{s}");
+        assert!(s.contains("injected 1 [injected fault] ranks 2"), "{s}");
     }
 
     #[test]

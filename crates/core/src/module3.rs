@@ -19,8 +19,9 @@
 
 use pdc_cluster::metrics::imbalance_factor;
 use pdc_datagen::{exponential_f64, uniform_f64};
-use pdc_mpi::{Comm, Op, Result, World, WorldConfig, ANY_SOURCE};
+use pdc_mpi::{Comm, Error, FaultPlan, Op, Result, World, WorldConfig, ANY_SOURCE};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Input distribution of the locally generated data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -247,14 +248,26 @@ pub fn distribution_sort_rank(
 
     // Phase 1: agree on bucket boundaries.
     let boundaries = agree_boundaries(comm, &local, strategy)?;
+    exchange_sort_verify(comm, &local, &boundaries, n_per_rank)
+}
 
+/// Phases 2–3 of the distribution sort plus verification: the all-to-all
+/// exchange under `boundaries`, the local sort, and the ordering /
+/// conservation collectives. Shared by [`distribution_sort_rank`] and its
+/// fault-tolerant sibling [`distribution_sort_rank_ft`].
+fn exchange_sort_verify(
+    comm: &mut Comm,
+    local: &[f64],
+    boundaries: &[f64],
+    n_per_rank: usize,
+) -> Result<(usize, bool)> {
     // Phase 2: partition local data into per-destination blocks and
     // exchange. As the module prescribes, the exchange uses explicit
     // point-to-point messages: nonblocking sends to every peer, then
     // `MPI_Probe` + `MPI_Get_count` sized receives from ANY_SOURCE.
     let mut blocks: Vec<Vec<f64>> = (0..comm.size()).map(|_| Vec::new()).collect();
-    for &x in &local {
-        blocks[bucket_of(x, &boundaries)].push(x);
+    for &x in local {
+        blocks[bucket_of(x, boundaries)].push(x);
     }
     comm.charge_kernel(local.len() as f64 * 4.0, local.len() as f64 * 16.0);
     const EXCHANGE_TAG: u32 = 42;
@@ -300,6 +313,103 @@ pub fn distribution_sort_rank(
         debug_assert_eq!(total[0] as usize, n_per_rank * comm.size());
     }
     Ok((bucket.len(), locally_sorted && globally_ordered))
+}
+
+/// One rank's share of the fault-tolerant distribution sort.
+///
+/// Identical to [`distribution_sort_rank`] except that the agreed bucket
+/// boundaries are checkpointed to `stable_store` right after the
+/// splitter-agreement collectives (the boundary at which every rank holds
+/// identical splitters, so one writer suffices), and a run handed a
+/// `resume` checkpoint skips phase 1 entirely. The input needs no
+/// checkpoint — [`local_input`] is deterministic in `(dist, rank, seed)` —
+/// so the exchange simply re-runs from scratch on restart.
+pub fn distribution_sort_rank_ft(
+    comm: &mut Comm,
+    n_per_rank: usize,
+    dist: InputDist,
+    strategy: BucketStrategy,
+    seed: u64,
+    resume: Option<Vec<f64>>,
+    stable_store: &Mutex<Option<Vec<f64>>>,
+) -> Result<(usize, bool)> {
+    let local = local_input(dist, n_per_rank, comm.rank(), seed);
+    let boundaries = match resume {
+        Some(b) => b,
+        None => {
+            let b = agree_boundaries(comm, &local, strategy)?;
+            if comm.rank() == 0 {
+                *stable_store.lock().expect("checkpoint store") = Some(b.clone());
+            }
+            b
+        }
+    };
+    exchange_sort_verify(comm, &local, &boundaries, n_per_rank)
+}
+
+/// Run the distributed bucket sort under a [`FaultPlan`], restarting from
+/// the splitter checkpoint whenever an injected crash kills a rank (see
+/// [`distribution_sort_rank_ft`]). On [`Error::RankFailed`] the failed
+/// rank's scheduled crash is disarmed and the world relaunches; once
+/// `max_restarts` is exhausted the last error is returned as-is. Returns
+/// the usual report plus the number of restarts taken.
+pub fn run_distribution_sort_ft(
+    n_per_rank: usize,
+    ranks: usize,
+    dist: InputDist,
+    strategy: BucketStrategy,
+    seed: u64,
+    mut plan: FaultPlan,
+    max_restarts: usize,
+) -> Result<(SortReport, usize)> {
+    let stable_store: Arc<Mutex<Option<Vec<f64>>>> = Arc::new(Mutex::new(None));
+    let mut restarts = 0;
+    loop {
+        // One checkpoint snapshot per launch: every rank of the relaunch
+        // resumes from the same splitters regardless of start order.
+        let resume = stable_store.lock().expect("checkpoint store").clone();
+        let store = Arc::clone(&stable_store);
+        let cfg = WorldConfig::new(ranks).with_faults(plan.clone());
+        let run = World::run(cfg, move |comm| {
+            distribution_sort_rank_ft(
+                comm,
+                n_per_rank,
+                dist,
+                strategy,
+                seed,
+                resume.clone(),
+                &store,
+            )
+        });
+        match run {
+            Ok(out) => {
+                let bucket_sizes: Vec<usize> = out.values.iter().map(|&(n, _)| n).collect();
+                let sorted_ok = out.values.iter().all(|&(_, ok)| ok);
+                let loads: Vec<f64> = bucket_sizes.iter().map(|&n| n as f64).collect();
+                let primitives = crate::primitive_names(&out);
+                return Ok((
+                    SortReport {
+                        n_per_rank,
+                        ranks,
+                        dist,
+                        strategy,
+                        imbalance: imbalance_factor(&loads),
+                        bucket_sizes,
+                        sim_time: out.sim_time,
+                        comm_bytes: out.total_bytes_sent(),
+                        sorted_ok,
+                        primitives,
+                    },
+                    restarts,
+                ));
+            }
+            Err(Error::RankFailed { rank, .. }) if restarts < max_restarts => {
+                plan.disarm_crash(rank);
+                restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Sequential baseline: sort the concatenated input on one rank, no
@@ -518,6 +628,25 @@ mod tests {
     #[should_panic(expected = "at least as many bins")]
     fn histogram_rejects_too_few_bins() {
         let _ = histogram_splitters(&[1.0, 2.0], 8, 4);
+    }
+
+    #[test]
+    fn sort_survives_a_mid_run_crash_via_checkpoint_restart() {
+        let strategy = BucketStrategy::Histogram { bins: 64 };
+        let base = run_distribution_sort(1500, 4, InputDist::Exponential, strategy, 7)
+            .expect("fault-free");
+        // Crash rank 1 halfway through the fault-free makespan — during
+        // or after the exchange, past the splitter agreement.
+        let plan = FaultPlan::seeded(5).crash_rank(1, base.sim_time * 0.5);
+        let (ft, restarts) =
+            run_distribution_sort_ft(1500, 4, InputDist::Exponential, strategy, 7, plan, 3)
+                .expect("ft run");
+        assert_eq!(restarts, 1, "exactly one crash, exactly one restart");
+        assert!(ft.sorted_ok);
+        assert_eq!(
+            ft.bucket_sizes, base.bucket_sizes,
+            "checkpointed splitters must reproduce the fault-free partition"
+        );
     }
 
     #[test]

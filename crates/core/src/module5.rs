@@ -19,8 +19,9 @@
 //! function of `k`. Learning outcomes 4, 8, 10–15 (Table I).
 
 use pdc_datagen::Dataset;
-use pdc_mpi::{Comm, Op, Result, World, WorldConfig};
+use pdc_mpi::{Comm, Error, FaultPlan, Op, Result, World, WorldConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Which centroid-update protocol to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -291,6 +292,161 @@ pub fn kmeans_rank(
     Ok((centroids, inertia, iterations))
 }
 
+/// A k-means checkpoint: `(iterations_completed, centroids)` as of the
+/// last `allreduce` boundary every rank crossed.
+pub type KMeansCheckpoint = (usize, Vec<f64>);
+
+/// Run distributed k-means (weighted-means protocol) under a
+/// [`FaultPlan`], restarting from the last checkpoint whenever an
+/// injected crash kills a rank.
+///
+/// The harness models application-level checkpoint/restart on top of
+/// ULFM-style error reporting: [`kmeans_rank_ft`] checkpoints the
+/// centroids after every `allreduce` (the collective boundary at which
+/// they are globally replicated) into shared stable storage; when the
+/// world dies with [`Error::RankFailed`], the failed rank's scheduled
+/// crash is disarmed (its replacement rejoins) and the world relaunches,
+/// resuming from the checkpoint instead of the initial centroids. Each
+/// Lloyd iteration depends only on the centroids at its start, so the
+/// restarted trajectory — and the final centroids — are bit-identical to
+/// a fault-free run's.
+///
+/// Returns the usual report plus the number of restarts taken. Once
+/// `max_restarts` is exhausted the last error is returned as-is.
+pub fn run_kmeans_ft(
+    points: &Dataset,
+    k: usize,
+    ranks: usize,
+    tol: f64,
+    mut plan: FaultPlan,
+    max_restarts: usize,
+) -> Result<(KMeansReport, usize)> {
+    assert!(k > 0 && k <= points.len(), "need 1 <= k <= n");
+    let n = points.len();
+    let stable_store: Arc<Mutex<Option<KMeansCheckpoint>>> = Arc::new(Mutex::new(None));
+    let mut restarts = 0;
+    loop {
+        // Snapshot the checkpoint once per launch so every rank resumes
+        // from the same state regardless of thread start order.
+        let resume = stable_store.lock().expect("checkpoint store").clone();
+        let points = points.clone();
+        let store = Arc::clone(&stable_store);
+        let cfg = WorldConfig::new(ranks).with_faults(plan.clone());
+        match World::run(cfg, move |comm| {
+            kmeans_rank_ft(comm, &points, k, tol, resume.clone(), &store)
+        }) {
+            Ok(out) => {
+                let (centroids, inertia, iterations) = out.values[0].clone();
+                let primitives = crate::primitive_names(&out);
+                let total = out.total_stats();
+                return Ok((
+                    KMeansReport {
+                        n,
+                        k,
+                        ranks,
+                        iterations,
+                        centroids,
+                        inertia,
+                        compute_time: total.sim_compute_time / ranks as f64,
+                        comm_time: total.sim_comm_time / ranks as f64,
+                        sim_time: out.sim_time,
+                        comm_bytes: total.bytes_sent,
+                        primitives,
+                    },
+                    restarts,
+                ));
+            }
+            Err(Error::RankFailed { rank, .. }) if restarts < max_restarts => {
+                plan.disarm_crash(rank);
+                restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One rank's share of fault-tolerant k-means (weighted-means protocol
+/// only — the minimal-communication option is the one worth hardening).
+///
+/// Identical math to [`kmeans_rank`] with two additions: after every
+/// centroid `allreduce`, rank 0 writes `(iteration, centroids)` to
+/// `stable_store` (safe as a checkpoint precisely because the allreduce
+/// guarantees every rank holds these centroids — one writer suffices),
+/// and a run handed a `resume` checkpoint skips the initial broadcast to
+/// continue from the stored iteration. The data scatter is repeated on
+/// restart: the dataset lives with rank 0, so redistribution is part of
+/// recovery rather than checkpoint state.
+pub fn kmeans_rank_ft(
+    comm: &mut Comm,
+    points: &Dataset,
+    k: usize,
+    tol: f64,
+    resume: Option<KMeansCheckpoint>,
+    stable_store: &Mutex<Option<KMeansCheckpoint>>,
+) -> Result<(Vec<f64>, f64, usize)> {
+    let dim = points.dim();
+    let n = points.len();
+    let p = comm.size();
+    let (flat, counts): (Option<Vec<f64>>, Option<Vec<usize>>) = if comm.rank() == 0 {
+        let counts = (0..p)
+            .map(|r| ((r + 1) * n / p - r * n / p) * dim)
+            .collect();
+        (Some(points.flat().to_vec()), Some(counts))
+    } else {
+        (None, None)
+    };
+    let local_flat = comm.scatterv(flat.as_deref(), counts.as_deref(), 0)?;
+    let local = Dataset::from_flat(dim, local_flat);
+    let n_local = local.len();
+
+    let (start_iter, mut centroids) = match resume {
+        Some((it, c)) => (it, c),
+        None => {
+            let init: Option<Vec<f64>> = if comm.rank() == 0 {
+                Some((0..k).flat_map(|i| points.point(i).to_vec()).collect())
+            } else {
+                None
+            };
+            (0, comm.bcast(init.as_deref(), 0)?)
+        }
+    };
+
+    let mut iterations = start_iter;
+    while iterations < MAX_ITERS {
+        iterations += 1;
+        let mut assign = vec![0u32; n_local];
+        for (i, a) in assign.iter_mut().enumerate() {
+            *a = nearest_centroid(local.point(i), &centroids, dim).0 as u32;
+        }
+        charge_assignment(comm, n_local, k, dim);
+        let mut buf = vec![0.0f64; k * (dim + 1)];
+        for (i, &a) in assign.iter().enumerate() {
+            let c = a as usize;
+            buf[k * dim + c] += 1.0;
+            for (d, &x) in local.point(i).iter().enumerate() {
+                buf[c * dim + d] += x;
+            }
+        }
+        let total = comm.allreduce(&buf, Op::Sum)?;
+        let new_centroids =
+            finalize_centroids(&total[..k * dim], &total[k * dim..], &centroids, dim);
+        let moved = max_move(&centroids, &new_centroids, dim);
+        centroids = new_centroids;
+        if comm.rank() == 0 {
+            *stable_store.lock().expect("checkpoint store") = Some((iterations, centroids.clone()));
+        }
+        if moved <= tol {
+            break;
+        }
+    }
+
+    let local_inertia: f64 = (0..n_local)
+        .map(|i| nearest_centroid(local.point(i), &centroids, dim).1)
+        .sum();
+    let inertia = comm.allreduce(&[local_inertia], Op::Sum)?[0];
+    Ok((centroids, inertia, iterations))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +566,36 @@ mod tests {
         assert!(r1.iterations <= MAX_ITERS);
         let rn = run_kmeans(&pts, 50, 2, CommOption::WeightedMeans, 1, 1e-9).expect("k=n");
         assert!(rn.inertia < 1e-12, "k=n puts a centroid on every point");
+    }
+
+    #[test]
+    fn kmeans_survives_a_mid_run_crash_via_checkpoint_restart() {
+        let pts = blobs(400, 4, 3);
+        let baseline =
+            run_kmeans(&pts, 4, 4, CommOption::WeightedMeans, 1, 1e-9).expect("fault-free");
+        // Crash rank 2 halfway through the fault-free makespan, i.e. in
+        // the middle of the Lloyd iterations.
+        let plan = FaultPlan::seeded(11).crash_rank(2, baseline.sim_time * 0.5);
+        let (ft, restarts) = run_kmeans_ft(&pts, 4, 4, 1e-9, plan, 3).expect("ft run");
+        assert_eq!(restarts, 1, "exactly one crash, exactly one restart");
+        assert_eq!(
+            ft.centroids, baseline.centroids,
+            "restart from the checkpoint must replay the fault-free trajectory"
+        );
+        assert_eq!(ft.iterations, baseline.iterations);
+        assert_eq!(ft.inertia, baseline.inertia);
+    }
+
+    #[test]
+    fn kmeans_ft_without_faults_matches_plain_run() {
+        let pts = blobs(200, 3, 6);
+        let baseline =
+            run_kmeans(&pts, 3, 3, CommOption::WeightedMeans, 1, 1e-9).expect("fault-free");
+        let (ft, restarts) =
+            run_kmeans_ft(&pts, 3, 3, 1e-9, FaultPlan::seeded(1), 0).expect("empty plan");
+        assert_eq!(restarts, 0);
+        assert_eq!(ft.centroids, baseline.centroids);
+        assert_eq!(ft.inertia, baseline.inertia);
     }
 
     #[test]

@@ -168,6 +168,24 @@ pub enum CheckEvent {
         /// The id from the matching [`CheckEvent::RequestCreated`].
         id: u64,
     },
+    /// The fault plan injected a fault on this rank. Recorded so the
+    /// checker can separate *injected* faults from genuine defects: a
+    /// deadlock or unmatched send downstream of an injected crash or drop
+    /// is the fault plan at work, not a program bug.
+    FaultInjected {
+        /// Fault kind: `"crash"`, `"drop"`, `"duplicate"`, `"delay"`, or
+        /// `"lost"` (retries exhausted).
+        kind: &'static str,
+        /// Sending rank (the crashed rank itself for `"crash"`).
+        src: usize,
+        /// Destination rank (the crashed rank itself for `"crash"`).
+        dst: usize,
+        /// The affected message's per-sender sequence number (0 for
+        /// `"crash"`).
+        seq: u64,
+        /// Simulated time at which the fault fired.
+        at: f64,
+    },
     /// A message was still sitting in this rank's mailbox when its closure
     /// finished: an unmatched send.
     Leftover {

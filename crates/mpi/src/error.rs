@@ -10,7 +10,7 @@ use std::fmt;
 /// (Module 1's blocking-ring lesson, detected by the watchdog) and
 /// [`Error::TypeMismatch`] / [`Error::Truncated`] (classic student bugs the
 /// runtime turns into actionable diagnostics instead of garbage data).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// The watchdog observed every rank blocked with no progress: the
     /// program has deadlocked (e.g. all ranks in a blocking ring `send`).
@@ -18,6 +18,37 @@ pub enum Error {
     /// which peers, and the wait-for cycle — when one was assembled (an
     /// empty [`DeadlockInfo`] renders just the headline).
     Deadlock(DeadlockInfo),
+    /// A rank failed (an injected crash from a
+    /// [`FaultPlan`](crate::FaultPlan)). Returned by the failed rank
+    /// itself at its crash point, and — ULFM-style — by any operation on
+    /// a surviving rank that depends on the dead one, instead of hanging
+    /// until the watchdog fires. Survivors can acknowledge the failure
+    /// with [`Comm::agree`](crate::Comm::agree) and continue among
+    /// themselves (see [`Comm::shrink`](crate::Comm::shrink)).
+    RankFailed {
+        /// The world rank that failed.
+        rank: usize,
+        /// Simulated time (seconds) at which it failed.
+        at: f64,
+    },
+    /// Every transmission attempt of a message was dropped by the fault
+    /// plan and the [`RetryPolicy`](crate::RetryPolicy) ran out of
+    /// retries.
+    MessageLost {
+        /// Destination rank of the lost message.
+        dst: usize,
+        /// Transmission attempts made (including the first).
+        attempts: u32,
+    },
+    /// A built-in reduction operator is not defined for the element type
+    /// (e.g. `Op::Sum` on [`Loc`](crate::Loc), which only supports
+    /// `Min`/`Max` — MPI's `MINLOC`/`MAXLOC`).
+    InvalidOp {
+        /// The rejected operator, rendered via `Debug`.
+        op: crate::reduce::Op,
+        /// The element type that does not support it.
+        type_name: &'static str,
+    },
     /// A receive matched a message whose element type differs from the
     /// receiver's type parameter.
     TypeMismatch {
@@ -68,6 +99,17 @@ impl fmt::Display for Error {
                 f,
                 "message truncated: {message_bytes} bytes do not fit a {buffer_bytes}-byte buffer"
             ),
+            Error::RankFailed { rank, at } => {
+                write!(f, "rank {rank} failed at simulated time {at:.6}s")
+            }
+            Error::MessageLost { dst, attempts } => write!(
+                f,
+                "message to rank {dst} lost after {attempts} transmission attempt(s)"
+            ),
+            Error::InvalidOp { op, type_name } => write!(
+                f,
+                "reduction operator {op:?} is not defined for element type {type_name}"
+            ),
             Error::RankPanicked(r) => write!(f, "rank {r} panicked"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::WorldShutDown => write!(f, "world shut down during an operation"),
@@ -96,6 +138,23 @@ mod tests {
             .to_string()
             .contains("deadlock"));
         assert!(Error::RankPanicked(3).to_string().contains('3'));
+        let failed = Error::RankFailed { rank: 2, at: 0.5 }.to_string();
+        assert!(
+            failed.contains("rank 2") && failed.contains("failed"),
+            "{failed}"
+        );
+        let lost = Error::MessageLost {
+            dst: 1,
+            attempts: 8,
+        }
+        .to_string();
+        assert!(lost.contains("rank 1") && lost.contains('8'), "{lost}");
+        let op = Error::InvalidOp {
+            op: crate::reduce::Op::Sum,
+            type_name: "Loc",
+        }
+        .to_string();
+        assert!(op.contains("Sum") && op.contains("Loc"), "{op}");
     }
 
     #[test]

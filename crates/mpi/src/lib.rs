@@ -60,6 +60,7 @@ pub mod comm;
 pub mod datatype;
 pub mod envelope;
 pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod reduce;
 pub mod stats;
@@ -73,6 +74,7 @@ pub use comm::{Comm, RecvRequest, SendRequest};
 pub use datatype::{Datatype, Loc};
 pub use envelope::{SourceSel, Status, TagSel};
 pub use error::{Error, Result};
+pub use fault::{CrashEvent, FaultPlan, RetryPolicy};
 pub use reduce::{Op, Reducible};
 pub use stats::{CommStats, Primitive};
 pub use subcomm::SubComm;

@@ -20,7 +20,7 @@ use crate::chan::{Receiver, RecvError, Wake};
 use crate::check::{BlockedOp, DeadlockInfo};
 use crate::envelope::{Envelope, MatchSpec, SourceSel, Status};
 use crate::error::{Error, Result};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
@@ -55,6 +55,40 @@ pub struct Progress {
     /// and by the finalize-time leak check.
     done_sync: Mutex<()>,
     done_cv: Condvar,
+    /// Crashed ranks → simulated failure time. Written by
+    /// [`Progress::mark_failed`] when an injected crash fires.
+    failed: Mutex<BTreeMap<usize, f64>>,
+    /// Bumped once per newly failed rank. Blocked primitives compare it
+    /// against the epoch their rank last *acknowledged*
+    /// ([`Comm::agree`](crate::Comm::agree)): an unacknowledged failure
+    /// aborts the wait with a typed `RankFailed` error (ULFM semantics)
+    /// instead of leaving the rank to hang until the watchdog fires.
+    epoch: AtomicU64,
+    /// Which ranks have finished their closure. The agreement protocol
+    /// counts a finished rank as implicitly participating, so survivors'
+    /// [`Progress::agree`] cannot hang on a rank that already exited.
+    done_ranks: Mutex<BTreeSet<usize>>,
+    /// Agreement-cell state for [`Progress::agree`].
+    agree: Mutex<AgreeState>,
+    agree_cv: Condvar,
+}
+
+/// A resolved agreement generation: `(generation, failed snapshot,
+/// failure epoch at resolution)`.
+type AgreeOutcome = (u64, Vec<(usize, f64)>, u64);
+
+/// State of the collective agreement cell: one generation resolves when
+/// every world rank has either entered it, failed, or finished.
+#[derive(Debug, Default)]
+struct AgreeState {
+    /// Current (unresolved) generation number.
+    generation: u64,
+    /// Ranks that entered the current generation.
+    entered: BTreeSet<usize>,
+    /// Most recently resolved generation. Waiters of that generation copy
+    /// it out; it cannot be overwritten before they do, because the next
+    /// generation needs every live rank — including them — to re-enter.
+    resolved: Option<AgreeOutcome>,
 }
 
 impl Progress {
@@ -71,6 +105,11 @@ impl Progress {
             wakers: Mutex::new(Vec::new()),
             done_sync: Mutex::new(()),
             done_cv: Condvar::new(),
+            failed: Mutex::new(BTreeMap::new()),
+            epoch: AtomicU64::new(0),
+            done_ranks: Mutex::new(BTreeSet::new()),
+            agree: Mutex::new(AgreeState::default()),
+            agree_cv: Condvar::new(),
         }
     }
 
@@ -110,13 +149,186 @@ impl Progress {
                 w.wake_all();
             }
         }
+        self.notify_agree();
         self.notify_done();
     }
 
+    /// Record that `rank` crashed at simulated time `at` (an injected
+    /// fault firing). Bumps the failure epoch and wakes every blocked
+    /// primitive so survivors observe the failure immediately — as a
+    /// typed `RankFailed`, not a watchdog timeout.
+    pub fn mark_failed(&self, rank: usize, at: f64) {
+        let newly = {
+            let mut failed = self.failed.lock().unwrap_or_else(PoisonError::into_inner);
+            failed.insert(rank, at).is_none()
+        };
+        if !newly {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Clone (do not take — unlike poison, the world keeps running and
+        // later waits must still be wakeable) and wake every channel.
+        let wakers: Vec<Weak<dyn Wake>> = self
+            .wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for waker in &wakers {
+            if let Some(w) = waker.upgrade() {
+                w.wake_all();
+            }
+        }
+        self.notify_agree();
+    }
+
+    /// Count of failures observed so far. A blocked primitive whose rank
+    /// acknowledged fewer failures than this must abort with `RankFailed`.
+    pub fn failure_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// When did `rank` fail, if it did?
+    pub fn failed_at(&self, rank: usize) -> Option<f64> {
+        if self.failure_epoch() == 0 {
+            return None;
+        }
+        self.failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&rank)
+            .copied()
+    }
+
+    /// The earliest failure (by simulated time, ties by rank), if any.
+    pub fn first_failure(&self) -> Option<(usize, f64)> {
+        self.failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite failure times")
+                    .then(a.0.cmp(&b.0))
+            })
+    }
+
+    /// All failures so far, as `(rank, simulated time)` in rank order.
+    pub fn failed_ranks(&self) -> Vec<(usize, f64)> {
+        self.failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .collect()
+    }
+
+    /// Stop condition for blocked waits: poisoned, the awaited peer
+    /// (`target`) failed, or a failure this rank has not yet acknowledged
+    /// occurred (`acked` is the rank's acknowledged epoch).
+    pub fn should_stop(&self, target: Option<usize>, acked: u64) -> bool {
+        if self.is_poisoned() {
+            return true;
+        }
+        let epoch = self.failure_epoch();
+        if epoch > acked {
+            return true;
+        }
+        if epoch > 0 {
+            if let Some(t) = target {
+                return self
+                    .failed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .contains_key(&t);
+            }
+        }
+        false
+    }
+
+    /// The error a wait aborted by [`Progress::should_stop`] reports:
+    /// the awaited failed peer when there is one, else the earliest
+    /// unacknowledged failure, else the watchdog's deadlock explanation.
+    pub fn stop_error(&self, target: Option<usize>, acked: u64) -> Error {
+        if let Some(t) = target {
+            if let Some(at) = self.failed_at(t) {
+                return Error::RankFailed { rank: t, at };
+            }
+        }
+        if self.failure_epoch() > acked {
+            if let Some((rank, at)) = self.first_failure() {
+                return Error::RankFailed { rank, at };
+            }
+        }
+        self.deadlock_error()
+    }
+
+    /// Collective failure agreement ([`Comm::agree`](crate::Comm::agree)'s
+    /// engine): blocks until every world rank has entered this generation,
+    /// failed, or finished, then returns a consistent snapshot of the
+    /// failed set and the failure epoch it covers. Every participant of a
+    /// generation returns the *same* snapshot.
+    pub fn agree(&self, rank: usize) -> Result<(Vec<(usize, f64)>, u64)> {
+        let mut st = self.agree.lock().unwrap_or_else(PoisonError::into_inner);
+        let my_gen = st.generation;
+        st.entered.insert(rank);
+        self.try_resolve_agree(&mut st);
+        loop {
+            if let Some((gen, snapshot, epoch)) = &st.resolved {
+                if *gen == my_gen {
+                    return Ok((snapshot.clone(), *epoch));
+                }
+            }
+            if self.is_poisoned() {
+                return Err(self.deadlock_error());
+            }
+            (st, _) = self
+                .agree_cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Re-check the agreement condition (a rank failed or finished) and
+    /// wake agreement waiters.
+    fn notify_agree(&self) {
+        let mut st = self.agree.lock().unwrap_or_else(PoisonError::into_inner);
+        self.try_resolve_agree(&mut st);
+        self.agree_cv.notify_all();
+    }
+
+    /// With the agreement lock held: resolve the current generation if
+    /// every rank is accounted for (entered, failed, or done).
+    fn try_resolve_agree(&self, st: &mut AgreeState) {
+        if st.entered.is_empty() {
+            return;
+        }
+        let failed = self.failed.lock().unwrap_or_else(PoisonError::into_inner);
+        let done = self
+            .done_ranks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let covered = (0..self.size)
+            .all(|r| st.entered.contains(&r) || failed.contains_key(&r) || done.contains(&r));
+        if covered {
+            let snapshot: Vec<(usize, f64)> = failed.iter().map(|(&r, &t)| (r, t)).collect();
+            st.resolved = Some((st.generation, snapshot, self.failure_epoch()));
+            st.generation += 1;
+            st.entered.clear();
+            self.agree_cv.notify_all();
+        }
+    }
+
     /// Record that one rank finished its closure, waking completion
-    /// waiters (the watchdog and the finalize-time leak check).
-    pub fn mark_done(&self) {
+    /// waiters (the watchdog and the finalize-time leak check) and
+    /// agreement waiters (a finished rank participates implicitly).
+    pub fn mark_done(&self, rank: usize) {
+        self.done_ranks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(rank);
         self.done.fetch_add(1, Ordering::SeqCst);
+        self.notify_agree();
         self.notify_done();
     }
 
@@ -287,6 +499,11 @@ pub struct Mailbox {
     /// more than one under a wildcard spec means the match was
     /// order-dependent (a message-race candidate).
     last_candidates: usize,
+    /// `(src, seq)` pairs already admitted, when the fault plan may
+    /// duplicate messages. A duplicated envelope reuses its original's
+    /// sequence number, so the second copy is filtered here; channels are
+    /// FIFO per sender, so the genuine copy always lands first.
+    dedup: Option<HashSet<(usize, u64)>>,
 }
 
 impl Mailbox {
@@ -297,7 +514,26 @@ impl Mailbox {
             pending: VecDeque::new(),
             perturb: None,
             last_candidates: 0,
+            dedup: None,
         }
+    }
+
+    /// Filter out duplicate deliveries (same sender, same sequence
+    /// number). Enabled by worlds whose fault plan can duplicate
+    /// messages; off by default so fault-free runs pay nothing.
+    pub fn enable_dedup(&mut self) {
+        self.dedup = Some(HashSet::new());
+    }
+
+    /// Admit an envelope into the pending queue unless it is a duplicate
+    /// copy the dedup filter has already seen.
+    fn admit(&mut self, env: Envelope) {
+        if let Some(seen) = &mut self.dedup {
+            if !seen.insert((env.src, env.seq)) {
+                return;
+            }
+        }
+        self.pending.push_back(env);
     }
 
     /// Enable perturbed wildcard delivery ([`CheckMode::Perturb`]
@@ -337,7 +573,7 @@ impl Mailbox {
     /// queue (non-blocking).
     fn drain_channel(&mut self) {
         while let Ok(env) = self.rx.try_recv() {
-            self.pending.push_back(env);
+            self.admit(env);
         }
     }
 
@@ -394,41 +630,48 @@ impl Mailbox {
     }
 
     /// Blocking match: waits for a satisfying envelope, returning
-    /// [`Error::Deadlock`] if the watchdog poisons the world while waiting.
-    /// `op` (when given) registers what this rank is waiting for, so the
-    /// watchdog can explain rather than just detect a deadlock. The wait
-    /// is event-driven: delivery and poison both wake it immediately.
+    /// [`Error::Deadlock`] if the watchdog poisons the world while
+    /// waiting, or [`Error::RankFailed`] if the awaited peer crashes (or
+    /// any rank crashes that this rank has not acknowledged — `acked` is
+    /// the caller's acknowledged failure epoch, 0 when no faults are in
+    /// play). `op` (when given) registers what this rank is waiting for,
+    /// so the watchdog can explain rather than just detect a deadlock.
+    /// The wait is event-driven: delivery, poison, and failure all wake
+    /// it immediately.
     pub fn recv_matching(
         &mut self,
         spec: &MatchSpec,
         progress: &Progress,
         op: Option<BlockedOp>,
+        acked: u64,
     ) -> Result<Envelope> {
         if let Some(env) = self.try_match(spec, progress) {
             return Ok(env);
         }
+        let target = spec.source_rank();
         let _guard = match op {
             Some(op) => progress.enter_blocked_as(op),
             None => progress.enter_blocked(),
         };
         loop {
-            match self.rx.recv_or_stop(|| progress.is_poisoned()) {
+            match self.rx.recv_or_stop(|| progress.should_stop(target, acked)) {
                 Ok(env) => {
-                    self.pending.push_back(env);
+                    self.admit(env);
                     // The new arrival may or may not be ours; re-scan.
                     if let Some(env) = self.try_match(spec, progress) {
                         return Ok(env);
                     }
                 }
-                Err(RecvError::Stopped) => return Err(progress.deadlock_error()),
+                Err(RecvError::Stopped) => return Err(progress.stop_error(target, acked)),
                 Err(RecvError::Disconnected) => {
                     // All senders dropped: drain leftovers then fail,
-                    // reporting deadlock as the root cause when poisoned.
+                    // reporting the failure or deadlock as the root cause
+                    // when there is one.
                     if let Some(env) = self.try_match(spec, progress) {
                         return Ok(env);
                     }
-                    if progress.is_poisoned() {
-                        return Err(progress.deadlock_error());
+                    if progress.should_stop(target, acked) {
+                        return Err(progress.stop_error(target, acked));
                     }
                     return Err(Error::WorldShutDown);
                 }
@@ -454,27 +697,29 @@ impl Mailbox {
         spec: &MatchSpec,
         progress: &Progress,
         op: Option<BlockedOp>,
+        acked: u64,
     ) -> Result<Status> {
         self.drain_channel();
         if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
             return Ok(Status::of(&self.pending[idx]));
         }
+        let target = spec.source_rank();
         let _guard = match op {
             Some(op) => progress.enter_blocked_as(op),
             None => progress.enter_blocked(),
         };
         loop {
-            match self.rx.recv_or_stop(|| progress.is_poisoned()) {
+            match self.rx.recv_or_stop(|| progress.should_stop(target, acked)) {
                 Ok(env) => {
-                    self.pending.push_back(env);
+                    self.admit(env);
                     if let Some(idx) = self.pending.iter().position(|env| spec.matches(env)) {
                         return Ok(Status::of(&self.pending[idx]));
                     }
                 }
-                Err(RecvError::Stopped) => return Err(progress.deadlock_error()),
+                Err(RecvError::Stopped) => return Err(progress.stop_error(target, acked)),
                 Err(RecvError::Disconnected) => {
-                    if progress.is_poisoned() {
-                        return Err(progress.deadlock_error());
+                    if progress.should_stop(target, acked) {
+                        return Err(progress.stop_error(target, acked));
                     }
                     return Err(Error::WorldShutDown);
                 }
@@ -560,7 +805,9 @@ mod tests {
             tx.send(env(0, 3, 42)).expect("open channel");
         });
         let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Tag(3));
-        let got = mb.recv_matching(&spec, &progress, None).expect("arrives");
+        let got = mb
+            .recv_matching(&spec, &progress, None, 0)
+            .expect("arrives");
         assert_eq!(crate::datatype::decode_vec::<i32>(&got.payload), vec![42]);
         handle.join().expect("sender thread");
     }
@@ -573,7 +820,7 @@ mod tests {
         let mut mb = Mailbox::new(rx);
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
         assert!(matches!(
-            mb.recv_matching(&spec, &progress, None)
+            mb.recv_matching(&spec, &progress, None, 0)
                 .expect_err("poisoned"),
             Error::Deadlock(_)
         ));
@@ -594,7 +841,7 @@ mod tests {
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
         let t = Instant::now();
         assert!(matches!(
-            mb.recv_matching(&spec, &progress, None)
+            mb.recv_matching(&spec, &progress, None, 0)
                 .expect_err("poisoned"),
             Error::Deadlock(_)
         ));
@@ -611,7 +858,7 @@ mod tests {
         let mut mb = Mailbox::new(rx);
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
         assert_eq!(
-            mb.recv_matching(&spec, &progress, None)
+            mb.recv_matching(&spec, &progress, None, 0)
                 .expect_err("closed"),
             Error::WorldShutDown
         );
@@ -624,7 +871,9 @@ mod tests {
         let mut mb = Mailbox::new(rx);
         tx.send(env(4, 8, 5)).expect("open channel");
         let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
-        let peeked = mb.probe_matching(&spec, &progress, None).expect("pending");
+        let peeked = mb
+            .probe_matching(&spec, &progress, None, 0)
+            .expect("pending");
         assert_eq!(peeked.source, 4);
         assert!(mb.try_match(&spec, &progress).is_some(), "still consumable");
     }
@@ -710,6 +959,152 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn failed_exact_source_aborts_recv_with_rank_failed() {
+        let (_tx, rx) = channel::<Envelope>();
+        let progress = Progress::new(2);
+        progress.mark_failed(1, 0.5);
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Rank(1), TagSel::Any);
+        assert_eq!(
+            mb.recv_matching(&spec, &progress, None, 1)
+                .expect_err("peer failed"),
+            Error::RankFailed { rank: 1, at: 0.5 }
+        );
+    }
+
+    #[test]
+    fn unacked_failure_aborts_wildcard_recv_until_acknowledged() {
+        let (tx, rx) = channel::<Envelope>();
+        let progress = Progress::new(3);
+        progress.mark_failed(2, 0.25);
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Any, TagSel::Any);
+        // Epoch 1 not yet acknowledged: the wait aborts and names the
+        // failed rank.
+        assert_eq!(
+            mb.recv_matching(&spec, &progress, None, 0)
+                .expect_err("unacked failure"),
+            Error::RankFailed { rank: 2, at: 0.25 }
+        );
+        // After acknowledging epoch 1, a wildcard wait from a live peer
+        // proceeds normally.
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(env(0, 3, 9)).expect("open channel");
+        });
+        let got = mb.recv_matching(&spec, &progress, None, 1).expect("lives");
+        assert_eq!(got.src, 0);
+        handle.join().expect("sender thread");
+    }
+
+    #[test]
+    fn mark_failed_wakes_blocked_receiver_immediately() {
+        use std::sync::Arc;
+        let (_tx, rx) = channel::<Envelope>();
+        let progress = Arc::new(Progress::new(2));
+        progress.register_waker(rx.waker());
+        let p2 = Arc::clone(&progress);
+        let failer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.mark_failed(0, 1.0);
+        });
+        let mut mb = Mailbox::new(rx);
+        let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Any);
+        let t = Instant::now();
+        assert_eq!(
+            mb.recv_matching(&spec, &progress, None, 0)
+                .expect_err("peer fails mid-wait"),
+            Error::RankFailed { rank: 0, at: 1.0 }
+        );
+        // Event wakeup: far below the 50 ms backstop.
+        assert!(t.elapsed() < Duration::from_millis(45), "{:?}", t.elapsed());
+        failer.join().expect("failer thread");
+    }
+
+    #[test]
+    fn dedup_filters_second_copy_of_same_sequence_number() {
+        let (tx, rx) = channel();
+        let progress = Progress::new(1);
+        let mut mb = Mailbox::new(rx);
+        mb.enable_dedup();
+        let mut first = env(0, 1, 10);
+        first.seq = 7;
+        let mut dup = env(0, 1, 10);
+        dup.seq = 7;
+        let mut other = env(0, 1, 20);
+        other.seq = 8;
+        tx.send(first).expect("open channel");
+        tx.send(dup).expect("open channel");
+        tx.send(other).expect("open channel");
+        let spec = MatchSpec::User(SourceSel::Rank(0), TagSel::Tag(1));
+        assert!(mb.try_match(&spec, &progress).is_some());
+        let second = mb.try_match(&spec, &progress).expect("distinct message");
+        assert_eq!(second.seq, 8, "duplicate filtered, distinct seq kept");
+        assert!(mb.try_match(&spec, &progress).is_none());
+    }
+
+    #[test]
+    fn agree_resolves_over_entered_failed_and_done_ranks() {
+        use std::sync::Arc;
+        let progress = Arc::new(Progress::new(4));
+        progress.mark_failed(3, 0.75);
+        progress.mark_done(2);
+        let p2 = Arc::clone(&progress);
+        let other = std::thread::spawn(move || p2.agree(1).expect("resolves"));
+        let (snapshot, epoch) = progress.agree(0).expect("resolves");
+        assert_eq!(snapshot, vec![(3, 0.75)]);
+        assert_eq!(epoch, 1);
+        let theirs = other.join().expect("agree thread");
+        assert_eq!(theirs, (snapshot, epoch), "same snapshot on every rank");
+    }
+
+    #[test]
+    fn agree_generations_stay_consistent_across_rounds() {
+        use std::sync::Arc;
+        let progress = Arc::new(Progress::new(2));
+        for round in 0..3 {
+            let p2 = Arc::clone(&progress);
+            let other = std::thread::spawn(move || p2.agree(1).expect("resolves"));
+            let mine = progress.agree(0).expect("resolves");
+            assert_eq!(mine, other.join().expect("agree thread"), "round {round}");
+        }
+        progress.mark_failed(1, 2.0);
+        let (snapshot, epoch) = progress.agree(0).expect("survivor resolves alone");
+        assert_eq!(snapshot, vec![(1, 2.0)]);
+        assert_eq!(epoch, 1);
+    }
+
+    #[test]
+    fn poison_unblocks_agree_waiters() {
+        use std::sync::Arc;
+        let progress = Arc::new(Progress::new(2));
+        let p2 = Arc::clone(&progress);
+        let poisoner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.poison(DeadlockInfo::default());
+        });
+        // Rank 1 never enters: without the poison this would hang.
+        assert!(matches!(
+            progress.agree(0).expect_err("poisoned"),
+            Error::Deadlock(_)
+        ));
+        poisoner.join().expect("poisoner thread");
+    }
+
+    #[test]
+    fn failed_rank_does_not_hold_up_watchdog_exit() {
+        // A failed rank exits its closure and is marked done like any
+        // other; the watchdog must treat the world as complete, not
+        // deadlocked.
+        let progress = Progress::new(2);
+        progress.mark_failed(1, 0.5);
+        progress.mark_done(1);
+        progress.mark_done(0);
+        watchdog(&progress, Duration::from_millis(5));
+        assert!(!progress.is_poisoned());
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub trait Reducible: Copy {
     /// Combine two elements under `op`. Must be associative and (for the
     /// tree algorithms used by the collectives) commutative.
     fn reduce(op: Op, a: Self, b: Self) -> Self;
+
+    /// Is `op` defined for this element type? Collectives check this on
+    /// every rank *before* communicating, so an undefined combination
+    /// surfaces as a typed [`Error::InvalidOp`](crate::Error::InvalidOp)
+    /// on all ranks instead of a panic inside one rank thread that
+    /// strands its peers until the watchdog fires.
+    fn supports(_op: Op) -> bool {
+        true
+    }
 }
 
 macro_rules! impl_reducible_int {
@@ -74,6 +83,12 @@ impl Reducible for bool {
 }
 
 impl Reducible for Loc {
+    /// Only `Min`/`Max` (MPI's `MINLOC`/`MAXLOC`) are defined; the
+    /// collectives reject `Sum`/`Prod` before communicating.
+    fn supports(op: Op) -> bool {
+        matches!(op, Op::Min | Op::Max)
+    }
+
     /// `Min`/`Max` give MPI's `MINLOC`/`MAXLOC`: compare values, carry the
     /// index of the winner; ties resolve to the smaller index, as MPI does.
     fn reduce(op: Op, a: Self, b: Self) -> Self {
@@ -162,6 +177,13 @@ mod tests {
     #[should_panic(expected = "not defined for Loc")]
     fn loc_sum_is_rejected() {
         let _ = Loc::reduce(Op::Sum, Loc::new(1.0, 0), Loc::new(2.0, 1));
+    }
+
+    #[test]
+    fn supports_reflects_operator_domains() {
+        assert!(i64::supports(Op::Sum) && f64::supports(Op::Prod));
+        assert!(Loc::supports(Op::Min) && Loc::supports(Op::Max));
+        assert!(!Loc::supports(Op::Sum) && !Loc::supports(Op::Prod));
     }
 
     #[test]

@@ -108,6 +108,34 @@ impl Comm<'_> {
         })
     }
 
+    /// `MPIX_Comm_shrink` analogue: agree on the failed ranks and build a
+    /// sub-communicator of the survivors, in world-rank order.
+    ///
+    /// Every live rank must call this; the failures are acknowledged as a
+    /// side effect (see [`Comm::agree`]), so collectives on the returned
+    /// communicator run normally afterwards. The recovery idiom a module
+    /// uses after catching [`Error::RankFailed`](crate::Error::RankFailed)
+    /// from a collective is: `let survivors = comm.shrink()?;` then redo
+    /// the lost work over `survivors`.
+    #[track_caller]
+    pub fn shrink(&mut self) -> Result<SubComm> {
+        let failed = self.agree()?;
+        let members: Vec<usize> = (0..self.size())
+            .filter(|r| !failed.iter().any(|&(f, _)| f == *r))
+            .collect();
+        let my_idx = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("a failed rank cannot call shrink");
+        let ctx = self.next_sub_ctx();
+        Ok(SubComm {
+            members,
+            my_idx,
+            ctx,
+            seq: 0,
+        })
+    }
+
     /// Barrier over a sub-communicator (dissemination).
     #[track_caller]
     pub fn sub_barrier(&mut self, sc: &mut SubComm) -> Result<()> {
@@ -293,6 +321,7 @@ impl Comm<'_> {
             CallSite::here(),
         );
         sc.validate_root(root)?;
+        self.check_op::<T>(op)?;
         self.record(Primitive::Reduce);
         let base = sc.next_base();
         self.sub_reduce_tree(sc, data, root, base, &move |a, b| T::reduce(op, *a, *b))
@@ -316,6 +345,7 @@ impl Comm<'_> {
             T::NAME,
             CallSite::here(),
         );
+        self.check_op::<T>(op)?;
         self.record(Primitive::Allreduce);
         let base = sc.next_base();
         let reduced = self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| {

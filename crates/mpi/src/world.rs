@@ -5,6 +5,7 @@ use crate::chan::channel;
 use crate::check::{CheckEvent, CheckMode, DeadlockInfo};
 use crate::comm::Comm;
 use crate::error::{Error, Result};
+use crate::fault::{ActiveFaults, FaultPlan};
 use crate::mailbox::{watchdog, Mailbox, Progress};
 use crate::stats::CommStats;
 use crate::trace::Timeline;
@@ -40,6 +41,9 @@ pub struct WorldConfig {
     /// offline analysis; `Perturb` additionally randomises wildcard
     /// message delivery to expose message races.
     pub check: CheckMode,
+    /// Deterministic fault-injection plan (see [`FaultPlan`] and
+    /// `docs/faults.md`); `None` runs on a perfect machine.
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorldConfig {
@@ -54,12 +58,15 @@ impl WorldConfig {
     /// * `PDC_MPI_WATCHDOG_MS` — watchdog sampling interval in
     ///   milliseconds (`0` disables deadlock detection).
     ///
-    /// Invalid values are ignored; explicit builder calls
+    /// A malformed override *panics*, naming the offending value — a
+    /// benchmark launched with a typo'd threshold must not silently
+    /// measure the default regime. Explicit builder calls
     /// ([`WorldConfig::with_eager_threshold`],
     /// [`WorldConfig::with_watchdog`]) override the environment.
     ///
     /// # Panics
-    /// Panics if `size` is 0.
+    /// Panics if `size` is 0, or if an environment override is set to a
+    /// value that does not parse.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "a world needs at least one rank");
         let mut machine = MachineModel::cluster_node();
@@ -67,17 +74,23 @@ impl WorldConfig {
         // identical. (Real clusters would spill to more nodes — use
         // `on_nodes` to model that explicitly.)
         machine.cores_per_node = machine.cores_per_node.max(size);
-        let eager_threshold = std::env::var("PDC_MPI_EAGER_THRESHOLD")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(usize::MAX);
-        let watchdog = match std::env::var("PDC_MPI_WATCHDOG_MS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-        {
-            Some(0) => None,
-            Some(ms) => Some(Duration::from_millis(ms)),
-            None => Some(Duration::from_millis(100)),
+        let eager_threshold = match std::env::var("PDC_MPI_EAGER_THRESHOLD") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or_else(|_| {
+                panic!("PDC_MPI_EAGER_THRESHOLD must be a byte count, got {v:?}")
+            }),
+            Err(std::env::VarError::NotPresent) => usize::MAX,
+            Err(e) => panic!("PDC_MPI_EAGER_THRESHOLD is not valid unicode: {e}"),
+        };
+        let watchdog = match std::env::var("PDC_MPI_WATCHDOG_MS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(0) => None,
+                Ok(ms) => Some(Duration::from_millis(ms)),
+                Err(_) => {
+                    panic!("PDC_MPI_WATCHDOG_MS must be a millisecond count, got {v:?}")
+                }
+            },
+            Err(std::env::VarError::NotPresent) => Some(Duration::from_millis(100)),
+            Err(e) => panic!("PDC_MPI_WATCHDOG_MS is not valid unicode: {e}"),
         };
         Self {
             size,
@@ -88,6 +101,7 @@ impl WorldConfig {
             watchdog,
             tracing: false,
             check: CheckMode::Off,
+            faults: None,
         }
     }
 
@@ -143,6 +157,14 @@ impl WorldConfig {
     /// [`World::run_with_check`] to retrieve the recorded event logs.
     pub fn with_check(mut self, mode: CheckMode) -> Self {
         self.check = mode;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (builder style). See
+    /// [`FaultPlan`] for the model and `docs/faults.md` for the fault
+    /// clinic it powers.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -227,6 +249,12 @@ impl World {
         );
         let cost = Arc::new(CostModel::new(cfg.machine.clone(), placement));
         let progress = Progress::new(cfg.size);
+        // Resolve the crash schedule against the placement once; every
+        // rank shares the same view of who dies when.
+        let faults = cfg.faults.as_ref().map(|plan| ActiveFaults {
+            plan: Arc::new(plan.clone()),
+            crash_at: Arc::new(plan.resolve_crashes(cfg.size, |r| cost.placement().node_of(r))),
+        });
 
         let mut outboxes = Vec::with_capacity(cfg.size);
         let mut inboxes = Vec::with_capacity(cfg.size);
@@ -254,6 +282,7 @@ impl World {
                 let eager = cfg.eager_threshold;
                 let tracing = cfg.tracing;
                 let check = cfg.check;
+                let faults = faults.clone();
                 handles.push(scope.spawn(move || {
                     let mut comm = Comm::new(
                         rank,
@@ -264,12 +293,13 @@ impl World {
                         eager,
                         tracing,
                         check,
+                        faults,
                     );
                     let value = match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
                         Ok(result) => result,
                         Err(_) => Err(Error::RankPanicked(rank)),
                     };
-                    progress.mark_done();
+                    progress.mark_done(rank);
                     if check.is_on() {
                         // The finalize-time leak check drains this rank's
                         // mailbox; wait until every rank has finished so

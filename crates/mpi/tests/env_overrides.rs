@@ -1,0 +1,77 @@
+//! `WorldConfig::new` environment overrides: valid values apply, malformed
+//! values panic naming the offending value instead of being silently
+//! ignored.
+
+use pdc_mpi::{World, WorldConfig};
+use std::panic::catch_unwind;
+use std::sync::Mutex;
+
+/// Serializes the tests in this file: the process environment is global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_env<R>(pairs: &[(&str, &str)], f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for (k, v) in pairs {
+        std::env::set_var(k, v);
+    }
+    let out = f();
+    for (k, _) in pairs {
+        std::env::remove_var(k);
+    }
+    out
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+#[test]
+fn malformed_eager_threshold_panics_naming_the_value() {
+    let msg = with_env(&[("PDC_MPI_EAGER_THRESHOLD", "banana")], || {
+        panic_message(catch_unwind(|| WorldConfig::new(2)).expect_err("must panic"))
+    });
+    assert!(
+        msg.contains("PDC_MPI_EAGER_THRESHOLD") && msg.contains("banana"),
+        "the panic must name the variable and the offending value: {msg}"
+    );
+}
+
+#[test]
+fn malformed_watchdog_panics_naming_the_value() {
+    let msg = with_env(&[("PDC_MPI_WATCHDOG_MS", "soon-ish")], || {
+        panic_message(catch_unwind(|| WorldConfig::new(2)).expect_err("must panic"))
+    });
+    assert!(
+        msg.contains("PDC_MPI_WATCHDOG_MS") && msg.contains("soon-ish"),
+        "the panic must name the variable and the offending value: {msg}"
+    );
+}
+
+#[test]
+fn well_formed_overrides_still_apply() {
+    // A forced-rendezvous ring under an eager threshold of zero would
+    // deadlock; a plain send/recv pair is protocol-agnostic and shows the
+    // worlds still run with both overrides set.
+    let out = with_env(
+        &[
+            ("PDC_MPI_EAGER_THRESHOLD", "0"),
+            ("PDC_MPI_WATCHDOG_MS", "5000"),
+        ],
+        || {
+            World::run(WorldConfig::new(2), |comm| {
+                if comm.rank() == 0 {
+                    comm.send(&[5u32], 1, 0)?;
+                    Ok(0)
+                } else {
+                    Ok(comm.recv::<u32>(0, 0)?.0[0])
+                }
+            })
+            .expect("overridden world runs")
+        },
+    );
+    assert_eq!(out.values[1], 5);
+}
