@@ -195,7 +195,10 @@ pub fn random_comm_rank(
     if use_any_source {
         // Elementwise allreduce: slot r of the result is the number of
         // messages arriving at rank r.
+        comm.phase_begin("counts");
         let incoming_total = comm.allreduce(&counts, Op::Sum)?[comm.rank()];
+        comm.phase_end();
+        comm.phase_begin("exchange");
         let mut reqs = Vec::with_capacity(dests.len());
         for &d in &dests {
             reqs.push(comm.isend(&[comm.rank() as u64 + 1], d, 7)?);
@@ -206,10 +209,14 @@ pub fn random_comm_rank(
             sum += v[0];
         }
         comm.wait_all_sends(reqs)?;
+        comm.phase_end();
         Ok(sum)
     } else {
+        comm.phase_begin("counts");
         let incoming = comm.alltoall(&counts)?;
+        comm.phase_end();
         // Send phase (nonblocking so nobody stalls), then exact receives.
+        comm.phase_begin("exchange");
         let mut reqs = Vec::with_capacity(dests.len());
         for &d in &dests {
             reqs.push(comm.isend(&[comm.rank() as u64 + 1], d, 7)?);
@@ -223,6 +230,7 @@ pub fn random_comm_rank(
             }
         }
         comm.wait_all_sends(reqs)?;
+        comm.phase_end();
         Ok(sum)
     }
 }

@@ -265,6 +265,7 @@ pub fn distance_matrix_rank(comm: &mut Comm, points: &Dataset, access: Access) -
     let dim = points.dim();
 
     // Row-range assignment via scatter of (lo, hi) pairs.
+    comm.phase_begin("partition");
     let assignments: Option<Vec<u64>> = if comm.rank() == 0 {
         let p = comm.size();
         Some(
@@ -281,17 +282,24 @@ pub fn distance_matrix_rank(comm: &mut Comm, points: &Dataset, access: Access) -
     };
     let my = comm.scatter(assignments.as_deref(), 0)?;
     let (lo, hi) = (my[0] as usize, my[1] as usize);
+    comm.phase_end();
 
-    // Local kernel + simulated charge.
+    // Local kernel + simulated charge. The "row_scan" phase is the
+    // module's memory-bound scan kernel — the one the profiler must place
+    // on the saturated node-bus ceiling at full node occupancy.
+    comm.phase_begin("row_scan");
     let block = distance_rows(points, lo, hi, access);
     comm.charge_kernel(
         model_flops(hi - lo, n, dim),
         model_dram_bytes(hi - lo, n, dim, access),
     );
+    comm.phase_end();
 
     // Checksum reduction.
+    comm.phase_begin("reduce");
     let local_sum: f64 = block.iter().sum();
     let total = comm.reduce(&[local_sum], Op::Sum, 0)?;
+    comm.phase_end();
     Ok(total.map(|t| t[0]).unwrap_or(0.0))
 }
 

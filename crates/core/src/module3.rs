@@ -247,7 +247,9 @@ pub fn distribution_sort_rank(
     let local = local_input(dist, n_per_rank, comm.rank(), seed);
 
     // Phase 1: agree on bucket boundaries.
-    let boundaries = agree_boundaries(comm, &local, strategy)?;
+    let boundaries = comm.with_phase("splitter_agreement", |comm| {
+        agree_boundaries(comm, &local, strategy)
+    })?;
     exchange_sort_verify(comm, &local, &boundaries, n_per_rank)
 }
 
@@ -265,6 +267,7 @@ fn exchange_sort_verify(
     // exchange. As the module prescribes, the exchange uses explicit
     // point-to-point messages: nonblocking sends to every peer, then
     // `MPI_Probe` + `MPI_Get_count` sized receives from ANY_SOURCE.
+    comm.phase_begin("exchange");
     let mut blocks: Vec<Vec<f64>> = (0..comm.size()).map(|_| Vec::new()).collect();
     for &x in local {
         blocks[bucket_of(x, boundaries)].push(x);
@@ -286,14 +289,18 @@ fn exchange_sort_verify(
         bucket.extend_from_slice(&buf);
     }
     comm.wait_all_sends(reqs)?;
+    comm.phase_end();
 
     // Phase 3: local sort (memory-bound n log n).
+    comm.phase_begin("local_sort");
     bucket.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
     let n = bucket.len() as f64;
     if n > 0.0 {
         comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n * n.log2().max(1.0));
     }
+    comm.phase_end();
 
+    comm.phase_begin("verify");
     // Verification data: my bucket's size, min, max, and sortedness.
     let my_min = bucket.first().copied().unwrap_or(f64::INFINITY);
     let my_max = bucket.last().copied().unwrap_or(f64::NEG_INFINITY);
@@ -312,6 +319,7 @@ fn exchange_sort_verify(
     if let Some(total) = total {
         debug_assert_eq!(total[0] as usize, n_per_rank * comm.size());
     }
+    comm.phase_end();
     Ok((bucket.len(), locally_sorted && globally_ordered))
 }
 
@@ -337,7 +345,9 @@ pub fn distribution_sort_rank_ft(
     let boundaries = match resume {
         Some(b) => b,
         None => {
-            let b = agree_boundaries(comm, &local, strategy)?;
+            let b = comm.with_phase("splitter_agreement", |comm| {
+                agree_boundaries(comm, &local, strategy)
+            })?;
             if comm.rank() == 0 {
                 *stable_store.lock().expect("checkpoint store") = Some(b.clone());
             }

@@ -150,6 +150,7 @@ pub fn range_queries_rank(
     let q_hi = (r + 1) * n_queries / p;
     let my_queries = &queries[q_lo..q_hi];
 
+    comm.phase_begin("query_scan");
     let (matches, tested): (u64, u64) = match engine {
         Engine::BruteForce => {
             let mut m = 0u64;
@@ -209,9 +210,13 @@ pub fn range_queries_rank(
         }
     };
 
+    comm.phase_end();
+
     // Global result via MPI_Reduce (the module's required primitive).
+    comm.phase_begin("reduce");
     let total = comm.reduce(&[matches], Op::Sum, 0)?;
     let tested_total = comm.reduce(&[tested], Op::Sum, 0)?;
+    comm.phase_end();
     Ok((
         total.map(|t| t[0]).unwrap_or(0),
         tested_total.map(|t| t[0]).unwrap_or(0),

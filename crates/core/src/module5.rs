@@ -206,6 +206,7 @@ pub fn kmeans_rank(
     let n = points.len();
     let p = comm.size();
     // Scatter contiguous point blocks.
+    comm.phase_begin("scatter");
     let (flat, counts): (Option<Vec<f64>>, Option<Vec<usize>>) = if comm.rank() == 0 {
         let counts = (0..p)
             .map(|r| ((r + 1) * n / p - r * n / p) * dim)
@@ -225,18 +226,22 @@ pub fn kmeans_rank(
         None
     };
     let mut centroids = comm.bcast(init.as_deref(), 0)?;
+    comm.phase_end();
 
     let mut iterations = 0;
     for _ in 0..MAX_ITERS {
         iterations += 1;
         // Local assignment phase.
+        comm.phase_begin("assign");
         let mut assign = vec![0u32; n_local];
         for (i, a) in assign.iter_mut().enumerate() {
             *a = nearest_centroid(local.point(i), &centroids, dim).0 as u32;
         }
         charge_assignment(comm, n_local, k, dim);
+        comm.phase_end();
 
         // Centroid update phase.
+        comm.phase_begin("update");
         let new_centroids = match option {
             CommOption::WeightedMeans => {
                 // Pack sums and counts into one buffer: k*(dim+1).
@@ -275,6 +280,7 @@ pub fn kmeans_rank(
                 comm.bcast(updated.as_deref(), 0)?
             }
         };
+        comm.phase_end();
         let moved = max_move(&centroids, &new_centroids, dim);
         centroids = new_centroids;
         // Everyone computes the same `moved` from the same centroids,
@@ -285,10 +291,12 @@ pub fn kmeans_rank(
     }
 
     // Final inertia via reduce.
+    comm.phase_begin("inertia");
     let local_inertia: f64 = (0..n_local)
         .map(|i| nearest_centroid(local.point(i), &centroids, dim).1)
         .sum();
     let inertia = comm.allreduce(&[local_inertia], Op::Sum)?[0];
+    comm.phase_end();
     Ok((centroids, inertia, iterations))
 }
 

@@ -96,6 +96,7 @@ pub fn stencil_rank(
     for _ in 0..iters {
         // Post halo sends (nonblocking in both variants; eager, so the
         // transfer clock starts now).
+        comm.phase_begin("halo_post");
         let mut reqs = Vec::with_capacity(2);
         if r > 0 {
             reqs.push(comm.isend(&[u[0]], r - 1, LEFT_TAG)?);
@@ -103,6 +104,7 @@ pub fn stencil_rank(
         if r + 1 < p {
             reqs.push(comm.isend(&[u[n_per_rank - 1]], r + 1, RIGHT_TAG)?);
         }
+        comm.phase_end();
 
         let recv_halos = |comm: &mut Comm| -> Result<(f64, f64)> {
             // The halo to my left edge arrives from rank r-1's RIGHT send.
@@ -125,22 +127,27 @@ pub fn stencil_rank(
 
         match variant {
             HaloVariant::BlockingFirst => {
-                let (left, right) = recv_halos(comm)?;
+                let (left, right) = comm.with_phase("halo_wait", recv_halos)?;
+                comm.phase_begin("compute");
                 for i in 0..n_per_rank {
                     let l = if i == 0 { left } else { u[i - 1] };
                     let rv = if i + 1 == n_per_rank { right } else { u[i + 1] };
                     update(&u, &mut next, i, l, rv);
                 }
                 charge_cells(comm, n_per_rank);
+                comm.phase_end();
             }
             HaloVariant::Overlapped => {
                 // Interior first: cells 1..n-1 need no halo.
+                comm.phase_begin("compute");
                 for i in 1..n_per_rank.saturating_sub(1) {
                     update(&u, &mut next, i, u[i - 1], u[i + 1]);
                 }
                 charge_cells(comm, n_per_rank.saturating_sub(2));
+                comm.phase_end();
                 // Halos should have arrived "for free" while we computed.
-                let (left, right) = recv_halos(comm)?;
+                let (left, right) = comm.with_phase("halo_wait", recv_halos)?;
+                comm.phase_begin("compute");
                 if n_per_rank == 1 {
                     update(&u, &mut next, 0, left, right);
                 } else {
@@ -148,9 +155,10 @@ pub fn stencil_rank(
                     update(&u, &mut next, n_per_rank - 1, u[n_per_rank - 2], right);
                 }
                 charge_cells(comm, 2.min(n_per_rank));
+                comm.phase_end();
             }
         }
-        comm.wait_all_sends(reqs)?;
+        comm.with_phase("halo_wait", |comm| comm.wait_all_sends(reqs))?;
         std::mem::swap(&mut u, &mut next);
     }
     Ok(u)

@@ -141,12 +141,15 @@ pub fn top_k_rank(
     strategy: TopKStrategy,
     seed: u64,
 ) -> Result<Vec<f64>> {
+    comm.phase_begin("local_select");
     let scores = local_scores(n_per_rank, comm.rank(), seed);
     // Local work: selection is an O(n log n) sort here (students may
     // improve it — outcome 15).
     let n = scores.len() as f64;
     comm.charge_kernel(4.0 * n * n.log2().max(1.0), 16.0 * n);
+    comm.phase_end();
 
+    comm.phase_begin("merge");
     let result: Option<Vec<f64>> = match strategy {
         TopKStrategy::GatherAll => {
             let all = comm.gather(&scores, 0)?;
@@ -170,9 +173,12 @@ pub fn top_k_rank(
             tree_merge(comm, local, k)
         }
     }?;
+    comm.phase_end();
     // Broadcast the answer so every rank returns it (and so the result
     // is rank-count invariant to the caller).
+    comm.phase_begin("bcast");
     let answer = comm.bcast(result.as_deref(), 0)?;
+    comm.phase_end();
     Ok(answer)
 }
 

@@ -290,6 +290,7 @@ pub fn self_join_rank(
     method: JoinMethod,
 ) -> Result<(u64, u64, u64)> {
     let eps2 = epsilon * epsilon;
+    comm.phase_begin("join");
     let (pairs, candidates) = match method {
         JoinMethod::BruteForce => brute_force_rank(comm, points, eps2),
         JoinMethod::Grid => grid_rank(comm, points, epsilon)?,
@@ -297,7 +298,10 @@ pub fn self_join_rank(
     // Charge: 5 flops per candidate test; grid pays its shuffles via
     // the traced messages automatically.
     comm.charge_kernel(candidates as f64 * 5.0, candidates as f64 * 8.0);
+    comm.phase_end();
+    comm.phase_begin("reduce");
     let totals = comm.allreduce(&[pairs, candidates], Op::Sum)?;
+    comm.phase_end();
     Ok((totals[0], totals[1], candidates))
 }
 

@@ -132,6 +132,7 @@ pub fn stencil2d_rank(
     for _ in 0..iters {
         // Row exchange (contiguous): send bottom row down, receive top
         // ghost from up; then the reverse.
+        comm.phase_begin("halo");
         let bottom: Vec<f64> = (1..=lx).map(|x| g.at(x, ly)).collect();
         let top: Vec<f64> = (1..=lx).map(|x| g.at(x, 1)).collect();
         let recv_top = exchange(comm, &bottom, down, up, DOWN)?;
@@ -166,8 +167,11 @@ pub fn stencil2d_rank(
             }
         }
 
+        comm.phase_end();
+
         // Five-point update (ghost ring supplies neighbours; physical
         // boundaries keep their zero ghosts).
+        comm.phase_begin("compute");
         for y in 1..=ly {
             for x in 1..=lx {
                 let c = g.at(x, y);
@@ -178,6 +182,7 @@ pub fn stencil2d_rank(
         // Copy interior; ghosts are refreshed each iteration anyway.
         std::mem::swap(&mut g.u, &mut next);
         comm.charge_kernel((lx * ly) as f64 * 6.0, (lx * ly) as f64 * 16.0);
+        comm.phase_end();
     }
 
     // Strip ghosts.

@@ -76,11 +76,13 @@ pub use envelope::{SourceSel, Status, TagSel};
 pub use error::{Error, Result};
 pub use fault::{CrashEvent, FaultPlan, RetryPolicy};
 pub use reduce::{Op, Reducible};
-pub use stats::{CommStats, Primitive};
+pub use stats::{CommStats, Primitive, ProtocolVolume};
 pub use subcomm::SubComm;
 pub use topology::{dims_create, CartTopology};
-pub use trace::{render_timeline, to_chrome_json, Span, SpanKind, Timeline};
-pub use world::{RunOutput, World, WorldConfig};
+pub use trace::{
+    render_timeline, to_chrome_json, CollSpan, PhaseSpan, Span, SpanKind, Timeline, TimelineSummary,
+};
+pub use world::{ProfContext, RunOutput, World, WorldConfig};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: SourceSel = SourceSel::Any;

@@ -111,10 +111,39 @@ impl Primitive {
     }
 }
 
+/// Cumulative transfer volume split by transport protocol. Eager sends
+/// are buffered and complete immediately; rendezvous sends (payload above
+/// the eager threshold) block until the matching receive. Retransmissions
+/// under a fault plan count each physical copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolVolume {
+    /// Messages sent eagerly (including every collective-internal hop).
+    pub eager_msgs: u64,
+    /// Bytes sent eagerly.
+    pub eager_bytes: u64,
+    /// Messages sent under the rendezvous protocol.
+    pub rendezvous_msgs: u64,
+    /// Bytes sent under the rendezvous protocol.
+    pub rendezvous_bytes: u64,
+}
+
+impl ProtocolVolume {
+    /// Total messages regardless of protocol.
+    pub fn total_msgs(&self) -> u64 {
+        self.eager_msgs + self.rendezvous_msgs
+    }
+
+    /// Total bytes regardless of protocol.
+    pub fn total_bytes(&self) -> u64 {
+        self.eager_bytes + self.rendezvous_bytes
+    }
+}
+
 /// Snapshot of one rank's communication activity.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
     calls: Vec<u64>,
+    protocol: ProtocolVolume,
     /// Point-to-point messages physically sent (including those generated
     /// inside collectives).
     pub msgs_sent: u64,
@@ -153,6 +182,25 @@ impl CommStats {
         self.calls.get(p.index()).copied().unwrap_or(0)
     }
 
+    /// Cumulative sent volume split eager vs rendezvous. pdc-prof reads
+    /// this instead of re-deriving protocol traffic from traces.
+    pub fn protocol_volume(&self) -> ProtocolVolume {
+        self.protocol
+    }
+
+    /// Account one physical transmission of `bytes` under the given
+    /// protocol (called by the transport for every enqueued copy,
+    /// including retransmissions).
+    pub(crate) fn record_transmission(&mut self, bytes: usize, synchronous: bool) {
+        if synchronous {
+            self.protocol.rendezvous_msgs += 1;
+            self.protocol.rendezvous_bytes += bytes as u64;
+        } else {
+            self.protocol.eager_msgs += 1;
+            self.protocol.eager_bytes += bytes as u64;
+        }
+    }
+
     /// The set of primitives invoked at least once, in display order.
     pub fn used_primitives(&self) -> Vec<Primitive> {
         Primitive::ALL
@@ -171,6 +219,10 @@ impl CommStats {
         for (i, c) in other.calls.iter().enumerate() {
             self.calls[i] += c;
         }
+        self.protocol.eager_msgs += other.protocol.eager_msgs;
+        self.protocol.eager_bytes += other.protocol.eager_bytes;
+        self.protocol.rendezvous_msgs += other.protocol.rendezvous_msgs;
+        self.protocol.rendezvous_bytes += other.protocol.rendezvous_bytes;
         self.msgs_sent += other.msgs_sent;
         self.bytes_sent += other.bytes_sent;
         self.msgs_received += other.msgs_received;
@@ -226,6 +278,23 @@ mod tests {
         assert_eq!(a.calls(Primitive::Recv), 1);
         assert_eq!(a.bytes_sent, 150);
         assert!((a.comm_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protocol_volume_accumulates_and_merges() {
+        let mut a = CommStats::new();
+        a.record_transmission(100, false);
+        a.record_transmission(4096, true);
+        let mut b = CommStats::new();
+        b.record_transmission(50, false);
+        a.merge(&b);
+        let v = a.protocol_volume();
+        assert_eq!(v.eager_msgs, 2);
+        assert_eq!(v.eager_bytes, 150);
+        assert_eq!(v.rendezvous_msgs, 1);
+        assert_eq!(v.rendezvous_bytes, 4096);
+        assert_eq!(v.total_msgs(), 3);
+        assert_eq!(v.total_bytes(), 4246);
     }
 
     #[test]

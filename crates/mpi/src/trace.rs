@@ -41,9 +41,44 @@ pub struct Span {
     pub peer: usize,
     /// Bytes moved (0 for Compute).
     pub bytes: usize,
+    /// True for point-to-point traffic generated inside a collective.
+    pub internal: bool,
+    /// True for the blocked portion of a rendezvous send (the sender
+    /// waiting in `await_ack` for the matching receive).
+    pub rdv_wait: bool,
+    /// Sender sequence number: the envelope stamped on a Send span, or the
+    /// matched envelope on a Recv span. `None` for Compute and wait-only
+    /// spans — this is what lets pdc-prof pair a receive with the send
+    /// that produced it.
+    pub seq: Option<u64>,
+    /// Recv spans: simulated time the matched message left its sender
+    /// (post-injection). `None` elsewhere.
+    pub sent_at: Option<f64>,
+    /// Compute spans: floating-point operations charged.
+    pub flops: f64,
+    /// Compute spans: DRAM bytes charged (the roofline memory leg).
+    pub mem_bytes: f64,
 }
 
 impl Span {
+    /// A span with only the classic fields set; counters and matching
+    /// metadata default to empty. Test and rendering helpers use this.
+    pub fn basic(kind: SpanKind, start: f64, end: f64, peer: usize, bytes: usize) -> Self {
+        Self {
+            kind,
+            start,
+            end,
+            peer,
+            bytes,
+            internal: false,
+            rdv_wait: false,
+            seq: None,
+            sent_at: None,
+            flops: 0.0,
+            mem_bytes: 0.0,
+        }
+    }
+
     /// Span length in simulated seconds.
     pub fn duration(&self) -> f64 {
         self.end - self.start
@@ -52,6 +87,34 @@ impl Span {
 
 /// A rank's full trace.
 pub type Timeline = Vec<Span>;
+
+/// One named program phase on a rank, in simulated seconds. Opened with
+/// [`Comm::phase_begin`](crate::Comm::phase_begin) / closed with
+/// [`Comm::phase_end`](crate::Comm::phase_end); pdc-prof attributes the
+/// spans inside it to the phase name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name (e.g. `"row_scan"`, `"halo_wait"`).
+    pub name: String,
+    /// Simulated time the phase opened.
+    pub start: f64,
+    /// Simulated time the phase closed (≥ start).
+    pub end: f64,
+}
+
+/// One world-collective entry event on a rank. The `seq`-th collective on
+/// every rank is the *same* collective (collectives are matched), so
+/// comparing `enter` across ranks at fixed `seq` measures arrival
+/// imbalance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollSpan {
+    /// Collective name (`"bcast"`, `"allreduce"`, …).
+    pub name: String,
+    /// Per-rank ordinal of this world collective (0-based).
+    pub seq: u64,
+    /// Simulated time this rank entered the collective.
+    pub enter: f64,
+}
 
 /// Per-kind totals of one timeline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -83,7 +146,9 @@ pub fn summarize(timeline: &[Span]) -> TimelineSummary {
 /// Characters: `#` compute, `>` send, `<` recv/wait, `·` idle. When
 /// multiple spans land in one column, the busiest kind wins.
 pub fn render_timeline(traces: &[Timeline], width: usize, horizon: Option<f64>) -> String {
-    assert!(width > 0, "timeline needs at least one column");
+    if width == 0 {
+        return String::from("(empty timeline)\n");
+    }
     let horizon = horizon.unwrap_or_else(|| {
         traces
             .iter()
@@ -173,13 +238,7 @@ mod tests {
     use super::*;
 
     fn span(kind: SpanKind, start: f64, end: f64) -> Span {
-        Span {
-            kind,
-            start,
-            end,
-            peer: 0,
-            bytes: 0,
-        }
+        Span::basic(kind, start, end, 0, 0)
     }
 
     #[test]
@@ -242,6 +301,37 @@ mod tests {
         // Parses as JSON.
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(parsed.as_array().expect("array").len(), 3);
+    }
+
+    #[test]
+    fn zero_width_renders_gracefully() {
+        let traces = vec![vec![span(SpanKind::Compute, 0.0, 1.0)]];
+        let s = render_timeline(&traces, 0, None);
+        assert!(s.contains("empty timeline"));
+        let s = render_timeline(&traces, 0, Some(5.0));
+        assert!(s.contains("empty timeline"));
+    }
+
+    #[test]
+    fn all_empty_timelines_with_horizon_render_idle_rows() {
+        let s = render_timeline(&[Vec::new(), Vec::new()], 10, Some(1.0));
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 3, "{s}");
+        for row in &rows[..2] {
+            let strip: String = row.chars().skip_while(|&c| c != '│').skip(1).collect();
+            assert_eq!(strip, "··········");
+        }
+    }
+
+    #[test]
+    fn span_ending_exactly_at_horizon_does_not_panic() {
+        let traces = vec![vec![span(SpanKind::Compute, 0.5, 1.0)]];
+        let s = render_timeline(&traces, 10, Some(1.0));
+        let row = s.lines().next().expect("one row");
+        assert!(row.ends_with('#'), "{s}");
+        // Degenerate single-column chart with the span filling it exactly.
+        let s = render_timeline(&traces, 1, Some(1.0));
+        assert!(s.lines().next().expect("one row").ends_with('#'), "{s}");
     }
 
     #[test]

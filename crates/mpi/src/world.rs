@@ -3,12 +3,12 @@
 
 use crate::chan::channel;
 use crate::check::{CheckEvent, CheckMode, DeadlockInfo};
-use crate::comm::Comm;
+use crate::comm::{Comm, RankReport};
 use crate::error::{Error, Result};
 use crate::fault::{ActiveFaults, FaultPlan};
 use crate::mailbox::{watchdog, Mailbox, Progress};
 use crate::stats::CommStats;
-use crate::trace::Timeline;
+use crate::trace::{CollSpan, PhaseSpan, Timeline};
 use pdc_cluster::{CostModel, MachineModel, Placement, PlacementPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -183,6 +183,13 @@ pub struct RunOutput<T> {
     /// Per-rank execution traces (empty unless
     /// [`WorldConfig::with_tracing`] was set).
     pub traces: Vec<Timeline>,
+    /// Per-rank named profiling phases (empty unless tracing was on and
+    /// the program called [`Comm::phase_begin`]).
+    pub phases: Vec<Vec<PhaseSpan>>,
+    /// Per-rank world-collective entry events in call order (empty unless
+    /// tracing was on). The `k`-th entry on every rank is the same
+    /// collective, so pdc-prof compares entry times across ranks.
+    pub colls: Vec<Vec<CollSpan>>,
 }
 
 impl<T> RunOutput<T> {
@@ -199,6 +206,20 @@ impl<T> RunOutput<T> {
     pub fn total_bytes_sent(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes_sent).sum()
     }
+}
+
+/// The machine context a profiler needs to turn a traced run into
+/// attributed verdicts: which hardware the clock charged against and where
+/// each rank lived. Returned by [`World::run_with_profile`] so pdc-prof
+/// never has to reconstruct the cost model from a config.
+#[derive(Debug, Clone)]
+pub struct ProfContext {
+    /// Hardware model the simulated clock charged against.
+    pub machine: MachineModel,
+    /// Rank→node placement the run used.
+    pub placement: Placement,
+    /// Eager/rendezvous switch-over in bytes.
+    pub eager_threshold: usize,
 }
 
 /// Entry point to the runtime.
@@ -235,6 +256,30 @@ impl World {
         Self::run_inner(cfg, f)
     }
 
+    /// Like [`World::run`], but forces tracing on and also returns the
+    /// [`ProfContext`] (machine model + placement) the run executed under
+    /// — the hook pdc-prof's `profile_world` builds on, mirroring
+    /// [`World::run_with_check`] for the correctness checker. The context
+    /// is returned even when the run fails.
+    pub fn run_with_profile<T, F>(mut cfg: WorldConfig, f: F) -> (Result<RunOutput<T>>, ProfContext)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
+        cfg.tracing = true;
+        let ctx = ProfContext {
+            machine: cfg.machine.clone(),
+            placement: Placement::new(
+                cfg.size,
+                cfg.nodes_used,
+                cfg.machine.cores_per_node,
+                cfg.placement_policy,
+            ),
+            eager_threshold: cfg.eager_threshold,
+        };
+        (Self::run_inner(cfg, f).0, ctx)
+    }
+
     fn run_inner<T, F>(cfg: WorldConfig, f: F) -> (Result<RunOutput<T>>, Vec<Vec<CheckEvent>>)
     where
         T: Send,
@@ -269,7 +314,7 @@ impl World {
         }
 
         let started = Instant::now();
-        type RankOutcome<T> = (Result<T>, CommStats, f64, Timeline, Vec<CheckEvent>);
+        type RankOutcome<T> = (Result<T>, RankReport);
         let mut slots: Vec<Option<RankOutcome<T>>> = (0..cfg.size).map(|_| None).collect();
 
         std::thread::scope(|scope| {
@@ -308,8 +353,7 @@ impl World {
                         // this terminates even on deadlocked runs.)
                         progress.wait_all_done();
                     }
-                    let (stats, sim_time, trace, events) = comm.into_report();
-                    (value, stats, sim_time, trace, events)
+                    (value, comm.into_report())
                 }));
             }
             if let Some(interval) = cfg.watchdog {
@@ -320,10 +364,14 @@ impl World {
                 let outcome = handle.join().unwrap_or_else(|_| {
                     (
                         Err(Error::RankPanicked(rank)),
-                        CommStats::new(),
-                        0.0,
-                        Vec::new(),
-                        Vec::new(),
+                        RankReport {
+                            stats: CommStats::new(),
+                            clock: 0.0,
+                            trace: Vec::new(),
+                            check_log: Vec::new(),
+                            phases: Vec::new(),
+                            colls: Vec::new(),
+                        },
                     )
                 });
                 slots[rank] = Some(outcome);
@@ -336,15 +384,19 @@ impl World {
         let mut stats = Vec::with_capacity(cfg.size);
         let mut traces = Vec::with_capacity(cfg.size);
         let mut events = Vec::with_capacity(cfg.size);
+        let mut phases = Vec::with_capacity(cfg.size);
+        let mut colls = Vec::with_capacity(cfg.size);
         let mut sim_time = 0.0f64;
         let mut first_error: Option<Error> = None;
         let mut deadlock: Option<DeadlockInfo> = None;
         for slot in slots {
-            let (value, st, t, trace, ev) = slot.expect("every rank produced a slot");
-            sim_time = sim_time.max(t);
-            stats.push(st);
-            traces.push(trace);
-            events.push(ev);
+            let (value, report) = slot.expect("every rank produced a slot");
+            sim_time = sim_time.max(report.clock);
+            stats.push(report.stats);
+            traces.push(report.trace);
+            events.push(report.check_log);
+            phases.push(report.phases);
+            colls.push(report.colls);
             match value {
                 Ok(v) => values.push(v),
                 // Every deadlocked rank carries the same watchdog analysis;
@@ -374,6 +426,8 @@ impl World {
                 sim_time,
                 wall_time: started.elapsed(),
                 traces,
+                phases,
+                colls,
             }),
             events,
         )

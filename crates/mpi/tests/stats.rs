@@ -1,0 +1,56 @@
+//! Regression tests for the per-communicator protocol-split counters
+//! ([`CommStats::protocol_volume`]): pdc-prof reads these instead of
+//! re-deriving traffic from traces, so the counts for a known bcast tree
+//! are pinned here.
+
+use pdc_mpi::{World, WorldConfig};
+
+/// Binomial-tree bcast on 8 ranks moves exactly `p - 1` copies of the
+/// payload, all eager under the default threshold: 7 messages × 8192 B.
+#[test]
+fn bcast_tree_protocol_volume_is_pinned() {
+    let payload: Vec<u64> = (0..1024).collect();
+    let out = World::run(WorldConfig::new(8), |comm| {
+        let data = if comm.rank() == 0 {
+            Some(payload.as_slice())
+        } else {
+            None
+        };
+        comm.bcast(data, 0)
+    })
+    .expect("bcast world");
+    let v = out.total_stats().protocol_volume();
+    assert_eq!(v.eager_msgs, 7, "binomial tree on p=8 sends p-1 messages");
+    assert_eq!(v.eager_bytes, 7 * 1024 * 8);
+    assert_eq!(v.rendezvous_msgs, 0, "collective traffic is always eager");
+    assert_eq!(v.rendezvous_bytes, 0);
+    assert_eq!(v.total_msgs(), out.total_stats().msgs_sent);
+    assert_eq!(v.total_bytes(), out.total_stats().bytes_sent);
+}
+
+/// A user send above the eager threshold is counted on the rendezvous
+/// side; one below it stays eager.
+#[test]
+fn user_sends_split_by_threshold() {
+    let cfg = WorldConfig::new(2).with_eager_threshold(4096);
+    let out = World::run(cfg, |comm| {
+        if comm.rank() == 0 {
+            let big = vec![0u8; 8192];
+            let small = vec![0u8; 16];
+            comm.send(&big, 1, 7)?;
+            comm.send(&small, 1, 8)?;
+        } else {
+            let _ = comm.recv::<u8>(0, 7)?;
+            let _ = comm.recv::<u8>(0, 8)?;
+        }
+        Ok(())
+    })
+    .expect("p2p world");
+    let v = out.stats[0].protocol_volume();
+    assert_eq!(v.rendezvous_msgs, 1);
+    assert_eq!(v.rendezvous_bytes, 8192);
+    assert_eq!(v.eager_msgs, 1);
+    assert_eq!(v.eager_bytes, 16);
+    // The receiver sent nothing.
+    assert_eq!(out.stats[1].protocol_volume().total_msgs(), 0);
+}

@@ -116,13 +116,7 @@ fn straggler_shows_up_as_peer_idle_time() {
 fn render_timeline_golden_output() {
     // Hand-built spans over a fixed horizon: the rendered strip is pinned
     // character for character so any drift in the renderer is visible.
-    let span = |kind, start: f64, end: f64| Span {
-        kind,
-        start,
-        end,
-        peer: 0,
-        bytes: 0,
-    };
+    let span = |kind, start: f64, end: f64| Span::basic(kind, start, end, 0, 0);
     let traces = vec![
         vec![
             span(SpanKind::Compute, 0.0, 1.0),

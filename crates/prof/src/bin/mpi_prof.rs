@@ -1,0 +1,116 @@
+//! `mpi_prof` — run the course modules under the pdc-prof profiler and
+//! emit their diagnoses.
+//!
+//! ```text
+//! mpi_prof [--json PATH] [--chrome PATH] [--quiet]
+//! ```
+//!
+//! Renders each profile to stdout; `--json` additionally writes the
+//! `PROF_modules.json` artifact (all profiles, serialised), `--chrome`
+//! writes an enriched Chrome trace of the profiling clinic for
+//! `chrome://tracing` / Perfetto.
+
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{distance_matrix_rank, Access};
+use pdc_modules::module5::{kmeans_rank, CommOption};
+use pdc_modules::module6::{stencil_rank, HaloVariant};
+use pdc_mpi::{Op, WorldConfig};
+use pdc_prof::clinic::{imbalanced_stencil, ClinicConfig};
+use pdc_prof::{enriched_chrome_json, profile_world, render, Profile};
+use serde::{Deserialize, Serialize};
+
+/// One named profile in the suite artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProfileEntry {
+    name: String,
+    profile: Profile,
+}
+
+/// The `PROF_modules.json` schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProfSuite {
+    suite: String,
+    profiles: Vec<ProfileEntry>,
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--chrome" => chrome_path = Some(args.next().expect("--chrome needs a path")),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: mpi_prof [--json PATH] [--chrome PATH] [--quiet]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut suite = ProfSuite {
+        suite: "mpi_prof".to_string(),
+        profiles: Vec::new(),
+    };
+    let mut emit = |name: &str, profile: Profile| {
+        if !quiet {
+            println!("\n################ {name} ################");
+            println!("{}", render(&profile));
+        }
+        suite.profiles.push(ProfileEntry {
+            name: name.to_string(),
+            profile,
+        });
+    };
+
+    // Module 2: the memory-bound distance-matrix scan, 32 ranks on one
+    // node — the bus-saturation verdict of docs/performance-model.md.
+    let points = uniform_points(2048, 4, 0.0, 100.0, 42);
+    let profiled = profile_world(WorldConfig::new(32), move |comm| {
+        distance_matrix_rank(comm, &points, Access::RowWise)
+    })
+    .expect("module2 profile run");
+    emit("module2_distance_matrix_32r", profiled.profile);
+
+    // Module 5: k-means under allreduce — collective arrival imbalance
+    // territory.
+    let points = uniform_points(4096, 2, 0.0, 10.0, 7);
+    let profiled = profile_world(WorldConfig::new(8), move |comm| {
+        kmeans_rank(comm, &points, 6, CommOption::WeightedMeans, 1e-3)
+    })
+    .expect("module5 profile run");
+    emit("module5_kmeans_8r", profiled.profile);
+
+    // Module 6: the 1-D stencil halo exchange.
+    let profiled = profile_world(WorldConfig::new(8), move |comm| {
+        let u = stencil_rank(comm, 4096, 30, HaloVariant::BlockingFirst)?;
+        let local: f64 = u.iter().sum();
+        comm.reduce(&[local], Op::Sum, 0)
+    })
+    .expect("module6 profile run");
+    emit("module6_stencil_8r", profiled.profile);
+
+    // The profiling clinic: deliberately imbalanced stencil whose top
+    // wait-state must be a late-sender at the slow rank.
+    let clinic = imbalanced_stencil(&ClinicConfig::default()).expect("clinic run");
+    if let Some(path) = &chrome_path {
+        let json = enriched_chrome_json(&clinic.output.traces, &clinic.output.phases);
+        std::fs::write(path, json).expect("write chrome trace");
+        if !quiet {
+            println!("wrote enriched Chrome trace to {path}");
+        }
+    }
+    emit("clinic_imbalanced_stencil", clinic.profile);
+
+    if let Some(path) = &json_path {
+        let json = serde_json::to_string_pretty(&suite).expect("suite serialises");
+        std::fs::write(path, json).expect("write profile suite");
+        println!("wrote {} profiles to {path}", suite.profiles.len());
+    }
+}

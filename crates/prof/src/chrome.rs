@@ -1,0 +1,115 @@
+//! Chrome-trace enrichment: the plain `pdc_mpi::to_chrome_json` export,
+//! plus per-span counter annotations (`args`) and a second process row
+//! carrying the named phases, so Perfetto shows *why* a span took its
+//! time, not just that it did.
+
+use crate::counters::phase_at;
+use pdc_mpi::{PhaseSpan, SpanKind, Timeline};
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Export timelines + phases in Chrome tracing JSON with counter args.
+/// `pid 0` carries the spans (one thread per rank), `pid 1` the phases.
+pub fn enriched_chrome_json(traces: &[Timeline], phases: &[Vec<PhaseSpan>]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut push = |s: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&s);
+    };
+    for (rank, timeline) in traces.iter().enumerate() {
+        let rank_phases = phases.get(rank).map_or(&[][..], |p| p.as_slice());
+        for span in timeline {
+            let name = match span.kind {
+                SpanKind::Compute => "compute".to_string(),
+                SpanKind::Send if span.rdv_wait => format!("rdv-wait->r{}", span.peer),
+                SpanKind::Send => format!("send->r{} ({}B)", span.peer, span.bytes),
+                SpanKind::Recv => format!("recv<-r{} ({}B)", span.peer, span.bytes),
+            };
+            let cat = match span.kind {
+                SpanKind::Compute => "compute",
+                SpanKind::Send | SpanKind::Recv if span.internal => "coll",
+                SpanKind::Send | SpanKind::Recv => "comm",
+            };
+            let dur = span.duration();
+            let mut args = format!("\"phase\":\"{}\"", esc(phase_at(rank_phases, span.start)));
+            match span.kind {
+                SpanKind::Compute => {
+                    let _ = write!(
+                        args,
+                        ",\"flops\":{:.1},\"dram_bytes\":{:.1}",
+                        span.flops, span.mem_bytes
+                    );
+                    if dur > 0.0 && span.mem_bytes > 0.0 {
+                        let _ = write!(args, ",\"dram_gbps\":{:.3}", span.mem_bytes / dur / 1e9);
+                    }
+                }
+                _ => {
+                    let _ = write!(args, ",\"bytes\":{}", span.bytes);
+                    if dur > 0.0 && span.bytes > 0 {
+                        let _ = write!(args, ",\"gbps\":{:.3}", span.bytes as f64 / dur / 1e9);
+                    }
+                    if let Some(at) = span.sent_at {
+                        let _ = write!(args, ",\"sent_at_us\":{:.3}", at * 1e6);
+                    }
+                }
+            }
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank},\"args\":{{{args}}}}}",
+                    esc(&name),
+                    span.start * 1e6,
+                    dur * 1e6,
+                ),
+                &mut out,
+            );
+        }
+        for ph in rank_phases {
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{rank}}}",
+                    esc(&ph.name),
+                    ph.start * 1e6,
+                    (ph.end - ph.start) * 1e6,
+                ),
+                &mut out,
+            );
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_mpi::Span;
+
+    #[test]
+    fn enriched_export_parses_and_carries_args() {
+        let mut c = Span::basic(SpanKind::Compute, 0.0, 1.0, 0, 0);
+        c.flops = 100.0;
+        c.mem_bytes = 800.0;
+        let mut r = Span::basic(SpanKind::Recv, 1.0, 2.0, 1, 64);
+        r.sent_at = Some(1.5);
+        let traces = vec![vec![c, r]];
+        let phases = vec![vec![PhaseSpan {
+            name: "kernel".into(),
+            start: 0.0,
+            end: 1.0,
+        }]];
+        let json = enriched_chrome_json(&traces, &phases);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().expect("array");
+        assert_eq!(events.len(), 3, "2 spans + 1 phase row");
+        assert!(json.contains("\"phase\":\"kernel\""));
+        assert!(json.contains("\"flops\":100.0"));
+        assert!(json.contains("\"cat\":\"phase\""));
+        assert!(json.contains("\"sent_at_us\""));
+    }
+}

@@ -1,0 +1,105 @@
+//! The profiling clinic: a deliberately imbalanced 1-D stencil whose
+//! diagnosis exercises every analysis at once. One rank is `slow_factor`×
+//! slower per sweep; its halo messages leave late, so every neighbour's
+//! receive blocks — the textbook **late-sender** pattern, with the slow
+//! rank as culprit. `examples/profiling_clinic.rs` narrates the diagnosis
+//! and `crates/prof/tests/profiler.rs` asserts it.
+
+use crate::profile::Profile;
+use crate::profile_world;
+use crate::Profiled;
+use pdc_mpi::{Comm, Result, WorldConfig};
+
+/// Clinic configuration.
+#[derive(Debug, Clone)]
+pub struct ClinicConfig {
+    /// World size.
+    pub ranks: usize,
+    /// Stencil sweeps.
+    pub iters: usize,
+    /// Cells per rank.
+    pub n_per_rank: usize,
+    /// The deliberately slow rank.
+    pub slow_rank: usize,
+    /// Work multiplier on the slow rank (> 1).
+    pub slow_factor: f64,
+}
+
+impl Default for ClinicConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 8,
+            iters: 20,
+            n_per_rank: 64 * 1024,
+            slow_rank: 3,
+            slow_factor: 3.0,
+        }
+    }
+}
+
+const LEFT_TAG: u32 = 11;
+const RIGHT_TAG: u32 = 12;
+
+/// One rank of the imbalanced stencil: compute a sweep (inflated on the
+/// slow rank), then exchange halos with chain neighbours. Returns the
+/// rank's final checksum.
+pub fn imbalanced_stencil_rank(comm: &mut Comm, cfg: &ClinicConfig) -> Result<f64> {
+    let rank = comm.rank();
+    let size = comm.size();
+    let cells = cfg.n_per_rank as f64;
+    let factor = if rank == cfg.slow_rank {
+        cfg.slow_factor
+    } else {
+        1.0
+    };
+    let left = rank.checked_sub(1);
+    let right = if rank + 1 < size {
+        Some(rank + 1)
+    } else {
+        None
+    };
+    let mut checksum = 0.0f64;
+    for it in 0..cfg.iters {
+        comm.phase_begin("sweep");
+        // Jacobi-style sweep: 4 flops and 16 bytes per cell.
+        comm.charge_kernel(4.0 * cells * factor, 16.0 * cells * factor);
+        comm.phase_end();
+
+        comm.phase_begin("halo");
+        let halo = [rank as f64, it as f64];
+        let mut pending = Vec::new();
+        if let Some(l) = left {
+            pending.push(comm.isend(&halo, l, LEFT_TAG)?);
+        }
+        if let Some(r) = right {
+            pending.push(comm.isend(&halo, r, RIGHT_TAG)?);
+        }
+        if let Some(l) = left {
+            let (h, _) = comm.recv::<f64>(l, RIGHT_TAG)?;
+            checksum += h[0];
+        }
+        if let Some(r) = right {
+            let (h, _) = comm.recv::<f64>(r, LEFT_TAG)?;
+            checksum += h[0];
+        }
+        for req in pending {
+            comm.wait_send(req)?;
+        }
+        comm.phase_end();
+    }
+    Ok(checksum)
+}
+
+/// Run the clinic under the profiler.
+pub fn imbalanced_stencil(cfg: &ClinicConfig) -> Result<Profiled<f64>> {
+    assert!(cfg.ranks >= 2, "the clinic needs at least two ranks");
+    assert!(cfg.slow_rank < cfg.ranks, "slow rank must exist");
+    let world = WorldConfig::new(cfg.ranks);
+    let cfg = cfg.clone();
+    profile_world(world, move |comm| imbalanced_stencil_rank(comm, &cfg))
+}
+
+/// Convenience: the profile of the default clinic.
+pub fn default_clinic_profile() -> Result<Profile> {
+    Ok(imbalanced_stencil(&ClinicConfig::default())?.profile)
+}

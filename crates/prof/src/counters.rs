@@ -1,0 +1,400 @@
+//! The hardware-counter model: per-rank and per-phase aggregation of the
+//! charged flops, DRAM traffic, and message volume recorded in the trace,
+//! plus roofline placement of each kernel phase.
+//!
+//! This is the simulated analogue of what `perf stat` gives students on a
+//! real node: instruction/flop counts, memory traffic, and the derived
+//! "are we compute- or bandwidth-bound?" verdict — except here every
+//! number is exact, because the runtime charged it explicitly.
+
+use pdc_cluster::CostModel;
+use pdc_mpi::{CommStats, PhaseSpan, SpanKind, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// Name used for spans that fall outside every named phase.
+pub const UNPHASED: &str = "(unphased)";
+
+/// Innermost named phase containing simulated time `t` on one rank
+/// (phases nest; the latest-starting containing phase wins).
+pub(crate) fn phase_at(phases: &[PhaseSpan], t: f64) -> &str {
+    phases
+        .iter()
+        .filter(|p| p.start <= t && t < p.end)
+        .max_by(|a, b| a.start.total_cmp(&b.start))
+        .map_or(UNPHASED, |p| p.name.as_str())
+}
+
+/// One rank's counter totals over the whole run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankCounters {
+    /// Rank id.
+    pub rank: usize,
+    /// Node hosting the rank.
+    pub node: usize,
+    /// Simulated seconds in charged computation.
+    pub compute_time: f64,
+    /// Simulated seconds injecting/awaiting sends.
+    pub send_time: f64,
+    /// Simulated seconds receiving (including blocked wait).
+    pub recv_time: f64,
+    /// Final simulated clock of this rank (last span end).
+    pub end_time: f64,
+    /// compute + send + recv.
+    pub busy_time: f64,
+    /// end_time − busy_time (gaps between spans).
+    pub idle_time: f64,
+    /// Floating-point operations charged.
+    pub flops: f64,
+    /// DRAM bytes charged.
+    pub dram_bytes: f64,
+    /// Messages physically sent.
+    pub msgs_sent: u64,
+    /// Bytes physically sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+/// One (phase, rank) cell of the flat profile. By construction
+/// `compute_time + wait_time` equals the total span time attributed to
+/// this cell — the invariant `tests/prof_props.rs` pins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRank {
+    /// Phase name.
+    pub phase: String,
+    /// Rank id.
+    pub rank: usize,
+    /// Simulated seconds of charged computation inside the phase.
+    pub compute_time: f64,
+    /// Simulated seconds of communication + blocked wait inside the phase.
+    pub wait_time: f64,
+    /// Flops charged inside the phase.
+    pub flops: f64,
+    /// DRAM bytes charged inside the phase.
+    pub dram_bytes: f64,
+    /// Messages sent from spans inside the phase.
+    pub msgs: u64,
+    /// Bytes moved (sent + received) by spans inside the phase.
+    pub bytes: u64,
+}
+
+impl PhaseRank {
+    /// Total span time attributed to this cell.
+    pub fn span_total(&self) -> f64 {
+        self.compute_time + self.wait_time
+    }
+}
+
+/// Per-phase totals across all ranks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseCounters {
+    /// Phase name.
+    pub phase: String,
+    /// Ranks that entered the phase.
+    pub ranks: usize,
+    /// Total charged computation, summed over ranks.
+    pub compute_time: f64,
+    /// Total communication + wait, summed over ranks.
+    pub wait_time: f64,
+    /// Total flops.
+    pub flops: f64,
+    /// Total DRAM bytes.
+    pub dram_bytes: f64,
+    /// Total messages sent.
+    pub msgs: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+}
+
+/// Which roofline ceiling limits a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// `flops / flops_per_core` dominates: scales with ranks.
+    Compute,
+    /// Memory-bound against one core's own DRAM ceiling (`core_mem_bw`).
+    CoreBandwidth,
+    /// Memory-bound against the saturated shared bus
+    /// (`node_mem_bw / sharers`): adding ranks on the node cannot help.
+    NodeBandwidth,
+}
+
+/// Roofline placement of one kernel phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelVerdict {
+    /// Phase name.
+    pub phase: String,
+    /// Total flops charged in the phase.
+    pub flops: f64,
+    /// Total DRAM bytes charged in the phase.
+    pub dram_bytes: f64,
+    /// Total charged compute time across ranks.
+    pub compute_time: f64,
+    /// flops / dram_bytes (0 when no memory traffic).
+    pub arithmetic_intensity: f64,
+    /// Mean per-rank achieved bandwidth: `dram_bytes / compute_time`.
+    pub effective_bandwidth: f64,
+    /// Mean per-rank achieved flop rate: `flops / compute_time`.
+    pub achieved_flops: f64,
+    /// The limiting ceiling.
+    pub bound: Bound,
+    /// The limiting bandwidth in bytes/s (`core_mem_bw` or
+    /// `node_mem_bw / sharers`); `flops_per_core` when compute-bound.
+    pub ceiling: f64,
+}
+
+pub(crate) fn rank_counters(
+    traces: &[Timeline],
+    stats: &[CommStats],
+    cost: &CostModel,
+) -> Vec<RankCounters> {
+    traces
+        .iter()
+        .zip(stats)
+        .enumerate()
+        .map(|(rank, (trace, st))| {
+            let mut c = RankCounters {
+                rank,
+                node: cost.placement().node_of(rank),
+                compute_time: 0.0,
+                send_time: 0.0,
+                recv_time: 0.0,
+                end_time: 0.0,
+                busy_time: 0.0,
+                idle_time: 0.0,
+                flops: 0.0,
+                dram_bytes: 0.0,
+                msgs_sent: st.msgs_sent,
+                bytes_sent: st.bytes_sent,
+                msgs_received: st.msgs_received,
+                bytes_received: st.bytes_received,
+            };
+            for s in trace {
+                match s.kind {
+                    SpanKind::Compute => c.compute_time += s.duration(),
+                    SpanKind::Send => c.send_time += s.duration(),
+                    SpanKind::Recv => c.recv_time += s.duration(),
+                }
+                c.flops += s.flops;
+                c.dram_bytes += s.mem_bytes;
+                c.end_time = c.end_time.max(s.end);
+            }
+            c.busy_time = c.compute_time + c.send_time + c.recv_time;
+            c.idle_time = (c.end_time - c.busy_time).max(0.0);
+            c
+        })
+        .collect()
+}
+
+pub(crate) fn phase_ranks(traces: &[Timeline], phases: &[Vec<PhaseSpan>]) -> Vec<PhaseRank> {
+    let mut cells: Vec<PhaseRank> = Vec::new();
+    for (rank, trace) in traces.iter().enumerate() {
+        let rank_phases = phases.get(rank).map_or(&[][..], |p| p.as_slice());
+        for s in trace {
+            let name = phase_at(rank_phases, s.start);
+            let cell = match cells.iter_mut().find(|c| c.rank == rank && c.phase == name) {
+                Some(c) => c,
+                None => {
+                    cells.push(PhaseRank {
+                        phase: name.to_string(),
+                        rank,
+                        compute_time: 0.0,
+                        wait_time: 0.0,
+                        flops: 0.0,
+                        dram_bytes: 0.0,
+                        msgs: 0,
+                        bytes: 0,
+                    });
+                    cells.last_mut().expect("just pushed")
+                }
+            };
+            match s.kind {
+                SpanKind::Compute => cell.compute_time += s.duration(),
+                SpanKind::Send | SpanKind::Recv => cell.wait_time += s.duration(),
+            }
+            cell.flops += s.flops;
+            cell.dram_bytes += s.mem_bytes;
+            if s.kind == SpanKind::Send {
+                cell.msgs += 1;
+            }
+            if s.kind != SpanKind::Compute {
+                cell.bytes += s.bytes as u64;
+            }
+        }
+    }
+    cells
+}
+
+pub(crate) fn aggregate_phases(cells: &[PhaseRank]) -> Vec<PhaseCounters> {
+    let mut out: Vec<PhaseCounters> = Vec::new();
+    for c in cells {
+        let agg = match out.iter_mut().find(|a| a.phase == c.phase) {
+            Some(a) => a,
+            None => {
+                out.push(PhaseCounters {
+                    phase: c.phase.clone(),
+                    ranks: 0,
+                    compute_time: 0.0,
+                    wait_time: 0.0,
+                    flops: 0.0,
+                    dram_bytes: 0.0,
+                    msgs: 0,
+                    bytes: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        agg.ranks += 1;
+        agg.compute_time += c.compute_time;
+        agg.wait_time += c.wait_time;
+        agg.flops += c.flops;
+        agg.dram_bytes += c.dram_bytes;
+        agg.msgs += c.msgs;
+        agg.bytes += c.bytes;
+    }
+    out
+}
+
+/// Roofline verdict per kernel phase (phases that charged flops or DRAM
+/// traffic). Classification compares the two roofline legs summed over
+/// ranks; the memory ceiling is taken from the rank that moved the most
+/// bytes (all ranks of a phase normally share one regime).
+pub(crate) fn kernel_verdicts(cells: &[PhaseRank], cost: &CostModel) -> Vec<KernelVerdict> {
+    let machine = cost.machine();
+    let mut out: Vec<KernelVerdict> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
+    for c in cells {
+        if !names.contains(&c.phase.as_str()) {
+            names.push(c.phase.as_str());
+        }
+    }
+    for name in names {
+        let group: Vec<&PhaseRank> = cells.iter().filter(|c| c.phase == name).collect();
+        let flops: f64 = group.iter().map(|c| c.flops).sum();
+        let dram: f64 = group.iter().map(|c| c.dram_bytes).sum();
+        if flops <= 0.0 && dram <= 0.0 {
+            continue;
+        }
+        let compute_time: f64 = group.iter().map(|c| c.compute_time).sum();
+        let t_flops = flops / machine.flops_per_core;
+        let t_mem: f64 = group
+            .iter()
+            .map(|c| c.dram_bytes / cost.effective_mem_bw(c.rank))
+            .sum();
+        // The rank moving the most bytes picks the memory ceiling.
+        let heavy = group
+            .iter()
+            .max_by(|a, b| a.dram_bytes.total_cmp(&b.dram_bytes))
+            .expect("non-empty group");
+        let sharers = cost.placement().sharers_of(heavy.rank) as f64;
+        let mem_ceiling = machine.core_mem_bw.min(machine.node_mem_bw / sharers);
+        let (bound, ceiling) = if t_flops >= t_mem {
+            (Bound::Compute, machine.flops_per_core)
+        } else if machine.node_mem_bw / sharers <= machine.core_mem_bw {
+            (Bound::NodeBandwidth, mem_ceiling)
+        } else {
+            (Bound::CoreBandwidth, mem_ceiling)
+        };
+        out.push(KernelVerdict {
+            phase: name.to_string(),
+            flops,
+            dram_bytes: dram,
+            compute_time,
+            arithmetic_intensity: if dram > 0.0 { flops / dram } else { 0.0 },
+            effective_bandwidth: if compute_time > 0.0 {
+                dram / compute_time
+            } else {
+                0.0
+            },
+            achieved_flops: if compute_time > 0.0 {
+                flops / compute_time
+            } else {
+                0.0
+            },
+            bound,
+            ceiling,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_cluster::{MachineModel, Placement};
+    use pdc_mpi::{Span, SpanKind};
+
+    fn compute_span(start: f64, end: f64, flops: f64, mem: f64) -> Span {
+        let mut s = Span::basic(SpanKind::Compute, start, end, 0, 0);
+        s.flops = flops;
+        s.mem_bytes = mem;
+        s
+    }
+
+    #[test]
+    fn phase_lookup_picks_innermost() {
+        let phases = vec![
+            PhaseSpan {
+                name: "outer".into(),
+                start: 0.0,
+                end: 10.0,
+            },
+            PhaseSpan {
+                name: "inner".into(),
+                start: 2.0,
+                end: 4.0,
+            },
+        ];
+        assert_eq!(phase_at(&phases, 1.0), "outer");
+        assert_eq!(phase_at(&phases, 3.0), "inner");
+        assert_eq!(phase_at(&phases, 5.0), "outer");
+        assert_eq!(phase_at(&phases, 11.0), UNPHASED);
+    }
+
+    #[test]
+    fn memory_bound_kernel_lands_on_node_ceiling() {
+        // 32 ranks on one 32-core node: node_mem_bw / 32 < core_mem_bw.
+        let machine = MachineModel::cluster_node();
+        let placement = Placement::single_node(32, 32);
+        let cost = CostModel::new(machine, placement);
+        let eff = cost.effective_mem_bw(0);
+        let mut traces = Vec::new();
+        let mut phases = Vec::new();
+        for _ in 0..32 {
+            let bytes = 1e6;
+            let t = bytes / eff;
+            traces.push(vec![compute_span(0.0, t, 1e3, bytes)]);
+            phases.push(vec![PhaseSpan {
+                name: "scan".into(),
+                start: 0.0,
+                end: t,
+            }]);
+        }
+        let cells = phase_ranks(&traces, &phases);
+        let verdicts = kernel_verdicts(&cells, &cost);
+        assert_eq!(verdicts.len(), 1);
+        let v = &verdicts[0];
+        assert_eq!(v.bound, Bound::NodeBandwidth);
+        assert!((v.effective_bandwidth - eff).abs() / eff < 1e-9);
+        assert!((v.ceiling - eff).abs() / eff < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_is_classified_compute() {
+        let machine = MachineModel::cluster_node();
+        let cost = CostModel::new(machine.clone(), Placement::single_node(2, 32));
+        let t = 1e9 / machine.flops_per_core;
+        let traces = vec![vec![compute_span(0.0, t, 1e9, 10.0)]; 2];
+        let phases = vec![
+            vec![PhaseSpan {
+                name: "fma".into(),
+                start: 0.0,
+                end: t,
+            }];
+            2
+        ];
+        let verdicts = kernel_verdicts(&phase_ranks(&traces, &phases), &cost);
+        assert_eq!(verdicts[0].bound, Bound::Compute);
+    }
+}

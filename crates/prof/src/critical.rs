@@ -1,0 +1,262 @@
+//! Critical-path extraction through the rank/message dependency graph.
+//!
+//! Scalasca's insight: the run's makespan is explained by exactly one
+//! backward chain of activity. Starting from the rank that finishes last,
+//! walk its timeline backwards; whenever the walk reaches a receive that
+//! was *blocked* (posted before the message left its sender), the binding
+//! constraint is the sender's timeline — hop across the message edge to
+//! the sender at the send instant and keep walking there. Wait time never
+//! appears on the path, only the activity that caused it. The resulting
+//! segments tile `[0, makespan]` exactly, and aggregating them by phase
+//! yields per-phase blame percentages: "make *this* faster and the run
+//! gets shorter".
+
+use crate::counters::phase_at;
+use pdc_mpi::{PhaseSpan, SpanKind, Timeline};
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-12;
+
+/// One hop of the critical path, on one rank's timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathSegment {
+    /// Rank carrying the path during this segment.
+    pub rank: usize,
+    /// Segment start, simulated seconds.
+    pub start: f64,
+    /// Segment end, simulated seconds.
+    pub end: f64,
+    /// Activity: `"compute"`, `"send"`, `"recv"`, `"transfer"` (message
+    /// flight the path crossed), or `"idle"`.
+    pub kind: String,
+    /// Phase of the carrying rank at the segment start.
+    pub phase: String,
+}
+
+impl PathSegment {
+    /// Segment length in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Per-phase share of the critical path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseBlame {
+    /// Phase name (or the activity label for `"transfer"`/`"idle"` time).
+    pub phase: String,
+    /// Simulated seconds of the path inside the phase.
+    pub seconds: f64,
+    /// Share of the path, 0–100.
+    pub percent: f64,
+}
+
+/// The extracted critical path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Path length — equals the makespan by construction.
+    pub length: f64,
+    /// Chronological segments tiling `[0, length]`.
+    pub segments: Vec<PathSegment>,
+    /// Per-phase blame, sorted by descending share.
+    pub blame: Vec<PhaseBlame>,
+}
+
+pub(crate) fn critical_path(
+    traces: &[Timeline],
+    phases: &[Vec<PhaseSpan>],
+    makespan: f64,
+) -> CriticalPath {
+    let mut segs_rev: Vec<PathSegment> = Vec::new();
+    if makespan > EPS && !traces.is_empty() {
+        // Start on the rank whose trace ends last.
+        let mut rank = 0;
+        let mut best = f64::NEG_INFINITY;
+        for (r, t) in traces.iter().enumerate() {
+            let end = t.last().map_or(0.0, |s| s.end);
+            if end > best {
+                best = end;
+                rank = r;
+            }
+        }
+        let mut t = makespan;
+        // The walk terminates (t is non-increasing and drops by a span or
+        // gap most iterations); the guard bounds pathological traces.
+        let mut guard = traces.iter().map(|t| t.len()).sum::<usize>() * 4 + 64;
+        while t > EPS && guard > 0 {
+            guard -= 1;
+            let rank_phases = phases.get(rank).map_or(&[][..], |p| p.as_slice());
+            let Some(span) = traces[rank].iter().rev().find(|s| s.start < t - EPS) else {
+                segs_rev.push(PathSegment {
+                    rank,
+                    start: 0.0,
+                    end: t,
+                    kind: "idle".into(),
+                    phase: phase_at(rank_phases, 0.0).to_string(),
+                });
+                break;
+            };
+            let end = span.end.min(t);
+            if end < t - EPS {
+                segs_rev.push(PathSegment {
+                    rank,
+                    start: end,
+                    end: t,
+                    kind: "idle".into(),
+                    phase: phase_at(rank_phases, end).to_string(),
+                });
+            }
+            match span.kind {
+                // A receive that was posted before the message departed:
+                // the sender's timeline binds. Cross the message edge.
+                SpanKind::Recv
+                    if span.peer != rank
+                        && span.sent_at.is_some_and(|at| at > span.start + EPS) =>
+                {
+                    let sent_at = span.sent_at.expect("guarded");
+                    let hop = sent_at.min(end);
+                    if hop < end - EPS {
+                        segs_rev.push(PathSegment {
+                            rank,
+                            start: hop,
+                            end,
+                            kind: "transfer".into(),
+                            phase: phase_at(rank_phases, hop).to_string(),
+                        });
+                    }
+                    rank = span.peer;
+                    t = hop;
+                }
+                // A rendezvous sender blocked on its receiver: the
+                // receiver's timeline binds; hop without consuming time.
+                SpanKind::Send if span.rdv_wait && span.peer != rank => {
+                    rank = span.peer;
+                    t = end;
+                }
+                _ => {
+                    let kind = match span.kind {
+                        SpanKind::Compute => "compute",
+                        SpanKind::Send => "send",
+                        SpanKind::Recv => "recv",
+                    };
+                    segs_rev.push(PathSegment {
+                        rank,
+                        start: span.start,
+                        end,
+                        kind: kind.into(),
+                        phase: phase_at(rank_phases, span.start).to_string(),
+                    });
+                    t = span.start;
+                }
+            }
+        }
+    }
+    segs_rev.reverse();
+    // Merge abutting segments of identical (rank, kind, phase).
+    let mut segments: Vec<PathSegment> = Vec::new();
+    for seg in segs_rev {
+        match segments.last_mut() {
+            Some(prev)
+                if prev.rank == seg.rank
+                    && prev.kind == seg.kind
+                    && prev.phase == seg.phase
+                    && (seg.start - prev.end).abs() < 1e-9 =>
+            {
+                prev.end = seg.end;
+            }
+            _ => segments.push(seg),
+        }
+    }
+
+    let mut blame: Vec<PhaseBlame> = Vec::new();
+    for seg in &segments {
+        // Transfer and idle time are their own blame buckets: no kernel
+        // speedup removes them.
+        let key = if seg.kind == "transfer" || seg.kind == "idle" {
+            format!("({})", seg.kind)
+        } else {
+            seg.phase.clone()
+        };
+        match blame.iter_mut().find(|b| b.phase == key) {
+            Some(b) => b.seconds += seg.duration(),
+            None => blame.push(PhaseBlame {
+                phase: key,
+                seconds: seg.duration(),
+                percent: 0.0,
+            }),
+        }
+    }
+    let length = makespan.max(0.0);
+    for b in &mut blame {
+        b.percent = if length > 0.0 {
+            100.0 * b.seconds / length
+        } else {
+            0.0
+        };
+    }
+    blame.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    CriticalPath {
+        length,
+        segments,
+        blame,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_mpi::Span;
+
+    #[test]
+    fn path_tiles_the_makespan_on_one_rank() {
+        let traces = vec![vec![
+            Span::basic(SpanKind::Compute, 0.0, 2.0, 0, 0),
+            Span::basic(SpanKind::Compute, 3.0, 5.0, 0, 0),
+        ]];
+        let cp = critical_path(&traces, &[Vec::new()], 5.0);
+        assert!((cp.length - 5.0).abs() < 1e-12);
+        let total: f64 = cp.segments.iter().map(|s| s.duration()).sum();
+        assert!((total - 5.0).abs() < 1e-9, "{cp:?}");
+        assert!(cp.segments.iter().any(|s| s.kind == "idle"));
+    }
+
+    #[test]
+    fn blocked_recv_hops_to_the_sender() {
+        // Rank 1 computes until t=5 then sends; rank 0 blocks in recv from
+        // t=0 and unblocks at t=5.2. The path must run through rank 1's
+        // compute, not rank 0's wait.
+        let mut recv = Span::basic(SpanKind::Recv, 0.0, 5.2, 1, 64);
+        recv.sent_at = Some(5.0);
+        let send = {
+            let mut s = Span::basic(SpanKind::Send, 5.0, 5.1, 0, 64);
+            s.seq = Some(0);
+            s
+        };
+        let traces = vec![
+            vec![recv],
+            vec![Span::basic(SpanKind::Compute, 0.0, 5.0, 1, 0), send],
+        ];
+        let cp = critical_path(&traces, &[Vec::new(), Vec::new()], 5.2);
+        let total: f64 = cp.segments.iter().map(|s| s.duration()).sum();
+        assert!((total - 5.2).abs() < 1e-9, "{cp:?}");
+        let on_r1: f64 = cp
+            .segments
+            .iter()
+            .filter(|s| s.rank == 1)
+            .map(|s| s.duration())
+            .sum();
+        assert!(on_r1 > 4.9, "sender's compute dominates the path: {cp:?}");
+        assert!(
+            cp.segments.iter().any(|s| s.kind == "transfer"),
+            "message flight appears as transfer: {cp:?}"
+        );
+    }
+
+    #[test]
+    fn empty_run_yields_empty_path() {
+        let cp = critical_path(&[], &[], 0.0);
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.segments.is_empty());
+        assert!(cp.blame.is_empty());
+    }
+}

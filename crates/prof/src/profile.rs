@@ -1,0 +1,100 @@
+//! The [`Profile`] artifact: one serialisable performance diagnosis per
+//! run, assembled from the trace, the phase markers, the collective entry
+//! log, and the transfer statistics.
+
+use crate::counters::{
+    aggregate_phases, kernel_verdicts, phase_ranks, rank_counters, KernelVerdict, PhaseCounters,
+    PhaseRank, RankCounters,
+};
+use crate::critical::{critical_path, CriticalPath};
+use crate::waitstate::{analyze_waits, WaitState};
+use pdc_cluster::{CostModel, MachineModel, Placement};
+use pdc_mpi::{ProfContext, RunOutput};
+use serde::{Deserialize, Serialize};
+
+/// Run-wide protocol totals (mirror of
+/// [`pdc_mpi::ProtocolVolume`], owned here so the profile serialises).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ProtocolTotals {
+    /// Messages sent eagerly.
+    pub eager_msgs: u64,
+    /// Bytes sent eagerly.
+    pub eager_bytes: u64,
+    /// Messages sent under rendezvous.
+    pub rendezvous_msgs: u64,
+    /// Bytes sent under rendezvous.
+    pub rendezvous_bytes: u64,
+}
+
+/// A complete performance diagnosis of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profile {
+    /// World size.
+    pub ranks: usize,
+    /// Simulated makespan, seconds.
+    pub makespan: f64,
+    /// Hardware model the run charged against.
+    pub machine: MachineModel,
+    /// Rank→node placement.
+    pub placement: Placement,
+    /// Per-rank counter totals.
+    pub rank_counters: Vec<RankCounters>,
+    /// The flat profile: one cell per (phase, rank).
+    pub phase_ranks: Vec<PhaseRank>,
+    /// Per-phase totals across ranks.
+    pub phases: Vec<PhaseCounters>,
+    /// Roofline verdict per kernel phase.
+    pub kernels: Vec<KernelVerdict>,
+    /// Wait-states, sorted by descending total wait.
+    pub wait_states: Vec<WaitState>,
+    /// The critical path and its per-phase blame.
+    pub critical_path: CriticalPath,
+    /// Eager vs rendezvous traffic totals.
+    pub protocol: ProtocolTotals,
+}
+
+impl Profile {
+    /// Assemble a profile from a traced run and its machine context.
+    pub fn from_run<T>(out: &RunOutput<T>, ctx: &ProfContext) -> Self {
+        let cost = CostModel::new(ctx.machine.clone(), ctx.placement.clone());
+        let cells = phase_ranks(&out.traces, &out.phases);
+        let kernels = kernel_verdicts(&cells, &cost);
+        let phases = aggregate_phases(&cells);
+        let wait_states = analyze_waits(&out.traces, &out.phases, &out.colls);
+        let critical_path = critical_path(&out.traces, &out.phases, out.sim_time);
+        let total = out.total_stats().protocol_volume();
+        Profile {
+            ranks: out.stats.len(),
+            makespan: out.sim_time,
+            machine: ctx.machine.clone(),
+            placement: ctx.placement.clone(),
+            rank_counters: rank_counters(&out.traces, &out.stats, &cost),
+            phase_ranks: cells,
+            phases,
+            kernels,
+            wait_states,
+            critical_path,
+            protocol: ProtocolTotals {
+                eager_msgs: total.eager_msgs,
+                eager_bytes: total.eager_bytes,
+                rendezvous_msgs: total.rendezvous_msgs,
+                rendezvous_bytes: total.rendezvous_bytes,
+            },
+        }
+    }
+
+    /// The roofline verdict for a named kernel phase, if it charged work.
+    pub fn kernel(&self, phase: &str) -> Option<&KernelVerdict> {
+        self.kernels.iter().find(|k| k.phase == phase)
+    }
+
+    /// The dominant wait-state, if any wait was found.
+    pub fn top_wait_state(&self) -> Option<&WaitState> {
+        self.wait_states.first()
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialises")
+    }
+}

@@ -1,0 +1,141 @@
+//! Human rendering of a [`Profile`]: the flat profile, the top
+//! wait-states, and the critical path — the three views Scalasca/Cube and
+//! `perf report` teach people to read first.
+
+use crate::counters::Bound;
+use crate::profile::Profile;
+use std::fmt::Write as _;
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn fmt_bw(bps: f64) -> String {
+    format!("{:.2} GB/s", bps / 1e9)
+}
+
+/// Render the three-view report.
+pub fn render(p: &Profile) -> String {
+    let mut out = String::new();
+    let nodes = p.placement.nodes_used();
+    let _ = writeln!(
+        out,
+        "=== pdc-prof: {} ranks on {} node{} · makespan {} ===",
+        p.ranks,
+        nodes,
+        if nodes == 1 { "" } else { "s" },
+        fmt_time(p.makespan)
+    );
+
+    let _ = writeln!(out, "\n--- flat profile (totals across ranks) ---");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "phase", "compute", "comm+wait", "msgs", "volume", "dram"
+    );
+    for ph in &p.phases {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12} {:>12} {:>9} {:>10} {:>10}",
+            ph.phase,
+            fmt_time(ph.compute_time),
+            fmt_time(ph.wait_time),
+            ph.msgs,
+            fmt_bytes(ph.bytes as f64),
+            fmt_bytes(ph.dram_bytes),
+        );
+    }
+
+    if !p.kernels.is_empty() {
+        let _ = writeln!(out, "\n--- roofline verdicts ---");
+        for k in &p.kernels {
+            let verdict = match k.bound {
+                Bound::Compute => format!(
+                    "compute-bound at {:.2} GFLOP/s (ceiling {:.2})",
+                    k.achieved_flops / 1e9,
+                    k.ceiling / 1e9
+                ),
+                Bound::CoreBandwidth => format!(
+                    "bandwidth-bound at {} (core ceiling {})",
+                    fmt_bw(k.effective_bandwidth),
+                    fmt_bw(k.ceiling)
+                ),
+                Bound::NodeBandwidth => format!(
+                    "bandwidth-bound at {} (saturated node bus: {})",
+                    fmt_bw(k.effective_bandwidth),
+                    fmt_bw(k.ceiling)
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "{:<20} AI {:.3} flop/B · {}",
+                k.phase, k.arithmetic_intensity, verdict
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n--- top wait-states ---");
+    if p.wait_states.is_empty() {
+        let _ = writeln!(out, "(none above threshold)");
+    }
+    for w in p.wait_states.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "{:<18} culprit r{:<3} {:>12} over {:>5}×  [{} · worst hit r{}]",
+            w.kind.name(),
+            w.culprit,
+            fmt_time(w.total_wait),
+            w.occurrences,
+            if w.detail.is_empty() {
+                w.phase.as_str()
+            } else {
+                w.detail.as_str()
+            },
+            w.worst_waiter,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n--- critical path ({}) ---",
+        fmt_time(p.critical_path.length)
+    );
+    for b in &p.critical_path.blame {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12}  {:>5.1}%",
+            b.phase,
+            fmt_time(b.seconds),
+            b.percent
+        );
+    }
+
+    let proto = &p.protocol;
+    let _ = writeln!(
+        out,
+        "\nprotocol: {} eager msgs ({}), {} rendezvous msgs ({})",
+        proto.eager_msgs,
+        fmt_bytes(proto.eager_bytes as f64),
+        proto.rendezvous_msgs,
+        fmt_bytes(proto.rendezvous_bytes as f64),
+    );
+    out
+}

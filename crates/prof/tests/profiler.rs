@@ -1,0 +1,156 @@
+//! Acceptance tests for the profiler's verdicts on the course modules —
+//! the diagnoses of `docs/performance-model.md`, asserted rather than
+//! rendered.
+
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{distance_matrix_rank, Access};
+use pdc_modules::module6::{stencil_rank, HaloVariant};
+use pdc_mpi::{Op, WorldConfig};
+use pdc_prof::clinic::{imbalanced_stencil, ClinicConfig};
+use pdc_prof::{profile_world, render, Bound, WaitKind};
+
+/// Module 2's verdict at full node occupancy: 32 ranks share one 100 GB/s
+/// bus, so the row scan is bandwidth-bound on the *node* ceiling and each
+/// rank's effective bandwidth collapses to `node_mem_bw / 32` — the bus
+/// saturation story of docs/performance-model.md.
+#[test]
+fn module2_row_scan_saturates_the_node_bus_at_32_ranks() {
+    let points = uniform_points(1024, 8, 0.0, 100.0, 42);
+    let profiled = profile_world(WorldConfig::new(32), move |comm| {
+        distance_matrix_rank(comm, &points, Access::RowWise)
+    })
+    .expect("module2 profiles");
+    let p = &profiled.profile;
+    assert_eq!(p.placement.nodes_used(), 1, "32 ranks must fit one node");
+
+    let k = p.kernel("row_scan").expect("row_scan kernel verdict");
+    assert_eq!(
+        k.bound,
+        Bound::NodeBandwidth,
+        "row scan must be bandwidth-bound on the saturated node bus: {k:?}"
+    );
+    let per_rank = p.machine.node_mem_bw / 32.0;
+    assert!(
+        (k.ceiling - per_rank).abs() < 1e-3 * per_rank,
+        "ceiling {} vs node_mem_bw/32 = {per_rank}",
+        k.ceiling
+    );
+    assert!(
+        (k.effective_bandwidth - per_rank).abs() < 0.1 * per_rank,
+        "effective bandwidth {} should sit at ~node_mem_bw/32 = {per_rank}",
+        k.effective_bandwidth
+    );
+}
+
+/// The same kernel on a single rank has the whole bus to itself: the
+/// binding ceiling is the core's own 12 GB/s, not a saturated node share.
+#[test]
+fn module2_row_scan_is_core_bound_when_alone() {
+    let points = uniform_points(1024, 8, 0.0, 100.0, 42);
+    let profiled = profile_world(WorldConfig::new(1), move |comm| {
+        distance_matrix_rank(comm, &points, Access::RowWise)
+    })
+    .expect("module2 profiles");
+    let k = profiled.profile.kernel("row_scan").expect("row_scan");
+    assert_eq!(k.bound, Bound::CoreBandwidth, "{k:?}");
+    let core = profiled.profile.machine.core_mem_bw;
+    assert!((k.effective_bandwidth - core).abs() < 0.1 * core);
+}
+
+/// The imbalanced-stencil clinic: the top wait-state must be a
+/// late-sender pointing at the deliberately slow rank.
+#[test]
+fn clinic_top_wait_state_is_late_sender_at_the_slow_rank() {
+    let cfg = ClinicConfig::default();
+    let profiled = imbalanced_stencil(&cfg).expect("clinic runs");
+    let p = &profiled.profile;
+    let top = p.top_wait_state().expect("clinic produces wait states");
+    assert_eq!(
+        top.kind,
+        WaitKind::LateSender,
+        "top wait-state must be late-sender: {top:?}"
+    );
+    assert_eq!(
+        top.culprit, cfg.slow_rank,
+        "late-sender culprit must be the slow rank: {top:?}"
+    );
+    assert!(top.total_wait > 0.0 && top.occurrences > 0);
+    // The render names the diagnosis too.
+    let text = render(p);
+    assert!(text.contains("late-sender"), "render lists the wait state");
+    assert!(
+        text.contains(&format!("r{}", cfg.slow_rank)),
+        "render names the culprit"
+    );
+}
+
+/// The slow rank's neighbours spend their halo phase blocked; the slow
+/// rank itself dominates the critical path's sweep blame.
+#[test]
+fn clinic_critical_path_blames_the_sweep() {
+    let profiled = imbalanced_stencil(&ClinicConfig::default()).expect("clinic runs");
+    let p = &profiled.profile;
+    let sweep = p
+        .critical_path
+        .blame
+        .iter()
+        .find(|b| b.phase == "sweep")
+        .expect("sweep on the critical path");
+    assert!(
+        sweep.percent > 50.0,
+        "the inflated sweep must dominate the critical path: {:?}",
+        p.critical_path.blame
+    );
+}
+
+/// Module 6 under the profiler: the halo_wait phase exists on every rank
+/// and the boundary-rank asymmetry shows up as p2p wait states.
+#[test]
+fn module6_halo_wait_phase_is_visible() {
+    let profiled = profile_world(WorldConfig::new(8), move |comm| {
+        let u = stencil_rank(comm, 2048, 10, HaloVariant::BlockingFirst)?;
+        let local: f64 = u.iter().sum();
+        comm.reduce(&[local], Op::Sum, 0)
+    })
+    .expect("module6 profiles");
+    let p = &profiled.profile;
+    let halo = p
+        .phases
+        .iter()
+        .find(|ph| ph.phase == "halo_wait")
+        .expect("halo_wait phase aggregated");
+    assert_eq!(halo.ranks, 8, "every rank enters halo_wait");
+    assert!(halo.wait_time > 0.0, "halo receives block: {halo:?}");
+    let compute = p
+        .phases
+        .iter()
+        .find(|ph| ph.phase == "compute")
+        .expect("compute phase aggregated");
+    assert!(compute.compute_time > 0.0);
+    assert!(
+        p.wait_states
+            .iter()
+            .any(|w| w.kind == WaitKind::LateSender || w.kind == WaitKind::LateReceiver),
+        "halo traffic produces p2p wait states: {:?}",
+        p.wait_states
+    );
+}
+
+/// The profile is serialisable and structurally round-trips.
+#[test]
+fn profile_serialises_to_json() {
+    let profiled = imbalanced_stencil(&ClinicConfig {
+        ranks: 4,
+        iters: 4,
+        ..ClinicConfig::default()
+    })
+    .expect("clinic runs");
+    let json = profiled.profile.to_json();
+    let v: serde::Value = serde_json::from_str(&json).expect("parses");
+    let makespan = v
+        .get("makespan")
+        .and_then(|m| m.as_f64())
+        .expect("makespan");
+    assert!(makespan > 0.0);
+    assert_eq!(v.get("ranks").and_then(|r| r.as_f64()), Some(4.0));
+}

@@ -14,6 +14,7 @@
 //! * [`datagen`] — dataset generators ([`pdc_datagen`])
 //! * [`modules`] — the five pedagogic modules ([`pdc_modules`])
 //! * [`pedagogy`] — outcomes, audits, quiz statistics ([`pdc_pedagogy`])
+//! * [`prof`] — profiler and wait-state analysis ([`pdc_prof`])
 
 pub use pdc_cachesim as cachesim;
 pub use pdc_check as check;
@@ -22,4 +23,5 @@ pub use pdc_datagen as datagen;
 pub use pdc_modules as modules;
 pub use pdc_mpi as mpi;
 pub use pdc_pedagogy as pedagogy;
+pub use pdc_prof as prof;
 pub use pdc_spatial as spatial;

@@ -1,0 +1,142 @@
+//! Structural invariants of the profiler, over randomized workloads:
+//!
+//! 1. the critical path's length never exceeds the makespan, and is never
+//!    shorter than any single rank's busy time (a path that skipped real
+//!    work would "explain" less time than one rank provably spent);
+//! 2. the path's segments tile `[0, length]` without gaps or overlaps;
+//! 3. for every (phase, rank) cell of the flat profile, compute + wait
+//!    equals the cell's total span time — the profiler never invents or
+//!    loses time while attributing it.
+
+use pdc_mpi::{Op, WorldConfig};
+use pdc_prof::clinic::{imbalanced_stencil, ClinicConfig};
+use pdc_prof::{profile_world, Profile};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+fn assert_profile_invariants(what: &str, p: &Profile) {
+    // Critical path vs makespan and busy times.
+    let len = p.critical_path.length;
+    prop_assert_ok(
+        len <= p.makespan * (1.0 + EPS) + EPS,
+        &format!(
+            "{what}: critical path {len} exceeds makespan {}",
+            p.makespan
+        ),
+    );
+    for rc in &p.rank_counters {
+        prop_assert_ok(
+            len + EPS >= rc.busy_time * (1.0 - EPS),
+            &format!(
+                "{what}: critical path {len} shorter than rank {} busy time {}",
+                rc.rank, rc.busy_time
+            ),
+        );
+    }
+
+    // Segments tile [0, length]: contiguous, non-overlapping, exhaustive.
+    let segs = &p.critical_path.segments;
+    if !segs.is_empty() {
+        prop_assert_ok(
+            segs[0].start.abs() < EPS,
+            &format!("{what}: path starts at {} not 0", segs[0].start),
+        );
+        for w in segs.windows(2) {
+            prop_assert_ok(
+                (w[0].end - w[1].start).abs() < EPS,
+                &format!(
+                    "{what}: gap/overlap between segments: {} -> {}",
+                    w[0].end, w[1].start
+                ),
+            );
+        }
+        let last = segs.last().expect("non-empty").end;
+        prop_assert_ok(
+            (last - len).abs() < EPS * len.max(1.0),
+            &format!("{what}: path ends at {last}, length {len}"),
+        );
+    }
+
+    // Per-cell time conservation: compute + wait == attributed span time.
+    for cell in &p.phase_ranks {
+        let total = cell.span_total();
+        prop_assert_ok(
+            (cell.compute_time + cell.wait_time - total).abs() <= EPS * total.max(1.0),
+            &format!(
+                "{what}: phase {} rank {}: compute {} + wait {} != total {total}",
+                cell.phase, cell.rank, cell.compute_time, cell.wait_time
+            ),
+        );
+    }
+
+    // Per-rank: the sum of that rank's cells equals its busy time.
+    for rc in &p.rank_counters {
+        let cells: f64 = p
+            .phase_ranks
+            .iter()
+            .filter(|c| c.rank == rc.rank)
+            .map(|c| c.span_total())
+            .sum();
+        prop_assert_ok(
+            (cells - rc.busy_time).abs() <= EPS * rc.busy_time.max(1.0),
+            &format!(
+                "{what}: rank {} cells sum {cells} != busy {}",
+                rc.rank, rc.busy_time
+            ),
+        );
+    }
+}
+
+/// Panicking assert helper shared by all cases (a panic inside a proptest
+/// case is reported with the minimized input, same as `prop_assert!`).
+fn prop_assert_ok(cond: bool, msg: &str) {
+    assert!(cond, "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn clinic_profiles_conserve_time(
+        ranks in 2usize..6,
+        iters in 1usize..6,
+        slow_seed in 0usize..100,
+        slow_factor in 1.0f64..4.0,
+    ) {
+        let cfg = ClinicConfig {
+            ranks,
+            iters,
+            n_per_rank: 8 * 1024,
+            slow_rank: slow_seed % ranks,
+            slow_factor,
+        };
+        let profiled = imbalanced_stencil(&cfg).expect("clinic runs");
+        assert_profile_invariants("clinic", &profiled.profile);
+    }
+
+    #[test]
+    fn collective_mix_profiles_conserve_time(
+        ranks in 2usize..6,
+        payload in 1usize..512,
+        rounds in 1usize..4,
+    ) {
+        let profiled = profile_world(WorldConfig::new(ranks), move |comm| {
+            let mut acc = 0.0f64;
+            for round in 0..rounds {
+                comm.phase_begin("kernel");
+                comm.charge_kernel(1e5 * (comm.rank() + 1) as f64, 1e6);
+                comm.phase_end();
+                comm.phase_begin("collect");
+                let data = vec![comm.rank() as f64; payload];
+                let sum = comm.allreduce(&data, Op::Sum)?;
+                acc += sum[0] + round as f64;
+                comm.phase_end();
+            }
+            comm.barrier()?;
+            Ok(acc)
+        })
+        .expect("mix runs");
+        assert_profile_invariants("collective mix", &profiled.profile);
+    }
+}
