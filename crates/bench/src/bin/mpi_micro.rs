@@ -10,6 +10,14 @@
 //!                           repaired by the default retry policy; each
 //!                           result records the rate in its `drop_rate`
 //!                           field (fault-free points carry `null`)
+//! mpi-micro --ranks N       world size for the collective points
+//!                           (default 8; hundreds are practical with
+//!                           --sched-seed)
+//! mpi-micro --sched-seed S  run every world under the deterministic
+//!                           virtual-rank scheduler with seed S (see
+//!                           docs/scheduler.md); each result records the
+//!                           seed in its `sched_seed` field (thread-mode
+//!                           points carry `null`)
 //! ```
 //!
 //! The JSON artifact (`BENCH_mpi.json`) records wall-clock p50/p95 per
@@ -25,6 +33,8 @@ fn main() -> ExitCode {
     let mut json: Option<String> = None;
     let mut check = false;
     let mut drop_rate: Option<f64> = None;
+    let mut ranks: Option<usize> = None;
+    let mut sched_seed: Option<u64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,9 +62,38 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--ranks" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--ranks needs a world size (e.g. --ranks 256)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => ranks = Some(n),
+                    _ => {
+                        eprintln!("--ranks must be a positive integer, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--sched-seed" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--sched-seed needs an unsigned integer (e.g. --sched-seed 42)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(s) => sched_seed = Some(s),
+                    Err(_) => {
+                        eprintln!("--sched-seed must be an unsigned integer, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: mpi-micro [--quick] [--json [PATH]] [--check] [--drop-rate P]");
+                eprintln!(
+                    "usage: mpi-micro [--quick] [--json [PATH]] [--check] [--drop-rate P] \
+                     [--ranks N] [--sched-seed S]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -66,6 +105,10 @@ fn main() -> ExitCode {
         (MicroConfig::full(), "full")
     };
     cfg.drop_rate = drop_rate;
+    if let Some(n) = ranks {
+        cfg.coll_ranks = n;
+    }
+    cfg.sched_seed = sched_seed;
     let suite = match run_suite(cfg, mode) {
         Ok(suite) => suite,
         Err(e) => {

@@ -11,6 +11,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod figures;
 pub mod micro;
+pub mod scale;
 
 pub use ablations::*;
 pub use experiments::*;

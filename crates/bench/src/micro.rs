@@ -41,6 +41,11 @@ pub struct MicroResult {
     /// Appended to the `BENCH_mpi.json` schema — older artifacts without
     /// the field still parse (missing → `null` → `None`).
     pub drop_rate: Option<f64>,
+    /// Scheduling seed of the virtual-rank backend the point ran under
+    /// (`--sched-seed`; see `docs/scheduler.md`); `null` = the default
+    /// thread-per-rank backend. Appended to the schema exactly like
+    /// `drop_rate` — older artifacts still parse.
+    pub sched_seed: Option<u64>,
 }
 
 /// A full suite run: every `MicroResult` plus run metadata.
@@ -70,6 +75,12 @@ pub struct MicroConfig {
     /// Message-drop rate to inject into every point (with the default
     /// retry policy repairing the losses); `None` = fault-free.
     pub drop_rate: Option<f64>,
+    /// World size for the collective points (`--ranks`); the virtual
+    /// backend makes hundreds practical.
+    pub coll_ranks: usize,
+    /// Run every world under the deterministic virtual-rank scheduler
+    /// with this seed (`--sched-seed`); `None` = thread-per-rank.
+    pub sched_seed: Option<u64>,
 }
 
 impl MicroConfig {
@@ -82,6 +93,8 @@ impl MicroConfig {
             coll_iters: 20,
             coll_iters_large: 5,
             drop_rate: None,
+            coll_ranks: COLL_RANKS,
+            sched_seed: None,
         }
     }
 
@@ -94,6 +107,8 @@ impl MicroConfig {
             coll_iters: 100,
             coll_iters_large: 20,
             drop_rate: None,
+            coll_ranks: COLL_RANKS,
+            sched_seed: None,
         }
     }
 }
@@ -106,15 +121,43 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+/// Runtime regime a benchmark point executes under: an optional injected
+/// drop rate and an optional virtual-rank scheduling seed. `Default` is
+/// the plain thread-per-rank, fault-free regime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointMode {
+    /// Message-drop rate (repaired by the default retry policy).
+    pub drop_rate: Option<f64>,
+    /// Deterministic-scheduler seed; `Some` switches the world to the
+    /// virtual-rank backend.
+    pub sched_seed: Option<u64>,
+}
+
+impl PointMode {
+    fn from_config(cfg: &MicroConfig) -> Self {
+        Self {
+            drop_rate: cfg.drop_rate,
+            sched_seed: cfg.sched_seed,
+        }
+    }
+}
+
+/// Worker-pool bound for virtual-rank microbenchmark points.
+const MICRO_WORKERS: usize = 4;
+
 /// Arm `cfg` with a drops-only fault plan (repaired by the default retry
-/// policy) when a drop rate is requested.
-fn with_drops(cfg: WorldConfig, drop_rate: Option<f64>) -> WorldConfig {
-    match drop_rate {
+/// policy) and/or the virtual-rank backend, as the mode requests.
+fn with_mode(cfg: WorldConfig, mode: PointMode) -> WorldConfig {
+    let cfg = match mode.drop_rate {
         Some(p) => cfg.with_faults(
             FaultPlan::seeded(0xB5)
                 .with_drop_rate(p)
                 .with_retry(RetryPolicy::default()),
         ),
+        None => cfg,
+    };
+    match mode.sched_seed {
+        Some(seed) => cfg.with_virtual(MICRO_WORKERS).with_sched_seed(seed),
         None => cfg,
     }
 }
@@ -125,7 +168,7 @@ fn summarize(
     payload_bytes: usize,
     mut samples_us: Vec<f64>,
     bytes_per_op: Option<usize>,
-    drop_rate: Option<f64>,
+    mode: PointMode,
 ) -> MicroResult {
     samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     let mean = samples_us.iter().sum::<f64>() / samples_us.len().max(1) as f64;
@@ -140,22 +183,18 @@ fn summarize(
         p95_us: p95,
         mean_us: mean,
         mb_per_s: bytes_per_op.map(|b| b as f64 / p50),
-        drop_rate,
+        drop_rate: mode.drop_rate,
+        sched_seed: mode.sched_seed,
     }
 }
 
 /// Ping-pong latency between two ranks: half the round-trip per sample.
 /// `eager` selects the buffered protocol (threshold above the payload) or
 /// the rendezvous protocol (threshold 0).
-pub fn pingpong(
-    bytes: usize,
-    iters: usize,
-    eager: bool,
-    drop_rate: Option<f64>,
-) -> Result<MicroResult> {
-    let cfg = with_drops(
+pub fn pingpong(bytes: usize, iters: usize, eager: bool, mode: PointMode) -> Result<MicroResult> {
+    let cfg = with_mode(
         WorldConfig::new(2).with_eager_threshold(if eager { usize::MAX } else { 0 }),
-        drop_rate,
+        mode,
     );
     let warmup = (iters / 10).max(4);
     let out = World::run(cfg, move |comm| {
@@ -182,19 +221,14 @@ pub fn pingpong(
         bytes,
         out.values.into_iter().next().expect("rank 0 samples"),
         None,
-        drop_rate,
+        mode,
     ))
 }
 
 /// One-way bandwidth: rank 0 streams a window of eager sends, rank 1
 /// acknowledges the whole window; each sample is one window.
-pub fn bandwidth(
-    bytes: usize,
-    window: usize,
-    reps: usize,
-    drop_rate: Option<f64>,
-) -> Result<MicroResult> {
-    let cfg = with_drops(WorldConfig::new(2), drop_rate);
+pub fn bandwidth(bytes: usize, window: usize, reps: usize, mode: PointMode) -> Result<MicroResult> {
+    let cfg = with_mode(WorldConfig::new(2), mode);
     let out = World::run(cfg, move |comm| {
         let payload = vec![0u8; bytes];
         let mut samples = Vec::with_capacity(reps);
@@ -224,7 +258,7 @@ pub fn bandwidth(
         bytes,
         out.values.into_iter().next().expect("rank 0 samples"),
         Some(bytes),
-        drop_rate,
+        mode,
     ))
 }
 
@@ -260,9 +294,9 @@ pub fn collective(
     ranks: usize,
     bytes: usize,
     iters: usize,
-    drop_rate: Option<f64>,
+    mode: PointMode,
 ) -> Result<MicroResult> {
-    let cfg = with_drops(WorldConfig::new(ranks), drop_rate);
+    let cfg = with_mode(WorldConfig::new(ranks), mode);
     let warmup = (iters / 10).max(2);
     let out = World::run(cfg, move |comm| {
         let elems = (bytes / 8).max(1);
@@ -303,7 +337,7 @@ pub fn collective(
         bytes,
         out.values.into_iter().next().expect("rank 0 samples"),
         None,
-        drop_rate,
+        mode,
     ))
 }
 
@@ -318,6 +352,7 @@ pub const COLL_RANKS: usize = 8;
 
 /// Run the whole suite with the given budget.
 pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
+    let point_mode = PointMode::from_config(&cfg);
     let mut results = Vec::new();
     for &bytes in &LAT_SIZES {
         // Large rendezvous payloads pay a blocking handshake per message;
@@ -327,11 +362,11 @@ pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
         } else {
             cfg.lat_iters
         };
-        results.push(pingpong(bytes, iters, true, cfg.drop_rate)?);
-        results.push(pingpong(bytes, iters, false, cfg.drop_rate)?);
+        results.push(pingpong(bytes, iters, true, point_mode)?);
+        results.push(pingpong(bytes, iters, false, point_mode)?);
     }
     for &bytes in &[65_536usize, 1 << 20] {
-        results.push(bandwidth(bytes, cfg.bw_window, cfg.bw_reps, cfg.drop_rate)?);
+        results.push(bandwidth(bytes, cfg.bw_window, cfg.bw_reps, point_mode)?);
     }
     for which in [
         Coll::Bcast,
@@ -345,7 +380,7 @@ pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
             } else {
                 cfg.coll_iters
             };
-            results.push(collective(which, COLL_RANKS, bytes, iters, cfg.drop_rate)?);
+            results.push(collective(which, cfg.coll_ranks, bytes, iters, point_mode)?);
         }
     }
     Ok(MicroSuite {
@@ -387,9 +422,10 @@ impl MicroSuite {
     pub fn regression_markers(&self) -> Vec<String> {
         let mut bad = Vec::new();
         for r in &self.results {
-            // Lossy points pay retransmissions by design; only fault-free
-            // points defend the perf trajectory.
-            if r.drop_rate.is_some() {
+            // Lossy points pay retransmissions by design, and virtual-rank
+            // points pay a scheduling barrier per blocking call; only the
+            // default fault-free thread-mode points defend the trajectory.
+            if r.drop_rate.is_some() || r.sched_seed.is_some() {
                 continue;
             }
             // Ceilings are ~50× the post-optimization numbers on a
@@ -427,6 +463,7 @@ mod tests {
         }"#;
         let r: MicroResult = serde_json::from_str(old).expect("old schema parses");
         assert_eq!(r.drop_rate, None);
+        assert_eq!(r.sched_seed, None);
         assert_eq!(r.bench, "pingpong");
     }
 
@@ -442,11 +479,17 @@ mod tests {
             mean_us: 1e9,
             mb_per_s: None,
             drop_rate: Some(0.2),
+            sched_seed: None,
+        };
+        let slow_but_virtual = MicroResult {
+            drop_rate: None,
+            sched_seed: Some(3),
+            ..slow_but_lossy.clone()
         };
         let suite = MicroSuite {
             suite: "pdc-mpi-micro".into(),
             mode: "quick".into(),
-            results: vec![slow_but_lossy],
+            results: vec![slow_but_lossy, slow_but_virtual],
         };
         assert!(suite.regression_markers().is_empty());
     }

@@ -1,0 +1,295 @@
+//! Strong-scaling sweeps at virtual-rank scale (256–4096 ranks).
+//!
+//! The paper's Monsoon-cluster experiments stop where a thread-per-rank
+//! runtime does — a few dozen ranks. The deterministic scheduler
+//! ([`pdc_mpi::sched`]) multiplexes thousands of logical ranks onto a
+//! small worker pool, so these sweeps rerun Modules 2/3/6 at cluster
+//! scale and reproduce the paper's strong-scaling *shapes*:
+//!
+//! * **Module 6** (1-D stencil, nodes scaled with ranks): while the
+//!   per-rank slab is large the sweep is compute-dominated and speeds up
+//!   ≈ linearly (256→1024); once slabs shrink to a few cache lines the
+//!   α-dominated halo exchange takes over and the curve goes
+//!   communication-limited (1024→4096);
+//! * **Module 2** (distance matrix on a *fixed* 8-node allocation): the
+//!   row scan is memory-bound, so once the eight node buses saturate,
+//!   adding ranks stops helping — the curve flattens at the aggregate
+//!   node-bandwidth ceiling;
+//! * **Module 3** (distribution sort, nodes scaled with ranks): the
+//!   exchange posts O(p²) messages, so past the compute-dominated regime
+//!   strong scaling *reverses* — t(1024) > t(256) — the classic
+//!   scaling-breakdown lesson the module teaches.
+//!
+//! Times are the *simulated* clock (α–β + roofline model), so a sweep is
+//! bit-reproducible: the committed `BENCH_scale.json` baseline is exact,
+//! and `scripts/bench_gate` gates on it without noise margins. Results
+//! reuse the [`MicroResult`] schema (sim-time microseconds in the `p50`
+//! slot) so the gate needs no second format.
+
+use crate::micro::{MicroResult, MicroSuite};
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{distance_matrix_rank, Access};
+use pdc_modules::module3::{distribution_sort_rank, BucketStrategy, InputDist};
+use pdc_modules::module6::{stencil_rank, HaloVariant};
+use pdc_mpi::{Result, World, WorldConfig};
+
+/// Rank counts of the sweep.
+pub const SCALE_RANKS: [usize; 3] = [256, 1024, 4096];
+
+/// Module 3's exchange posts one message per (rank, peer) pair — O(p²)
+/// messages. At 4096 ranks that is ~17M in-flight envelopes; the sweep
+/// caps the sort at 1024 ranks and says so, rather than silently
+/// shrinking the input until the point is meaningless.
+pub const SORT_MAX_RANKS: usize = 1024;
+
+/// Ranks per simulated node when the allocation scales with the sweep.
+pub const RANKS_PER_NODE: usize = 32;
+
+/// Fixed node allocation for the memory-bound (flattening) sweep.
+pub const FIXED_NODES: usize = 8;
+
+/// Points in the Module 2 distance matrix (strong scaling: fixed input).
+pub const M2_POINTS: usize = 4096;
+
+/// Total elements sorted (strong scaling: fixed input).
+pub const TOTAL_ELEMS: usize = 1 << 18;
+
+/// Total stencil grid points — sized so the 256-rank slabs are big
+/// enough for a compute-dominated (≈ linear) regime at the sweep's low
+/// end.
+pub const STENCIL_ELEMS: usize = 1 << 20;
+
+/// Stencil sweeps per point.
+pub const STENCIL_ITERS: usize = 16;
+
+/// Scheduling parameters of a sweep run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Worker-pool bound for the cooperative scheduler.
+    pub workers: usize,
+    /// Scheduling seed (`PDC_MPI_SCHED_SEED` semantics); the committed
+    /// baseline uses 0.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            seed: 0,
+        }
+    }
+}
+
+fn virtual_cfg(ranks: usize, nodes: usize, cfg: ScaleConfig) -> WorldConfig {
+    WorldConfig::virtual_ranks(ranks, cfg.workers)
+        .with_sched_seed(cfg.seed)
+        .on_nodes(nodes)
+}
+
+fn sim_point(
+    bench: &str,
+    ranks: usize,
+    payload_bytes: usize,
+    sim_time: f64,
+    cfg: ScaleConfig,
+) -> MicroResult {
+    let us = sim_time * 1e6;
+    MicroResult {
+        bench: bench.to_string(),
+        ranks,
+        payload_bytes,
+        iters: 1,
+        p50_us: us,
+        p95_us: us,
+        mean_us: us,
+        mb_per_s: None,
+        drop_rate: None,
+        sched_seed: Some(cfg.seed),
+    }
+}
+
+/// Module 2 at `ranks` ranks on the fixed [`FIXED_NODES`]-node
+/// allocation: the memory-bound point of the sweep.
+pub fn module2_point(ranks: usize, cfg: ScaleConfig) -> Result<MicroResult> {
+    let points = uniform_points(M2_POINTS, 8, 0.0, 100.0, 42);
+    let out = World::run(virtual_cfg(ranks, FIXED_NODES, cfg), move |comm| {
+        distance_matrix_rank(comm, &points, Access::RowWise)
+    })?;
+    Ok(sim_point(
+        "scale_module2",
+        ranks,
+        M2_POINTS * 8 * 8,
+        out.sim_time,
+        cfg,
+    ))
+}
+
+/// Module 3 at `ranks` ranks, [`RANKS_PER_NODE`] per node: the
+/// near-linear point of the sweep (fixed total input of
+/// [`TOTAL_ELEMS`] elements).
+pub fn sort_point(ranks: usize, cfg: ScaleConfig) -> Result<MicroResult> {
+    let n_per_rank = TOTAL_ELEMS / ranks;
+    let out = World::run(
+        virtual_cfg(ranks, ranks / RANKS_PER_NODE, cfg),
+        move |comm| {
+            distribution_sort_rank(
+                comm,
+                n_per_rank,
+                InputDist::Uniform,
+                BucketStrategy::Histogram { bins: 4 * ranks },
+                7,
+            )
+        },
+    )?;
+    Ok(sim_point(
+        "scale_sort",
+        ranks,
+        TOTAL_ELEMS * 8,
+        out.sim_time,
+        cfg,
+    ))
+}
+
+/// Module 6 at `ranks` ranks, [`RANKS_PER_NODE`] per node: fixed
+/// [`STENCIL_ELEMS`]-point grid, so per-rank slabs shrink with p while
+/// the per-iteration halo latency does not — ≈ linear while
+/// compute-dominated, communication-limited at the top of the sweep.
+pub fn stencil_point(ranks: usize, cfg: ScaleConfig) -> Result<MicroResult> {
+    let n_per_rank = STENCIL_ELEMS / ranks;
+    let out = World::run(
+        virtual_cfg(ranks, ranks / RANKS_PER_NODE, cfg),
+        move |comm| stencil_rank(comm, n_per_rank, STENCIL_ITERS, HaloVariant::BlockingFirst),
+    )?;
+    Ok(sim_point(
+        "scale_stencil",
+        ranks,
+        STENCIL_ELEMS * 8,
+        out.sim_time,
+        cfg,
+    ))
+}
+
+/// The full 256–4096-rank sweep (the sort capped at
+/// [`SORT_MAX_RANKS`]; see there).
+pub fn run_scale_suite(cfg: ScaleConfig) -> Result<MicroSuite> {
+    let mut results = Vec::new();
+    for &ranks in &SCALE_RANKS {
+        results.push(module2_point(ranks, cfg)?);
+    }
+    for &ranks in &SCALE_RANKS {
+        if ranks <= SORT_MAX_RANKS {
+            results.push(sort_point(ranks, cfg)?);
+        }
+    }
+    for &ranks in &SCALE_RANKS {
+        results.push(stencil_point(ranks, cfg)?);
+    }
+    Ok(MicroSuite {
+        suite: "pdc-mpi-scale".to_string(),
+        mode: "sim".to_string(),
+        results,
+    })
+}
+
+impl MicroSuite {
+    /// The paper's strong-scaling shapes, asserted: the stencil is ≈
+    /// linear while compute-dominated and comm-limited past that,
+    /// memory-bound Module 2 flattens on its fixed allocation, and the
+    /// sort's O(p²) exchange reverses its curve. Returns the violations.
+    pub fn shape_markers(&self) -> Vec<String> {
+        let t = |bench: &str, ranks: usize| {
+            self.results
+                .iter()
+                .find(|r| r.bench == bench && r.ranks == ranks)
+                .map(|r| r.p50_us)
+        };
+        let mut bad = Vec::new();
+        if let (Some(small), Some(large)) = (t("scale_module2", 256), t("scale_module2", 4096)) {
+            // 16× the ranks on the same eight buses: the curve must be
+            // flat (memory-bound), i.e. nowhere near another 2× speedup.
+            if small / large > 2.0 {
+                bad.push(format!(
+                    "module2 should flatten at the node-bandwidth ceiling: \
+                     t(256)={small:.0}µs vs t(4096)={large:.0}µs"
+                ));
+            }
+        }
+        if let (Some(small), Some(large)) = (t("scale_sort", 256), t("scale_sort", 1024)) {
+            // Fixed total input, 4× the ranks: the α-dominated O(p²)
+            // exchange must have reversed the curve by 1024 ranks.
+            if large < small {
+                bad.push(format!(
+                    "sort strong scaling should reverse under the O(p²) exchange: \
+                     t(256)={small:.0}µs vs t(1024)={large:.0}µs"
+                ));
+            }
+        }
+        if let (Some(s256), Some(s1024), Some(s4096)) = (
+            t("scale_stencil", 256),
+            t("scale_stencil", 1024),
+            t("scale_stencil", 4096),
+        ) {
+            // Compute-dominated regime: 4× ranks buys ≥ 2.5× (ideal 4×).
+            let low_end = s256 / s1024;
+            if low_end < 2.5 {
+                bad.push(format!(
+                    "stencil should be ≈ linear while compute-dominated: \
+                     t(256)={s256:.0}µs vs t(1024)={s1024:.0}µs ({low_end:.2}×)"
+                ));
+            }
+            // Comm-limited past that: total speedup well short of 16×.
+            let total = s256 / s4096;
+            if !(1.0..10.0).contains(&total) {
+                bad.push(format!(
+                    "stencil should go comm-limited at the top of the sweep: \
+                     t(256)={s256:.0}µs vs t(4096)={s4096:.0}µs ({total:.2}×)"
+                ));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_points_are_deterministic() {
+        let cfg = ScaleConfig::default();
+        let a = stencil_point(256, cfg).expect("stencil runs");
+        let b = stencil_point(256, cfg).expect("stencil runs");
+        assert_eq!(a.p50_us, b.p50_us, "simulated time is bit-identical");
+    }
+
+    #[test]
+    fn shape_markers_flag_inverted_shapes() {
+        let mk = |bench: &str, ranks: usize, us: f64| MicroResult {
+            bench: bench.into(),
+            ranks,
+            payload_bytes: 0,
+            iters: 1,
+            p50_us: us,
+            p95_us: us,
+            mean_us: us,
+            mb_per_s: None,
+            drop_rate: None,
+            sched_seed: Some(0),
+        };
+        let suite = MicroSuite {
+            suite: "pdc-mpi-scale".into(),
+            mode: "sim".into(),
+            results: vec![
+                // Memory-bound curve that (wrongly) keeps speeding up.
+                mk("scale_module2", 256, 4000.0),
+                mk("scale_module2", 4096, 100.0),
+                // Sort whose curve (wrongly) fails to reverse.
+                mk("scale_sort", 256, 1000.0),
+                mk("scale_sort", 1024, 900.0),
+            ],
+        };
+        let bad = suite.shape_markers();
+        assert_eq!(bad.len(), 2, "{bad:?}");
+    }
+}

@@ -20,9 +20,16 @@
 //! wakeup to tens of milliseconds; it is a safety net, never the wakeup
 //! path.
 
+use crate::sched::{self, SchedCtx, Scheduler, WaitKind};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::Duration;
+
+/// Process-wide channel id source. Ids name channels to the cooperative
+/// scheduler (a parked virtual rank waits on a channel *id*); uniqueness
+/// across worlds is all that matters.
+static NEXT_CHAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Safety-net re-check period for blocked waits. Orders of magnitude
 /// longer than any expected wait; the condvar signal is the real wakeup.
@@ -46,10 +53,22 @@ struct State<T> {
     receiver_alive: bool,
 }
 
-#[derive(Debug)]
 struct Inner<T> {
     state: Mutex<State<T>>,
     cv: Condvar,
+    /// Scheduler-facing identity of this channel.
+    id: u64,
+    /// The cooperative scheduler of the world this channel was created
+    /// in, when it was created on a virtual-rank thread. Drop hooks
+    /// notify it so a parked rank observes a disconnect; everything else
+    /// consults the *current* thread's context instead.
+    sched: Option<std::sync::Weak<Scheduler>>,
+}
+
+impl<T> std::fmt::Debug for Inner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").field("id", &self.id).finish()
+    }
 }
 
 impl<T> Inner<T> {
@@ -57,6 +76,16 @@ impl<T> Inner<T> {
         // A rank can panic (contained by the world's catch_unwind) while
         // peers still use the channel; poisoned locks stay usable.
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Notify the channel's scheduler (if its world is virtual) that a
+    /// disconnect-relevant state change happened, so a rank parked on
+    /// this channel re-checks. Must be called with the state lock
+    /// *released*: the scheduler takes its own lock.
+    fn wake_sched(&self) {
+        if let Some(sched) = self.sched.as_ref().and_then(Weak::upgrade) {
+            sched.wake_chan(self.id);
+        }
     }
 }
 
@@ -105,18 +134,47 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.0.lock();
-        state.senders -= 1;
-        if state.senders == 0 {
-            // Turn abandoned waits into Disconnected.
-            self.0.cv.notify_all();
+        let disconnected = {
+            let mut state = self.0.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Turn abandoned waits into Disconnected.
+                self.0.cv.notify_all();
+            }
+            state.senders == 0
+        };
+        if disconnected {
+            self.0.wake_sched();
         }
     }
 }
 
-impl<T> Sender<T> {
+impl<T: Send + 'static> Sender<T> {
     /// Enqueue a message and wake the receiver.
+    ///
+    /// On a virtual-rank thread the push is *buffered* with the
+    /// scheduler instead (frozen-channel invariant: running ranks never
+    /// mutate channels; the barrier flushes buffered sends in
+    /// deterministic order). A buffered send always reports `Ok` — if
+    /// the receiver is gone by flush time the message is dropped
+    /// silently, matching the crashed-peer semantics of the thread
+    /// backend.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if let Some(ctx) = sched::ctx() {
+            let inner = Arc::clone(&self.0);
+            ctx.sched.buffer_effect(
+                ctx.rank,
+                self.0.id,
+                Box::new(move || {
+                    let mut state = inner.lock();
+                    if state.receiver_alive {
+                        state.queue.push_back(value);
+                        inner.cv.notify_one();
+                    }
+                }),
+            );
+            return Ok(());
+        }
         let mut state = self.0.lock();
         if !state.receiver_alive {
             return Err(SendError(value));
@@ -159,6 +217,9 @@ impl<T: Send> Receiver<T> {
     /// whoever flips the stop condition and then wakes this channel is
     /// guaranteed to be observed.
     pub fn recv_or_stop(&self, stop: impl Fn() -> bool) -> Result<T, RecvError> {
+        if let Some(ctx) = sched::ctx() {
+            return self.recv_cooperative(&ctx, stop);
+        }
         // Yield-spin briefly before parking: in a tight message exchange
         // the peer usually produces the reply within one scheduler
         // quantum, and a sched_yield round is cheaper than a futex sleep
@@ -202,6 +263,31 @@ impl<T: Send> Receiver<T> {
         }
     }
 
+    /// Virtual-rank wait: park with the cooperative scheduler instead of
+    /// the condvar. The wait condition is level-triggered (queued
+    /// message, stop flag, sender count — all re-checked per wake), and
+    /// the wake-generation capture *before* the checks closes the one
+    /// edge-triggered window: a stop/disconnect flipped between the
+    /// check and the park skips the park entirely.
+    fn recv_cooperative(&self, ctx: &SchedCtx, stop: impl Fn() -> bool) -> Result<T, RecvError> {
+        loop {
+            let seen = ctx.sched.wake_generation();
+            {
+                let mut state = self.0.lock();
+                if let Some(v) = state.queue.pop_front() {
+                    return Ok(v);
+                }
+                if stop() {
+                    return Err(RecvError::Stopped);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError::Disconnected);
+                }
+            }
+            ctx.sched.park(ctx.rank, WaitKind::Chan(self.0.id), seen);
+        }
+    }
+
     /// A weak wake handle for [`crate::mailbox::Progress`]'s poison
     /// broadcast. Weak, so finished channels don't accumulate.
     pub fn waker(&self) -> Weak<dyn Wake>
@@ -213,7 +299,9 @@ impl<T: Send> Receiver<T> {
     }
 }
 
-/// Create an unbounded event-driven channel.
+/// Create an unbounded event-driven channel. A channel created on a
+/// virtual-rank thread remembers its world's scheduler so disconnects
+/// wake parked ranks.
 pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
@@ -222,6 +310,8 @@ pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
             receiver_alive: true,
         }),
         cv: Condvar::new(),
+        id: NEXT_CHAN_ID.fetch_add(1, Ordering::Relaxed),
+        sched: sched::ctx().map(|ctx| Arc::downgrade(&ctx.sched)),
     });
     (Sender(Arc::clone(&inner)), Receiver(inner))
 }

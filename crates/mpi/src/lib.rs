@@ -63,6 +63,7 @@ pub mod error;
 pub mod fault;
 pub mod mailbox;
 pub mod reduce;
+pub mod sched;
 pub mod stats;
 pub mod subcomm;
 pub mod topology;
@@ -76,6 +77,7 @@ pub use envelope::{SourceSel, Status, TagSel};
 pub use error::{Error, Result};
 pub use fault::{CrashEvent, FaultPlan, RetryPolicy};
 pub use reduce::{Op, Reducible};
+pub use sched::VirtualRanks;
 pub use stats::{CommStats, Primitive, ProtocolVolume};
 pub use subcomm::SubComm;
 pub use topology::{dims_create, CartTopology};

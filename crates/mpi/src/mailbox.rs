@@ -20,6 +20,7 @@ use crate::chan::{Receiver, RecvError, Wake};
 use crate::check::{BlockedOp, DeadlockInfo};
 use crate::envelope::{Envelope, MatchSpec, SourceSel, Status};
 use crate::error::{Error, Result};
+use crate::sched::{self, WaitKind};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, Weak};
@@ -179,6 +180,10 @@ impl Progress {
             }
         }
         self.notify_agree();
+        // A crash can flip any parked virtual rank's stop condition.
+        if let Some(ctx) = sched::ctx() {
+            ctx.sched.wake_all_blocked();
+        }
     }
 
     /// Count of failures observed so far. A blocked primitive whose rank
@@ -269,6 +274,9 @@ impl Progress {
     /// failed set and the failure epoch it covers. Every participant of a
     /// generation returns the *same* snapshot.
     pub fn agree(&self, rank: usize) -> Result<(Vec<(usize, f64)>, u64)> {
+        if let Some(ctx) = sched::ctx() {
+            return self.agree_cooperative(rank, &ctx);
+        }
         let mut st = self.agree.lock().unwrap_or_else(PoisonError::into_inner);
         let my_gen = st.generation;
         st.entered.insert(rank);
@@ -286,6 +294,38 @@ impl Progress {
                 .agree_cv
                 .wait_timeout(st, Duration::from_millis(50))
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`Progress::agree`] on a virtual-rank thread: park with the
+    /// cooperative scheduler instead of the condvar. Resolution,
+    /// `mark_done`, `mark_failed`, and poison all wake event waiters.
+    fn agree_cooperative(
+        &self,
+        rank: usize,
+        ctx: &sched::SchedCtx,
+    ) -> Result<(Vec<(usize, f64)>, u64)> {
+        let my_gen = {
+            let mut st = self.agree.lock().unwrap_or_else(PoisonError::into_inner);
+            let my_gen = st.generation;
+            st.entered.insert(rank);
+            self.try_resolve_agree(&mut st);
+            my_gen
+        };
+        loop {
+            let seen = ctx.sched.wake_generation();
+            {
+                let st = self.agree.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some((gen, snapshot, epoch)) = &st.resolved {
+                    if *gen == my_gen {
+                        return Ok((snapshot.clone(), *epoch));
+                    }
+                }
+            }
+            if self.is_poisoned() {
+                return Err(self.deadlock_error());
+            }
+            ctx.sched.park(rank, WaitKind::Event, seen);
         }
     }
 
@@ -316,6 +356,12 @@ impl Progress {
             st.generation += 1;
             st.entered.clear();
             self.agree_cv.notify_all();
+            // Parked virtual ranks don't hear the condvar; wake them
+            // through the scheduler (the resolving rank is Running, so
+            // its context names the right scheduler).
+            if let Some(ctx) = sched::ctx() {
+                ctx.sched.wake_events();
+            }
         }
     }
 
@@ -330,6 +376,10 @@ impl Progress {
         self.done.fetch_add(1, Ordering::SeqCst);
         self.notify_agree();
         self.notify_done();
+        // Wake virtual ranks parked in `wait_all_done`/`agree`.
+        if let Some(ctx) = sched::ctx() {
+            ctx.sched.wake_events();
+        }
     }
 
     fn notify_done(&self) {
@@ -350,6 +400,17 @@ impl Progress {
     /// (Blocked ranks are released by the watchdog's poison, so this
     /// terminates even on deadlocked runs.)
     pub fn wait_all_done(&self) {
+        if let Some(ctx) = sched::ctx() {
+            // Virtual rank: park with the scheduler; every `mark_done`
+            // wakes event waiters, so this loop observes the last one.
+            loop {
+                let seen = ctx.sched.wake_generation();
+                if self.all_done() {
+                    return;
+                }
+                ctx.sched.park(ctx.rank, WaitKind::Event, seen);
+            }
+        }
         let mut guard = self
             .done_sync
             .lock()
@@ -414,6 +475,17 @@ impl Progress {
         }
     }
 
+    /// Snapshot of every registered blocked operation (what each stuck
+    /// rank is waiting for). The watchdog and the virtual-rank
+    /// scheduler's exact deadlock detection both build their
+    /// [`DeadlockInfo`] from this.
+    pub fn blocked_snapshot(&self) -> Vec<BlockedOp> {
+        self.blocked_ops
+            .lock()
+            .map(|ops| ops.iter().flatten().cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// The error blocked primitives return when the world is poisoned:
     /// deadlock, carrying the watchdog's explanation when one was stored.
     pub fn deadlock_error(&self) -> Error {
@@ -471,11 +543,7 @@ pub fn watchdog(progress: &Progress, interval: Duration) {
             // was waiting for and look for a wait-for cycle, so the error
             // the ranks observe names the calls instead of just timing
             // out.
-            let blocked_ops: Vec<BlockedOp> = progress
-                .blocked_ops
-                .lock()
-                .map(|ops| ops.iter().flatten().cloned().collect())
-                .unwrap_or_default();
+            let blocked_ops = progress.blocked_snapshot();
             let info = DeadlockInfo {
                 cycle: DeadlockInfo::find_cycle(&blocked_ops),
                 blocked: blocked_ops,

@@ -7,12 +7,18 @@ use crate::comm::{Comm, RankReport};
 use crate::error::{Error, Result};
 use crate::fault::{ActiveFaults, FaultPlan};
 use crate::mailbox::{watchdog, Mailbox, Progress};
+use crate::sched::{Scheduler, VirtualRanks};
 use crate::stats::CommStats;
 use crate::trace::{CollSpan, PhaseSpan, Timeline};
 use pdc_cluster::{CostModel, MachineModel, Placement, PlacementPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Stack size for virtual-rank threads. Module bodies keep their working
+/// sets on the heap, so 512 KiB is plenty — and it is what lets a
+/// 4096-rank world fit in a CI container's address space.
+const VIRTUAL_RANK_STACK: usize = 512 * 1024;
 
 /// Configuration for a world launch.
 #[derive(Debug, Clone)]
@@ -44,6 +50,13 @@ pub struct WorldConfig {
     /// Deterministic fault-injection plan (see [`FaultPlan`] and
     /// `docs/faults.md`); `None` runs on a perfect machine.
     pub faults: Option<FaultPlan>,
+    /// Rank virtualisation: `None` (the default) spawns one OS thread
+    /// per rank and lets the kernel schedule them; `Some` multiplexes
+    /// the ranks onto a bounded batch under the seeded deterministic
+    /// cooperative scheduler (see [`crate::sched`] and
+    /// `docs/scheduler.md`). Virtual worlds replace the wall-clock
+    /// watchdog with exact deadlock detection.
+    pub sched: Option<VirtualRanks>,
 }
 
 impl WorldConfig {
@@ -102,7 +115,61 @@ impl WorldConfig {
             tracing: false,
             check: CheckMode::Off,
             faults: None,
+            sched: None,
         }
+    }
+
+    /// A virtual-rank world: `n` logical ranks multiplexed onto batches
+    /// of at most `workers` concurrently-running ranks, scheduled by the
+    /// seeded deterministic run queue (`docs/scheduler.md`). The seed
+    /// defaults to 0 and is overridable via `PDC_MPI_SCHED_SEED` (or
+    /// [`WorldConfig::with_sched_seed`]); the same
+    /// `(program, n, workers, seed)` replays the same interleaving
+    /// bit-identically. Each rank still owns a (small-stack) thread, so
+    /// 4096-rank worlds are practical; the watchdog thread is replaced
+    /// by the scheduler's exact deadlock detection.
+    ///
+    /// # Panics
+    /// Panics if `n` or `workers` is 0, or if `PDC_MPI_SCHED_SEED` is
+    /// set to a value that does not parse.
+    pub fn virtual_ranks(n: usize, workers: usize) -> Self {
+        Self::new(n).with_virtual(workers)
+    }
+
+    /// Switch an existing config to the virtual-rank backend (builder
+    /// style); see [`WorldConfig::virtual_ranks`].
+    ///
+    /// # Panics
+    /// Panics if `workers` is 0 or `PDC_MPI_SCHED_SEED` does not parse.
+    pub fn with_virtual(mut self, workers: usize) -> Self {
+        assert!(
+            workers > 0,
+            "a virtual-rank world needs at least one worker"
+        );
+        let seed = match std::env::var("PDC_MPI_SCHED_SEED") {
+            Ok(v) => v.trim().parse::<u64>().unwrap_or_else(|_| {
+                panic!("PDC_MPI_SCHED_SEED must be an unsigned integer, got {v:?}")
+            }),
+            Err(std::env::VarError::NotPresent) => 0,
+            Err(e) => panic!("PDC_MPI_SCHED_SEED is not valid unicode: {e}"),
+        };
+        self.sched = Some(VirtualRanks { workers, seed });
+        self
+    }
+
+    /// Pin the scheduling seed of a virtual-rank world (builder style),
+    /// overriding `PDC_MPI_SCHED_SEED`. No-op hint until
+    /// [`WorldConfig::with_virtual`] enables the backend — call it after.
+    ///
+    /// # Panics
+    /// Panics if the config is not virtual yet.
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
+        let v = self
+            .sched
+            .as_mut()
+            .expect("with_sched_seed requires a virtual-rank config (call with_virtual first)");
+        v.seed = seed;
+        self
     }
 
     /// Spread the ranks over `nodes` nodes of a multi-node machine
@@ -190,6 +257,11 @@ pub struct RunOutput<T> {
     /// tracing was on). The `k`-th entry on every rank is the same
     /// collective, so pdc-prof compares entry times across ranks.
     pub colls: Vec<Vec<CollSpan>>,
+    /// The deterministic scheduler's resume order — one rank id per
+    /// scheduling decision (empty unless the world ran with
+    /// [`WorldConfig::virtual_ranks`]). Same config and seed ⇒ identical
+    /// trace; the schedule-exploration tests pin this.
+    pub sched_trace: Vec<u32>,
 }
 
 impl<T> RunOutput<T> {
@@ -293,7 +365,18 @@ impl World {
             cfg.placement_policy,
         );
         let cost = Arc::new(CostModel::new(cfg.machine.clone(), placement));
-        let progress = Progress::new(cfg.size);
+        let progress = Arc::new(Progress::new(cfg.size));
+        // Virtual-rank backend: build the deterministic scheduler. Worlds
+        // with a fault plan serialise to one worker — failure
+        // notifications mutate shared progress state mid-batch, and a
+        // single-worker batch is the schedule under which that stays a
+        // deterministic function of the seed.
+        let sched = cfg.sched.map(|v| {
+            let workers = if cfg.faults.is_some() { 1 } else { v.workers };
+            let s = Scheduler::new(cfg.size, workers, v.seed);
+            s.attach_progress(Arc::clone(&progress));
+            s
+        });
         // Resolve the crash schedule against the placement once; every
         // rank shares the same view of who dies when.
         let faults = cfg.faults.as_ref().map(|plan| ActiveFaults {
@@ -328,7 +411,13 @@ impl World {
                 let tracing = cfg.tracing;
                 let check = cfg.check;
                 let faults = faults.clone();
-                handles.push(scope.spawn(move || {
+                let sched = sched.clone();
+                let body = move || {
+                    // Bind this thread to the cooperative scheduler first
+                    // (the guard drops last, retiring the rank after
+                    // mark_done and the finalize wait have run).
+                    let _sched_guard = sched.as_ref().map(|s| s.enter(rank));
+                    let progress: &Progress = progress;
                     let mut comm = Comm::new(
                         rank,
                         outboxes,
@@ -349,16 +438,36 @@ impl World {
                         // The finalize-time leak check drains this rank's
                         // mailbox; wait until every rank has finished so
                         // all in-flight sends have landed first. (Blocked
-                        // ranks are released by the watchdog's poison, so
-                        // this terminates even on deadlocked runs.)
+                        // ranks are released by the watchdog's — or the
+                        // scheduler's — poison, so this terminates even
+                        // on deadlocked runs.)
                         progress.wait_all_done();
                     }
                     (value, comm.into_report())
-                }));
+                };
+                if cfg.sched.is_some() {
+                    // Thousands of logical ranks: small stacks keep the
+                    // address-space footprint bounded (the module bodies
+                    // heap-allocate their data).
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("vrank{rank}"))
+                            .stack_size(VIRTUAL_RANK_STACK)
+                            .spawn_scoped(scope, body)
+                            .expect("spawn virtual rank thread"),
+                    );
+                } else {
+                    handles.push(scope.spawn(body));
+                }
             }
+            // Virtual worlds never start the wall-clock watchdog: the
+            // scheduler detects deadlock exactly (empty run queue with
+            // unfinished ranks), with zero timing sensitivity.
             if let Some(interval) = cfg.watchdog {
-                let progress = &progress;
-                scope.spawn(move || watchdog(progress, interval));
+                if sched.is_none() {
+                    let progress = &progress;
+                    scope.spawn(move || watchdog(progress, interval));
+                }
             }
             for (rank, handle) in handles.into_iter().enumerate() {
                 let outcome = handle.join().unwrap_or_else(|_| {
@@ -379,6 +488,7 @@ impl World {
             // Unblock the watchdog promptly if it is still sleeping: setting
             // done to size makes its next sample exit. (Already true here.)
         });
+        let sched_trace = sched.as_ref().map(|s| s.take_trace()).unwrap_or_default();
 
         let mut values = Vec::with_capacity(cfg.size);
         let mut stats = Vec::with_capacity(cfg.size);
@@ -428,6 +538,7 @@ impl World {
                 traces,
                 phases,
                 colls,
+                sched_trace,
             }),
             events,
         )

@@ -187,10 +187,13 @@ fn sendrecv_ring_shift_never_deadlocks() {
 #[test]
 fn blocking_ring_with_rendezvous_deadlocks_and_is_detected() {
     // Module 1's classic lesson: everyone sends right, then receives — with
-    // synchronous sends this cycle can never complete.
-    let cfg = WorldConfig::new(4)
-        .with_eager_threshold(0)
-        .with_watchdog(Some(Duration::from_millis(20)));
+    // synchronous sends this cycle can never complete. Run it under the
+    // deterministic scheduler: deadlock is declared the moment the run
+    // queue empties, not after a wall-clock sampling interval — no
+    // dependence on how fast the host happens to be.
+    let cfg = WorldConfig::virtual_ranks(4, 2)
+        .with_sched_seed(0)
+        .with_eager_threshold(0);
     let err = World::run(cfg, |comm| {
         let right = (comm.rank() + 1) % comm.size();
         let left = (comm.rank() + comm.size() - 1) % comm.size();
@@ -202,8 +205,8 @@ fn blocking_ring_with_rendezvous_deadlocks_and_is_detected() {
     let Error::Deadlock(info) = err else {
         panic!("expected a deadlock, got {err}");
     };
-    // The watchdog names every blocked rank, the call it was blocked in,
-    // and the wait-for cycle over the ring.
+    // The deadlock report names every blocked rank, the call it was
+    // blocked in, and the wait-for cycle over the ring.
     assert_eq!(info.blocked.len(), 4, "{}", info.render());
     assert_eq!(info.cycle.len(), 4, "{}", info.render());
     for b in &info.blocked {
@@ -251,7 +254,8 @@ fn ssend_synchronizes_with_the_receive() {
 
 #[test]
 fn missing_receive_is_reported_as_deadlock() {
-    let cfg = WorldConfig::new(2).with_watchdog(Some(Duration::from_millis(20)));
+    // Deterministic scheduler: exact detection, no timing sensitivity.
+    let cfg = WorldConfig::virtual_ranks(2, 2).with_sched_seed(0);
     let err = World::run(cfg, |comm| {
         if comm.rank() == 0 {
             // Waits for a message nobody sends.

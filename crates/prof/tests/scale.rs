@@ -1,0 +1,49 @@
+//! Scale acceptance: the virtual-rank backend pushes the profiler's
+//! verdicts to cluster scales no thread-per-rank run could reach. A
+//! 4096-rank Module 2 sweep must complete on a CI container and keep the
+//! node-bandwidth diagnosis of `docs/performance-model.md`: with 32 ranks
+//! sharing each node bus, effective bandwidth per rank collapses to
+//! `node_mem_bw / ranks_per_node`.
+
+use pdc_datagen::uniform_points;
+use pdc_modules::module2::{distance_matrix_rank, Access};
+use pdc_mpi::WorldConfig;
+use pdc_prof::{profile_world, Bound};
+
+/// 4096 ranks on 128 simulated nodes (32 ranks per node), multiplexed
+/// onto a small worker pool. The strong-scaling shape of the paper's
+/// memory-bound module survives the three-orders-of-magnitude jump.
+#[test]
+fn module2_at_4096_ranks_stays_node_bandwidth_bound() {
+    let points = uniform_points(4096, 8, 0.0, 100.0, 42);
+    let cfg = WorldConfig::virtual_ranks(4096, 8)
+        .with_sched_seed(0)
+        .on_nodes(128);
+    let ranks_per_node = cfg.machine.cores_per_node as f64;
+    assert_eq!(ranks_per_node, 32.0, "4096 ranks over 128 nodes");
+    let node_bw = cfg.machine.node_mem_bw;
+    let profiled = profile_world(cfg, move |comm| {
+        distance_matrix_rank(comm, &points, Access::RowWise)
+    })
+    .expect("4096-rank module2 completes under virtual ranks");
+    let p = &profiled.profile;
+    assert_eq!(p.placement.nodes_used(), 128);
+
+    let k = p.kernel("row_scan").expect("row_scan kernel verdict");
+    assert_eq!(
+        k.bound,
+        Bound::NodeBandwidth,
+        "row scan stays bandwidth-bound on the saturated node bus: {k:?}"
+    );
+    let per_rank = node_bw / ranks_per_node;
+    assert!(
+        (k.ceiling - per_rank).abs() < 1e-3 * per_rank,
+        "ceiling {} vs node_mem_bw/{ranks_per_node} = {per_rank}",
+        k.ceiling
+    );
+    assert!(
+        (k.effective_bandwidth - per_rank).abs() < 0.1 * per_rank,
+        "effective bandwidth {} should sit at ~{per_rank}",
+        k.effective_bandwidth
+    );
+}
