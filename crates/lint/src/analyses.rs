@@ -1,0 +1,608 @@
+//! The four MUST-style static analyses over per-rank walk results:
+//! collective alignment, point-to-point matching, unwaited-request
+//! detection, and synchronous-send cycle detection. Findings reuse the
+//! `pdc-check` report vocabulary so static and dynamic results read the
+//! same way.
+
+use crate::parse::FnDef;
+use crate::walk::{self, CollNode, Ctx, FlatOp, P2pDir, RankTrace, Root, MODEL_SIZES};
+use pdc_check::{Finding, FindingKind, Report, Severity};
+
+/// Analyze one entry-point function at every model world size and fold
+/// the findings (deduplicated across sizes) into one report.
+pub fn analyze_fn(ctx: &Ctx, file_idx: usize, fndef: &FnDef) -> Report {
+    let file = ctx.files[file_idx].path.clone();
+    let mut report = Report {
+        world_size: *MODEL_SIZES.last().expect("model sizes") as usize,
+        ..Report::default()
+    };
+    let mut merged: Vec<Finding> = Vec::new();
+    for &size in MODEL_SIZES {
+        let traces: Vec<RankTrace> = (0..size)
+            .map(|r| walk::walk_fn(ctx, file_idx, fndef, r, size))
+            .collect();
+        let mut found = Vec::new();
+        check_collectives(&file, &traces, &mut found);
+        check_p2p(&file, &traces, &mut found);
+        check_leaks(&file, &traces, &mut found);
+        check_cycles(&file, &traces, &mut found);
+        for f in found {
+            // The same defect usually fires at every model size; merge
+            // by (kind, sites, message) and widen the rank set.
+            if let Some(prev) = merged
+                .iter_mut()
+                .find(|p| p.kind == f.kind && p.sites == f.sites && p.message == f.message)
+            {
+                for r in f.ranks {
+                    if !prev.ranks.contains(&r) {
+                        prev.ranks.push(r);
+                    }
+                }
+                prev.ranks.sort_unstable();
+            } else {
+                merged.push(f);
+            }
+        }
+    }
+    for f in merged {
+        report.push(f);
+    }
+    report
+}
+
+fn site(file: &str, line: u32) -> String {
+    format!("{file}:{line}")
+}
+
+// ---------------------------------------------------------------------
+// Analysis 1: collective alignment.
+// ---------------------------------------------------------------------
+
+/// Compare every rank's collective tree against rank 0's; report the
+/// first divergence per world size.
+fn check_collectives(file: &str, traces: &[RankTrace], out: &mut Vec<Finding>) {
+    for (r, t) in traces.iter().enumerate().skip(1) {
+        if let Some(d) = diff_trees(&traces[0].colls, &t.colls) {
+            let (message, lines) = describe_divergence(&d, r);
+            out.push(Finding {
+                kind: FindingKind::CollectiveMismatch,
+                severity: Severity::Error,
+                ranks: vec![0, r],
+                message,
+                sites: lines.into_iter().map(|l| site(file, l)).collect(),
+            });
+            // One divergence per size keeps reports readable; later
+            // ranks usually repeat the same split.
+            return;
+        }
+    }
+}
+
+/// A divergence between rank 0's tree (`a`) and rank r's (`b`).
+enum Diff<'t> {
+    /// Node-level mismatch: what rank 0 does vs what rank r does.
+    Nodes(&'t CollNode, &'t CollNode, String),
+    /// Rank 0 has more collectives at this level.
+    ExtraA(&'t CollNode),
+    /// Rank r has more collectives at this level.
+    ExtraB(&'t CollNode),
+}
+
+fn diff_trees<'t>(a: &'t [CollNode], b: &'t [CollNode]) -> Option<Diff<'t>> {
+    for i in 0..a.len().min(b.len()) {
+        if let Some(d) = diff_nodes(&a[i], &b[i]) {
+            return Some(d);
+        }
+    }
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Greater => Some(Diff::ExtraA(&a[b.len()])),
+        std::cmp::Ordering::Less => Some(Diff::ExtraB(&b[a.len()])),
+        std::cmp::Ordering::Equal => None,
+    }
+}
+
+fn diff_nodes<'t>(a: &'t CollNode, b: &'t CollNode) -> Option<Diff<'t>> {
+    match (a, b) {
+        (
+            CollNode::Coll {
+                name: na,
+                root: ra,
+                op: oa,
+                ty: ta,
+                ..
+            },
+            CollNode::Coll {
+                name: nb,
+                root: rb,
+                op: ob,
+                ty: tb,
+                ..
+            },
+        ) => {
+            if na != nb {
+                return Some(Diff::Nodes(a, b, "operation".into()));
+            }
+            // Roots compare when both folded to a number or both stayed
+            // symbolic; a concrete-vs-symbolic pair is unknowable and
+            // assumed aligned.
+            match (ra, rb) {
+                (Root::Concrete(x), Root::Concrete(y)) if x != y => {
+                    return Some(Diff::Nodes(a, b, "root".into()));
+                }
+                (Root::Expr(x), Root::Expr(y)) if x != y => {
+                    return Some(Diff::Nodes(a, b, "root".into()));
+                }
+                _ => {}
+            }
+            if let (Some(x), Some(y)) = (oa, ob) {
+                if x != y {
+                    return Some(Diff::Nodes(a, b, "reduction operator".into()));
+                }
+            }
+            if let (Some(x), Some(y)) = (ta, tb) {
+                if x != y {
+                    return Some(Diff::Nodes(a, b, "element type".into()));
+                }
+            }
+            None
+        }
+        (
+            CollNode::Branch {
+                label: la,
+                arms: aa,
+                ..
+            },
+            CollNode::Branch {
+                label: lb,
+                arms: ab,
+                ..
+            },
+        ) => {
+            if la != lb || aa.len() != ab.len() {
+                return Some(Diff::Nodes(a, b, "control flow".into()));
+            }
+            for (x, y) in aa.iter().zip(ab.iter()) {
+                if let Some(d) = diff_trees(x, y) {
+                    return Some(d);
+                }
+            }
+            None
+        }
+        (
+            CollNode::Loop {
+                label: la,
+                body: ba,
+                ..
+            },
+            CollNode::Loop {
+                label: lb,
+                body: bb,
+                ..
+            },
+        ) => {
+            if la != lb {
+                return Some(Diff::Nodes(a, b, "control flow".into()));
+            }
+            diff_trees(ba, bb)
+        }
+        (CollNode::Marker { what: wa, .. }, CollNode::Marker { what: wb, .. }) => {
+            if wa != wb {
+                Some(Diff::Nodes(a, b, "control flow".into()))
+            } else {
+                None
+            }
+        }
+        _ => Some(Diff::Nodes(a, b, "control flow".into())),
+    }
+}
+
+fn describe_divergence(d: &Diff<'_>, rank: usize) -> (String, Vec<u32>) {
+    match d {
+        Diff::Nodes(a, b, what) => (
+            format!(
+                "collective sequences diverge ({what}): rank 0 reaches {} \
+                 while rank {rank} reaches {}",
+                a.describe(),
+                b.describe()
+            ),
+            if a.line() == b.line() {
+                vec![a.line()]
+            } else {
+                vec![a.line(), b.line()]
+            },
+        ),
+        Diff::ExtraA(n) => (
+            format!(
+                "rank 0 executes {} that rank {rank} never reaches",
+                n.describe()
+            ),
+            vec![n.line()],
+        ),
+        Diff::ExtraB(n) => (
+            format!(
+                "rank {rank} executes {} that rank 0 never reaches",
+                n.describe()
+            ),
+            vec![n.line()],
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 2: point-to-point matching.
+// ---------------------------------------------------------------------
+
+use crate::sym::Val;
+
+struct RecvSite {
+    src: Val,
+    tag: Val,
+    ty: Option<String>,
+    line: u32,
+}
+
+/// Every send emitted on a concretely-taken path with a known
+/// destination must have a plausible receive on that destination.
+fn check_p2p(file: &str, traces: &[RankTrace], out: &mut Vec<Finding>) {
+    let size = traces.len() as i64;
+    // Receives are collected permissively: any recv/irecv/probe on any
+    // path counts as willingness to receive.
+    let recvs: Vec<Vec<RecvSite>> = traces
+        .iter()
+        .map(|t| {
+            t.flat
+                .iter()
+                .filter_map(|op| match op {
+                    FlatOp::P2p {
+                        dir: P2pDir::Recv { .. },
+                        peer,
+                        tag,
+                        ty,
+                        line,
+                        ..
+                    } => Some(RecvSite {
+                        src: *peer,
+                        tag: *tag,
+                        ty: ty.clone(),
+                        line: *line,
+                    }),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    for (r, t) in traces.iter().enumerate() {
+        for op in &t.flat {
+            let FlatOp::P2p {
+                dir: P2pDir::Send { .. },
+                peer,
+                tag,
+                ty,
+                line,
+                concrete: true,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            let Val::Int(dest) = peer else { continue };
+            if *dest < 0 || *dest >= size {
+                out.push(Finding {
+                    kind: FindingKind::UnmatchedSend,
+                    severity: Severity::Error,
+                    ranks: vec![r],
+                    message: "send targets a rank outside the world on some ranks".into(),
+                    sites: vec![site(file, *line)],
+                });
+                continue;
+            }
+            match_send(file, r, *dest as usize, *tag, ty, *line, &recvs, out);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_send(
+    file: &str,
+    from: usize,
+    dest: usize,
+    tag: Val,
+    ty: &Option<String>,
+    line: u32,
+    recvs: &[Vec<RecvSite>],
+    out: &mut Vec<Finding>,
+) {
+    let src_ok = |rv: &RecvSite| match rv.src {
+        Val::Int(s) => s == from as i64,
+        _ => true, // ANY_SOURCE or data-dependent
+    };
+    let tag_ok = |rv: &RecvSite| match (rv.tag, tag) {
+        (Val::Int(a), Val::Int(b)) => a == b,
+        _ => true,
+    };
+    let ty_ok = |rv: &RecvSite| match (&rv.ty, ty) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    let candidates: Vec<&RecvSite> = recvs[dest].iter().filter(|rv| src_ok(rv)).collect();
+    if candidates.is_empty() {
+        out.push(Finding {
+            kind: FindingKind::UnmatchedSend,
+            severity: Severity::Error,
+            ranks: vec![from, dest],
+            message: format!(
+                "send to rank {dest} has no receive on the destination that \
+                 accepts this source"
+            ),
+            sites: vec![site(file, line)],
+        });
+        return;
+    }
+    let tag_matches: Vec<&&RecvSite> = candidates.iter().filter(|rv| tag_ok(rv)).collect();
+    if tag_matches.is_empty() {
+        let their = candidates
+            .iter()
+            .filter_map(|rv| match rv.tag {
+                Val::Int(t) => Some(t.to_string()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let ours = match tag {
+            Val::Int(t) => t.to_string(),
+            _ => "?".into(),
+        };
+        out.push(Finding {
+            kind: FindingKind::UnmatchedSend,
+            severity: Severity::Error,
+            ranks: vec![from, dest],
+            message: format!(
+                "send to rank {dest} uses tag {ours} but the destination only \
+                 receives tag(s) {their} from this source"
+            ),
+            sites: {
+                let mut s = vec![site(file, line)];
+                if let Some(rv) = candidates.first() {
+                    s.push(site(file, rv.line));
+                }
+                s
+            },
+        });
+        return;
+    }
+    if tag_matches.iter().any(|rv| ty_ok(rv)) {
+        return; // fully matched
+    }
+    let rv = tag_matches[0];
+    out.push(Finding {
+        kind: FindingKind::TypeMismatch,
+        severity: Severity::Error,
+        ranks: vec![from, dest],
+        message: format!(
+            "send carries `{}` elements but the matching receive on rank \
+             {dest} expects `{}`",
+            ty.as_deref().unwrap_or("?"),
+            rv.ty.as_deref().unwrap_or("?"),
+        ),
+        sites: vec![site(file, line), site(file, rv.line)],
+    });
+}
+
+// ---------------------------------------------------------------------
+// Analysis 3: unwaited requests.
+// ---------------------------------------------------------------------
+
+fn check_leaks(file: &str, traces: &[RankTrace], out: &mut Vec<Finding>) {
+    for (r, t) in traces.iter().enumerate() {
+        for leak in &t.leaks {
+            out.push(Finding {
+                kind: FindingKind::RequestLeak,
+                severity: Severity::Warning,
+                ranks: vec![r],
+                message: format!(
+                    "{} request is never completed by a wait/test on any path",
+                    leak.kind
+                ),
+                sites: vec![site(file, leak.line)],
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 4: synchronous-send cycles.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Blocker {
+    Ssend { dest: usize, line: u32 },
+    Coll { line: u32 },
+}
+
+/// Static rendezvous-cycle detection over the definite prefix of each
+/// rank: an `ssend` blocks until its destination posts a matching
+/// receive, a collective blocks until every rank arrives. A dependency
+/// cycle containing at least one `ssend` edge is the classic ring
+/// deadlock. Plain `send` is modelled as eager (buffered) and never
+/// blocks — see docs/linting.md for the caveat.
+fn check_cycles(file: &str, traces: &[RankTrace], out: &mut Vec<Finding>) {
+    let size = traces.len();
+    // Pass 1: receives each rank posts before it first hits an op that
+    // can block it (its first ssend or collective).
+    let pre_recvs: Vec<Vec<RecvSite>> = traces
+        .iter()
+        .map(|t| {
+            let mut posted = Vec::new();
+            for op in &t.flat {
+                match op {
+                    FlatOp::P2p {
+                        definite: false, ..
+                    }
+                    | FlatOp::CollBlock {
+                        definite: false, ..
+                    } => break,
+                    FlatOp::P2p {
+                        dir: P2pDir::Recv { .. },
+                        peer,
+                        tag,
+                        ty,
+                        line,
+                        ..
+                    } => posted.push(RecvSite {
+                        src: *peer,
+                        tag: *tag,
+                        ty: ty.clone(),
+                        line: *line,
+                    }),
+                    FlatOp::P2p {
+                        dir: P2pDir::Send { sync: true },
+                        ..
+                    }
+                    | FlatOp::CollBlock { .. } => break,
+                    FlatOp::P2p { .. } => {}
+                }
+            }
+            posted
+        })
+        .collect();
+    // Pass 2: the first op that actually blocks each rank.
+    let mut blocked: Vec<Option<Blocker>> = vec![None; size];
+    for (r, t) in traces.iter().enumerate() {
+        for op in &t.flat {
+            match op {
+                FlatOp::P2p {
+                    definite: false, ..
+                }
+                | FlatOp::CollBlock {
+                    definite: false, ..
+                } => break,
+                FlatOp::P2p {
+                    dir: P2pDir::Send { sync: true },
+                    peer,
+                    tag,
+                    line,
+                    ..
+                } => {
+                    let Val::Int(d) = peer else { break };
+                    if *d < 0 || *d >= size as i64 {
+                        break;
+                    }
+                    let d = *d as usize;
+                    let matched = pre_recvs[d].iter().any(|rv| {
+                        let src_ok = match rv.src {
+                            Val::Int(s) => s == r as i64,
+                            _ => true,
+                        };
+                        let tag_ok = match (rv.tag, *tag) {
+                            (Val::Int(a), Val::Int(b)) => a == b,
+                            _ => true,
+                        };
+                        src_ok && tag_ok
+                    });
+                    if !matched {
+                        blocked[r] = Some(Blocker::Ssend {
+                            dest: d,
+                            line: *line,
+                        });
+                        break;
+                    }
+                }
+                FlatOp::CollBlock { line, .. } => {
+                    blocked[r] = Some(Blocker::Coll { line: *line });
+                    break;
+                }
+                FlatOp::P2p { .. } => {}
+            }
+        }
+    }
+    // Pass 3: find a wait-for cycle containing at least one ssend edge.
+    // Ssend edges point at the destination; a collective waits for every
+    // other blocked rank.
+    let next = |r: usize| -> Vec<usize> {
+        match blocked[r] {
+            Some(Blocker::Ssend { dest, .. }) if blocked[dest].is_some() => vec![dest],
+            Some(Blocker::Coll { .. }) => (0..size)
+                .filter(|&s| s != r && blocked[s].is_some())
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    for start in 0..size {
+        if !matches!(blocked[start], Some(Blocker::Ssend { .. })) {
+            continue;
+        }
+        // Follow single-successor chains from an ssend edge; a revisit
+        // of `start` is a cycle. Collective nodes wait on everyone, so
+        // reaching one whose co-blocked set includes the path means a
+        // cycle too; the simple chain walk below covers the shapes the
+        // lint targets (rings and ssend-into-barrier).
+        let mut path = vec![start];
+        let mut cur = start;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if steps > size + 1 {
+                break;
+            }
+            let succ = next(cur);
+            if succ.is_empty() {
+                break;
+            }
+            // Prefer returning to start if the blocker allows it.
+            let n = if succ.contains(&start) {
+                start
+            } else {
+                succ[0]
+            };
+            if n == start {
+                report_cycle(file, &path, &blocked, traces, out);
+                return;
+            }
+            if path.contains(&n) {
+                break;
+            }
+            path.push(n);
+            cur = n;
+        }
+    }
+}
+
+fn report_cycle(
+    file: &str,
+    path: &[usize],
+    blocked: &[Option<Blocker>],
+    _traces: &[RankTrace],
+    out: &mut Vec<Finding>,
+) {
+    let mut parts = Vec::new();
+    let mut sites = Vec::new();
+    for (i, &r) in path.iter().enumerate() {
+        let who = path[(i + 1) % path.len()];
+        match blocked[r] {
+            Some(Blocker::Ssend { line, .. }) => {
+                parts.push(format!("rank {r} blocks in ssend to rank {who}"));
+                let s = site(file, line);
+                if !sites.contains(&s) {
+                    sites.push(s);
+                }
+            }
+            Some(Blocker::Coll { line }) => {
+                parts.push(format!("rank {r} waits in a collective for rank {who}"));
+                let s = site(file, line);
+                if !sites.contains(&s) {
+                    sites.push(s);
+                }
+            }
+            None => {}
+        }
+    }
+    let mut ranks = path.to_vec();
+    ranks.sort_unstable();
+    out.push(Finding {
+        kind: FindingKind::Deadlock,
+        severity: Severity::Error,
+        ranks,
+        message: format!("synchronous-send dependency cycle: {}", parts.join("; ")),
+        sites,
+    });
+}

@@ -1,0 +1,666 @@
+//! A small line-tracking Rust lexer producing delimiter-grouped token
+//! trees, in the spirit of `proc_macro::TokenStream`.
+//!
+//! The hermetic build environment vendors no `syn`/`quote` (see
+//! `vendor/serde_derive`, which hand-rolls its derives for the same
+//! reason), so pdc-lint lexes and parses the rank programs itself. The
+//! lexer only needs to be faithful enough to recover item structure,
+//! statement boundaries, and the argument lists of `Comm` method calls;
+//! it skips comments, understands string/char/lifetime ambiguity, and
+//! records the source line of every token so findings can carry
+//! `file:line` spans.
+
+use std::fmt;
+
+/// Delimiter of a [`Tree::Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+}
+
+impl Delim {
+    pub fn open(self) -> char {
+        match self {
+            Delim::Paren => '(',
+            Delim::Brace => '{',
+            Delim::Bracket => '[',
+        }
+    }
+    pub fn close(self) -> char {
+        match self {
+            Delim::Paren => ')',
+            Delim::Brace => '}',
+            Delim::Bracket => ']',
+        }
+    }
+}
+
+/// A leaf token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal: parsed value (saturating) plus the raw spelling
+    /// (which keeps any `u64`-style suffix for type inference).
+    Int(i64, String),
+    /// Float literal, raw spelling (suffix kept).
+    Float(String),
+    /// Any string-ish literal (`"…"`, `r"…"`, `b"…"`); contents dropped
+    /// except for plain strings, where they matter for phase names.
+    Str(String),
+    /// Char or byte-char literal; contents irrelevant to the analyses.
+    Char,
+    /// Lifetime such as `'w` (without the quote).
+    Lifetime(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A leaf token plus position info. `joint` is true when the next
+/// character in the source immediately follows this punct (used to
+/// reassemble multi-char operators like `<=`, `::`, `=>`).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub joint: bool,
+}
+
+/// A token tree: a leaf or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    Leaf(Token),
+    Group {
+        delim: Delim,
+        trees: Vec<Tree>,
+        open_line: u32,
+        close_line: u32,
+    },
+}
+
+impl Tree {
+    /// Line of the first character of this tree.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { open_line, .. } => *open_line,
+        }
+    }
+
+    /// The identifier string if this is an ident leaf.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punct char if this is a punct leaf.
+    pub fn as_punct(&self) -> Option<char> {
+        match self {
+            Tree::Leaf(Token {
+                tok: Tok::Punct(c), ..
+            }) => Some(*c),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.as_punct() == Some(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.as_ident() == Some(s)
+    }
+
+    pub fn as_group(&self, want: Delim) -> Option<&[Tree]> {
+        match self {
+            Tree::Group { delim, trees, .. } if *delim == want => Some(trees),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tree::Leaf(t) => match &t.tok {
+                Tok::Ident(s) => write!(f, "{s}"),
+                Tok::Int(_, raw) => write!(f, "{raw}"),
+                Tok::Float(raw) => write!(f, "{raw}"),
+                Tok::Str(s) => write!(f, "{s:?}"),
+                Tok::Char => write!(f, "'…'"),
+                Tok::Lifetime(s) => write!(f, "'{s}"),
+                Tok::Punct(c) => write!(f, "{c}"),
+            },
+            Tree::Group { delim, trees, .. } => {
+                write!(f, "{}", delim.open())?;
+                write!(f, "{}", render(trees))?;
+                write!(f, "{}", delim.close())
+            }
+        }
+    }
+}
+
+/// Canonical single-line rendering of a token slice, used for finding
+/// messages and structural labels. Collapses whitespace; glues `::`,
+/// `.`, and call parentheses to read like source.
+pub fn render(trees: &[Tree]) -> String {
+    let mut out = String::new();
+    let mut prev_glue = false; // previous token wants no space after it
+    for (i, t) in trees.iter().enumerate() {
+        let s = t.to_string();
+        let this_glue_before = matches!(
+            t.as_punct(),
+            Some(':') | Some('.') | Some(',') | Some(';') | Some('?') | Some('!')
+        ) || matches!(
+            t,
+            Tree::Group {
+                delim: Delim::Paren,
+                ..
+            }
+        ) || matches!(
+            t,
+            Tree::Group {
+                delim: Delim::Bracket,
+                ..
+            }
+        );
+        if i > 0 && !prev_glue && !this_glue_before {
+            out.push(' ');
+        }
+        out.push_str(&s);
+        prev_glue = matches!(
+            t.as_punct(),
+            Some(':') | Some('.') | Some('&') | Some('!') | Some('#')
+        );
+        if t.is_punct(',') {
+            prev_glue = false;
+        }
+    }
+    out
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'/'), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Tok {
+        // Opening quote already consumed by caller? No: consume here.
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                b'\\' => {
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        match e {
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            _ => s.push(e as char),
+                        }
+                    }
+                }
+                _ => {
+                    self.bump();
+                    s.push(c as char);
+                }
+            }
+        }
+        Tok::Str(s)
+    }
+
+    fn lex_raw_string(&mut self) -> Tok {
+        // At 'r'; consume r, hashes, quote, then scan to quote + same hashes.
+        self.bump();
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() == Some(b'"') {
+            self.bump();
+            loop {
+                match self.bump() {
+                    None => break,
+                    Some(b'"') => {
+                        let mut n = 0usize;
+                        while n < hashes && self.peek() == Some(b'#') {
+                            self.bump();
+                            n += 1;
+                        }
+                        if n == hashes {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Tok::Str(String::new())
+    }
+
+    fn lex_number(&mut self) -> Tok {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'b') | Some(b'o'))
+        {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part: a dot followed by a digit (not `..` or a
+            // method call like `1.max(2)`).
+            if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some(b'e') | Some(b'E'))
+                && (self.peek2().is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(self.peek2(), Some(b'+') | Some(b'-'))
+                        && self
+                            .src
+                            .get(self.pos + 2)
+                            .is_some_and(|c| c.is_ascii_digit())))
+            {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Suffix (u64, f32, usize, …).
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or("")
+            .to_string();
+        let suffix = std::str::from_utf8(&self.src[suffix_start..self.pos]).unwrap_or("");
+        if is_float || suffix.starts_with('f') {
+            return Tok::Float(raw);
+        }
+        let digits: String = raw
+            .trim_end_matches(suffix)
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        let value = if let Some(hex) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16).unwrap_or(i64::MAX)
+        } else if let Some(bin) = digits.strip_prefix("0b") {
+            i64::from_str_radix(bin, 2).unwrap_or(i64::MAX)
+        } else if let Some(oct) = digits.strip_prefix("0o") {
+            i64::from_str_radix(oct, 8).unwrap_or(i64::MAX)
+        } else {
+            digits.parse::<i64>().unwrap_or(i64::MAX)
+        };
+        Tok::Int(value, raw)
+    }
+
+    fn next_tok(&mut self) -> Option<(Tok, u32, bool)> {
+        self.skip_trivia();
+        let line = self.line;
+        let c = self.peek()?;
+        let tok = match c {
+            b'"' => self.lex_string(),
+            b'r' if self.peek2() == Some(b'"')
+                || (self.peek2() == Some(b'#') && self.raw_string_ahead()) =>
+            {
+                self.lex_raw_string()
+            }
+            b'b' if self.peek2() == Some(b'"') => {
+                self.bump();
+                self.lex_string()
+            }
+            b'b' if self.peek2() == Some(b'\'') => {
+                self.bump();
+                self.lex_char()
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is 'ident NOT
+                // followed by a closing quote.
+                if self.lifetime_ahead() {
+                    self.bump();
+                    let start = self.pos;
+                    while let Some(ch) = self.peek() {
+                        if ch.is_ascii_alphanumeric() || ch == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Lifetime(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .unwrap_or("")
+                            .to_string(),
+                    )
+                } else {
+                    self.lex_char()
+                }
+            }
+            _ if c.is_ascii_digit() => self.lex_number(),
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(ch) = self.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap_or("")
+                        .to_string(),
+                )
+            }
+            _ => {
+                self.bump();
+                Tok::Punct(c as char)
+            }
+        };
+        let joint = self.peek().is_some_and(|n| !n.is_ascii_whitespace());
+        Some((tok, line, joint))
+    }
+
+    fn lex_char(&mut self) -> Tok {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.bump();
+        if self.peek() == Some(b'\\') {
+            self.bump();
+            let esc = self.peek();
+            self.bump();
+            // `\u{…}` spans to the closing brace.
+            if esc == Some(b'u') && self.peek() == Some(b'{') {
+                while self.peek().is_some() && self.peek() != Some(b'}') {
+                    self.bump();
+                }
+                self.bump();
+            }
+        } else if let Some(b) = self.peek() {
+            // One full UTF-8 scalar, not one byte: `'·'` is three bytes.
+            let width = match b {
+                0..=0x7F => 1,
+                0xC0..=0xDF => 2,
+                0xE0..=0xEF => 3,
+                _ => 4,
+            };
+            for _ in 0..width {
+                self.bump();
+            }
+        }
+        if self.peek() == Some(b'\'') {
+            self.bump();
+        }
+        Tok::Char
+    }
+
+    /// At `r`: is this `r#"..."#` (raw string) rather than `r#ident`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos + 1;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    /// At `'`: lifetime (`'a`) vs char (`'a'`). Lifetime when the char
+    /// after the ident-ish run is not a closing quote.
+    fn lifetime_ahead(&self) -> bool {
+        let mut i = self.pos + 1;
+        let first = match self.src.get(i) {
+            Some(c) => *c,
+            None => return false,
+        };
+        if !(first.is_ascii_alphabetic() || first == b'_') {
+            return false;
+        }
+        while self
+            .src
+            .get(i)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            i += 1;
+        }
+        self.src.get(i) != Some(&b'\'')
+    }
+}
+
+/// Lex `src` into a token-tree forest. Unbalanced delimiters are closed
+/// at end of input rather than reported — the analyzer only runs on code
+/// that already compiles.
+pub fn lex(src: &str) -> Vec<Tree> {
+    let mut lexer = Lexer::new(src);
+    // Stack of (delim, open_line, children).
+    let mut stack: Vec<(Delim, u32, Vec<Tree>)> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    while let Some((tok, line, joint)) = lexer.next_tok() {
+        match tok {
+            Tok::Punct(c @ ('(' | '{' | '[')) => {
+                let delim = match c {
+                    '(' => Delim::Paren,
+                    '{' => Delim::Brace,
+                    _ => Delim::Bracket,
+                };
+                stack.push((delim, line, std::mem::take(&mut top)));
+            }
+            Tok::Punct(c @ (')' | '}' | ']')) => {
+                if let Some((delim, open_line, parent)) = stack.pop() {
+                    let children = std::mem::replace(&mut top, parent);
+                    debug_assert_eq!(delim.close(), c);
+                    top.push(Tree::Group {
+                        delim,
+                        trees: children,
+                        open_line,
+                        close_line: line,
+                    });
+                }
+            }
+            tok => top.push(Tree::Leaf(Token { tok, line, joint })),
+        }
+    }
+    // Close any dangling groups.
+    while let Some((delim, open_line, parent)) = stack.pop() {
+        let children = std::mem::replace(&mut top, parent);
+        top.push(Tree::Group {
+            delim,
+            trees: children,
+            open_line,
+            close_line: open_line,
+        });
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_lines() {
+        let src = "fn f(a: usize) {\n  let x = (a + 1) % 4;\n}\n";
+        let trees = lex(src);
+        assert!(trees[0].is_ident("fn"));
+        assert!(trees[1].is_ident("f"));
+        assert!(matches!(
+            trees[2],
+            Tree::Group {
+                delim: Delim::Paren,
+                ..
+            }
+        ));
+        let body = trees[3].as_group(Delim::Brace).unwrap();
+        assert!(body[0].is_ident("let"));
+        assert_eq!(body[0].line(), 2);
+    }
+
+    #[test]
+    fn comments_strings_lifetimes() {
+        let src = r#"
+// line comment with 'quotes' and { braces
+/* block /* nested */ still comment */
+let s = "str with } and \" quote";
+let c = '}';
+struct A<'w>(&'w str);
+"#;
+        let trees = lex(src);
+        let rendered = render(&trees);
+        assert!(rendered.contains("let s ="));
+        assert!(rendered.contains("'w"));
+        // The brace inside the string/char must not open a group.
+        assert!(!trees.iter().any(|t| matches!(
+            t,
+            Tree::Group {
+                delim: Delim::Brace,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn numbers() {
+        let trees = lex("0u8 42 0x2A 7.5 1e9 3usize 1_000");
+        let vals: Vec<_> = trees
+            .iter()
+            .map(|t| match t {
+                Tree::Leaf(Token {
+                    tok: Tok::Int(v, raw),
+                    ..
+                }) => format!("i{v}:{raw}"),
+                Tree::Leaf(Token {
+                    tok: Tok::Float(raw),
+                    ..
+                }) => format!("f:{raw}"),
+                _ => "?".into(),
+            })
+            .collect();
+        assert_eq!(
+            vals,
+            vec![
+                "i0:0u8",
+                "i42:42",
+                "i42:0x2A",
+                "f:7.5",
+                "f:1e9",
+                "i3:3usize",
+                "i1000:1_000"
+            ]
+        );
+    }
+}

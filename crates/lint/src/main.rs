@@ -1,0 +1,126 @@
+//! `pdc_lint` — walk the workspace sources, statically analyze every
+//! rank program, and report communication defects.
+//!
+//! Usage:
+//!
+//! ```text
+//! pdc_lint [--json] [--all] [PATH…]
+//! ```
+//!
+//! With no paths, scans `src/` and `crates/*/src/` under the current
+//! directory, skipping `tests/`, `examples/`, `target/`, and `vendor/`.
+//! Exits nonzero if any finding (violation or warning) is reported.
+//! `--all` prints clean functions too; default output lists only
+//! functions with findings plus a summary line.
+
+use pdc_lint::Linter;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut all = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all" => all = true,
+            "--help" | "-h" => {
+                println!("usage: pdc_lint [--json] [--all] [PATH…]");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    if paths.is_empty() {
+        paths = default_roots();
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        collect_rs(p, &mut files);
+    }
+    files.sort();
+    files.dedup();
+
+    let mut linter = Linter::new();
+    let mut unreadable = 0u32;
+    for f in &files {
+        if linter.add_path(f).is_err() {
+            unreadable += 1;
+        }
+    }
+
+    let reports = linter.analyze_all();
+    let dirty: Vec<_> = reports.iter().filter(|r| !r.is_clean()).collect();
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    } else {
+        for r in &reports {
+            if all || !r.is_clean() {
+                println!("{}", r.render());
+            }
+        }
+        let (nv, nw) = dirty.iter().fold((0, 0), |(v, w), r| {
+            (v + r.report.violations.len(), w + r.report.warnings.len())
+        });
+        println!(
+            "pdc-lint: {} file(s), {} rank function(s) analyzed, {} violation(s), {} warning(s)",
+            files.len() - unreadable as usize,
+            reports.len(),
+            nv,
+            nw
+        );
+    }
+
+    if dirty.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Default scan roots: the workspace's own rank programs. Tests,
+/// examples (which contain deliberately broken clinic programs), and
+/// vendored code are out of scope.
+fn default_roots() -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let src = PathBuf::from("src");
+    if src.is_dir() {
+        roots.push(src);
+    }
+    if let Ok(entries) = std::fs::read_dir("crates") {
+        for e in entries.flatten() {
+            let p = e.path().join("src");
+            if p.is_dir() {
+                roots.push(p);
+            }
+        }
+    }
+    roots
+}
+
+fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) {
+    const SKIP: &[&str] = &["tests", "examples", "target", "vendor", ".git", "corpus"];
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        if p.is_dir() && SKIP.iter().any(|s| name == std::ffi::OsStr::new(s)) {
+            continue;
+        }
+        collect_rs(&p, out);
+    }
+}

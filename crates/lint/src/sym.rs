@@ -1,0 +1,610 @@
+//! Symbolic evaluation of expression token slices under one model
+//! `(rank, size)` instantiation.
+//!
+//! The analyzer does not keep a symbolic algebra alive across ranks;
+//! instead each rank program is *instantiated* at a handful of model
+//! world sizes and every rank expression (`(rank + 1) % size`, a
+//! let-bound alias, a file `const`) is folded to a concrete integer
+//! where possible. Anything data-dependent — parameters, struct fields,
+//! method calls, RNG — evaluates to [`Val::Unknown`] and downstream
+//! analyses treat it conservatively.
+
+use crate::lex::{Delim, Tok, Token, Tree};
+
+/// The result of evaluating an expression for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    Int(i64),
+    Bool(bool),
+    /// `ANY_SOURCE` / `ANY_TAG` wildcard.
+    Any,
+    Unknown,
+}
+
+impl Val {
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// What the evaluator needs from the walker.
+pub trait Env {
+    /// Value of a local variable or parameter, if tracked.
+    fn lookup(&self, name: &str) -> Option<Val>;
+    /// Value of a `const` visible to the current function.
+    fn lookup_const(&self, name: &str) -> Option<i64>;
+    /// The comm variable's name in the current frame.
+    fn comm_var(&self) -> &str;
+    fn rank(&self) -> i64;
+    fn size(&self) -> i64;
+}
+
+/// Evaluate a peer/tag argument: recognises the wildcard constants and
+/// the `SourceSel::Rank(e)` / `TagSel::Tag(e)` selector forms before
+/// falling back to plain expression evaluation.
+pub fn eval_selector(toks: &[Tree], env: &dyn Env) -> Val {
+    let toks = strip_refs(toks);
+    if toks.len() == 1 {
+        if let Some(id) = toks[0].as_ident() {
+            if id == "ANY_SOURCE" || id == "ANY_TAG" {
+                return Val::Any;
+            }
+        }
+    }
+    // `SourceSel :: Rank ( e )` / `TagSel :: Tag ( e )` / `… :: Any`.
+    if toks.len() >= 3
+        && toks[0]
+            .as_ident()
+            .is_some_and(|s| s == "SourceSel" || s == "TagSel")
+        && toks[1].is_punct(':')
+        && toks[2].is_punct(':')
+    {
+        if let Some(variant) = toks.get(3).and_then(|t| t.as_ident()) {
+            if variant == "Any" {
+                return Val::Any;
+            }
+            if let Some(inner) = toks.get(4).and_then(|t| t.as_group(Delim::Paren)) {
+                return eval(inner, env);
+            }
+        }
+        return Val::Unknown;
+    }
+    eval(toks, env)
+}
+
+fn strip_refs(mut toks: &[Tree]) -> &[Tree] {
+    while let Some(first) = toks.first() {
+        if first.is_punct('&') || first.is_ident("mut") {
+            toks = &toks[1..];
+        } else {
+            break;
+        }
+    }
+    toks
+}
+
+/// Evaluate an expression token slice to a [`Val`].
+pub fn eval(toks: &[Tree], env: &dyn Env) -> Val {
+    let toks = strip_refs(toks);
+    let mut p = Parser { toks, pos: 0, env };
+    let v = p.parse_or();
+    // Trailing garbage (struct literals, `?`, …) is fine — the parsed
+    // prefix is what the value flows from only when nothing follows;
+    // keep the value anyway for `expr?`-style tails.
+    v
+}
+
+struct Parser<'a> {
+    toks: &'a [Tree],
+    pos: usize,
+    env: &'a dyn Env,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tree> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_punct(&self) -> Option<char> {
+        self.peek().and_then(|t| t.as_punct())
+    }
+
+    fn joint(&self) -> bool {
+        matches!(self.peek(), Some(Tree::Leaf(tok)) if tok.joint)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn parse_or(&mut self) -> Val {
+        let mut lhs = self.parse_and();
+        while self.peek_punct() == Some('|') && self.joint_pair('|') {
+            self.bump();
+            self.bump();
+            let rhs = self.parse_and();
+            lhs = match (lhs, rhs) {
+                (Val::Bool(a), Val::Bool(b)) => Val::Bool(a || b),
+                (Val::Bool(true), _) | (_, Val::Bool(true)) => Val::Bool(true),
+                _ => Val::Unknown,
+            };
+        }
+        lhs
+    }
+
+    fn parse_and(&mut self) -> Val {
+        let mut lhs = self.parse_cmp();
+        while self.peek_punct() == Some('&') && self.joint_pair('&') {
+            self.bump();
+            self.bump();
+            let rhs = self.parse_cmp();
+            lhs = match (lhs, rhs) {
+                (Val::Bool(a), Val::Bool(b)) => Val::Bool(a && b),
+                (Val::Bool(false), _) | (_, Val::Bool(false)) => Val::Bool(false),
+                _ => Val::Unknown,
+            };
+        }
+        lhs
+    }
+
+    fn joint_pair(&self, c: char) -> bool {
+        self.joint() && self.toks.get(self.pos + 1).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn parse_cmp(&mut self) -> Val {
+        let lhs = self.parse_bitor();
+        let (neg, eq, lt, _gt) = match self.peek_punct() {
+            Some('=') if self.joint_pair('=') => (false, true, false, false),
+            Some('!') if self.joint_pair('=') => (true, true, false, false),
+            Some('<') => (false, false, true, false),
+            Some('>') => (false, false, false, true),
+            _ => return lhs,
+        };
+        self.bump();
+        // `<=` / `>=` second char; `==` / `!=` consumed one so far.
+        let or_eq = if eq {
+            self.bump();
+            false
+        } else if self.peek_punct() == Some('=') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let rhs = self.parse_bitor();
+        let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) else {
+            return Val::Unknown;
+        };
+        let r = if eq {
+            if neg {
+                a != b
+            } else {
+                a == b
+            }
+        } else if lt {
+            if or_eq {
+                a <= b
+            } else {
+                a < b
+            }
+        } else if or_eq {
+            a >= b
+        } else {
+            a > b
+        };
+        Val::Bool(r)
+    }
+
+    fn parse_bitor(&mut self) -> Val {
+        let mut lhs = self.parse_bitxor();
+        while self.peek_punct() == Some('|') && !self.joint_pair('|') {
+            self.bump();
+            lhs = int_op(lhs, self.parse_bitxor(), |a, b| Some(a | b));
+        }
+        lhs
+    }
+
+    fn parse_bitxor(&mut self) -> Val {
+        let mut lhs = self.parse_bitand();
+        while self.peek_punct() == Some('^') {
+            self.bump();
+            lhs = int_op(lhs, self.parse_bitand(), |a, b| Some(a ^ b));
+        }
+        lhs
+    }
+
+    fn parse_bitand(&mut self) -> Val {
+        let mut lhs = self.parse_shift();
+        while self.peek_punct() == Some('&') && !self.joint_pair('&') {
+            self.bump();
+            lhs = int_op(lhs, self.parse_shift(), |a, b| Some(a & b));
+        }
+        lhs
+    }
+
+    fn parse_shift(&mut self) -> Val {
+        let mut lhs = self.parse_addsub();
+        loop {
+            match self.peek_punct() {
+                Some('<') if self.joint_pair('<') => {
+                    self.bump();
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_addsub(), |a, b| a.checked_shl(b as u32));
+                }
+                Some('>') if self.joint_pair('>') => {
+                    self.bump();
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_addsub(), |a, b| a.checked_shr(b as u32));
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    fn parse_addsub(&mut self) -> Val {
+        let mut lhs = self.parse_muldiv();
+        loop {
+            match self.peek_punct() {
+                Some('+') => {
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_muldiv(), |a, b| a.checked_add(b));
+                }
+                Some('-') => {
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_muldiv(), |a, b| a.checked_sub(b));
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    fn parse_muldiv(&mut self) -> Val {
+        let mut lhs = self.parse_unary();
+        loop {
+            match self.peek_punct() {
+                Some('*') => {
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_unary(), |a, b| a.checked_mul(b));
+                }
+                Some('/') => {
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_unary(), |a, b| a.checked_div(b));
+                }
+                Some('%') => {
+                    self.bump();
+                    lhs = int_op(lhs, self.parse_unary(), |a, b| a.checked_rem(b));
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Val {
+        match self.peek_punct() {
+            Some('-') => {
+                self.bump();
+                match self.parse_unary() {
+                    Val::Int(v) => Val::Int(-v),
+                    _ => Val::Unknown,
+                }
+            }
+            Some('!') => {
+                self.bump();
+                match self.parse_unary() {
+                    Val::Bool(b) => Val::Bool(!b),
+                    _ => Val::Unknown,
+                }
+            }
+            Some('&') | Some('*') => {
+                self.bump();
+                if self.peek().is_some_and(|t| t.is_ident("mut")) {
+                    self.bump();
+                }
+                self.parse_unary()
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Val {
+        let (mut val, mut is_comm) = self.parse_primary();
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct('?') => self.bump(),
+                Some(t) if t.is_ident("as") => {
+                    // Numeric cast: keep the value, skip the type name.
+                    self.bump();
+                    if self.peek().and_then(|t| t.as_ident()).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(t) if t.is_punct('.') => {
+                    self.bump();
+                    let Some(member) = self.peek() else { break };
+                    let name = member.as_ident().map(str::to_string);
+                    self.bump();
+                    // `.0` tuple index lexes as an int leaf; the ident
+                    // path covers methods and fields. Skip a turbofish
+                    // (`.recv::<f64>`) before the call group.
+                    if self.peek_punct() == Some(':') && self.joint_pair(':') {
+                        self.bump();
+                        self.bump();
+                        if self.peek_punct() == Some('<') {
+                            self.bump();
+                            let mut depth = 1i32;
+                            while depth > 0 {
+                                match self.peek_punct() {
+                                    Some('<') => depth += 1,
+                                    Some('>') => depth -= 1,
+                                    None if self.peek().is_none() => break,
+                                    _ => {}
+                                }
+                                self.bump();
+                            }
+                        }
+                    }
+                    let has_call = matches!(
+                        self.peek(),
+                        Some(Tree::Group {
+                            delim: Delim::Paren,
+                            ..
+                        })
+                    );
+                    if has_call {
+                        self.bump();
+                    }
+                    val = match (is_comm, name.as_deref(), has_call) {
+                        (true, Some("rank"), true) => Val::Int(self.env.rank()),
+                        (true, Some("size"), true) => Val::Int(self.env.size()),
+                        _ => Val::Unknown,
+                    };
+                    is_comm = false;
+                }
+                Some(Tree::Group {
+                    delim: Delim::Bracket,
+                    ..
+                }) => {
+                    self.bump();
+                    val = Val::Unknown;
+                }
+                Some(Tree::Group {
+                    delim: Delim::Paren,
+                    ..
+                }) => {
+                    // Call on something we didn't recognise.
+                    self.bump();
+                    val = Val::Unknown;
+                }
+                _ => break,
+            }
+        }
+        val
+    }
+
+    /// Returns (value, is-the-comm-variable).
+    fn parse_primary(&mut self) -> (Val, bool) {
+        let Some(t) = self.peek() else {
+            return (Val::Unknown, false);
+        };
+        match t {
+            Tree::Leaf(Token {
+                tok: Tok::Int(v, _),
+                ..
+            }) => {
+                let v = *v;
+                self.bump();
+                (Val::Int(v), false)
+            }
+            Tree::Group {
+                delim: Delim::Paren,
+                trees,
+                ..
+            } => {
+                let inner = eval(trees, self.env);
+                self.bump();
+                (inner, false)
+            }
+            Tree::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => {
+                let s = s.clone();
+                self.bump();
+                if s == "true" {
+                    return (Val::Bool(true), false);
+                }
+                if s == "false" {
+                    return (Val::Bool(false), false);
+                }
+                if s == "ANY_SOURCE" || s == "ANY_TAG" {
+                    return (Val::Any, false);
+                }
+                if s == self.env.comm_var() {
+                    return (Val::Unknown, true);
+                }
+                // Path expression `A::B…` — an enum variant or assoc
+                // item; opaque.
+                if self.peek_punct() == Some(':') && self.joint_pair(':') {
+                    while self.peek_punct() == Some(':')
+                        || self.peek().and_then(|t| t.as_ident()).is_some()
+                    {
+                        self.bump();
+                    }
+                    if matches!(
+                        self.peek(),
+                        Some(Tree::Group {
+                            delim: Delim::Paren,
+                            ..
+                        })
+                    ) {
+                        self.bump();
+                    }
+                    return (Val::Unknown, false);
+                }
+                // Plain function call `f(args)`.
+                if matches!(
+                    self.peek(),
+                    Some(Tree::Group {
+                        delim: Delim::Paren,
+                        ..
+                    })
+                ) {
+                    self.bump();
+                    return (Val::Unknown, false);
+                }
+                if let Some(v) = self.env.lookup(&s) {
+                    return (v, false);
+                }
+                if let Some(c) = self.env.lookup_const(&s) {
+                    return (Val::Int(c), false);
+                }
+                (Val::Unknown, false)
+            }
+            _ => {
+                self.bump();
+                (Val::Unknown, false)
+            }
+        }
+    }
+}
+
+fn int_op(a: Val, b: Val, f: impl Fn(i64, i64) -> Option<i64>) -> Val {
+    match (a, b) {
+        (Val::Int(a), Val::Int(b)) => f(a, b).map_or(Val::Unknown, Val::Int),
+        _ => Val::Unknown,
+    }
+}
+
+/// Parse a top-level `a..b` / `a..=b` range, returning the two endpoint
+/// slices and inclusivity.
+pub fn split_range(toks: &[Tree]) -> Option<(&[Tree], &[Tree], bool)> {
+    let toks = strip_refs(toks);
+    // Unwrap a single parenthesised group: `(0..n)`.
+    let toks = if toks.len() == 1 {
+        toks[0].as_group(Delim::Paren).unwrap_or(toks)
+    } else {
+        toks
+    };
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].is_punct('.')
+            && matches!(&toks[i], Tree::Leaf(tok) if tok.joint)
+            && toks[i + 1].is_punct('.')
+        {
+            // Make sure this isn't a method-call dot chain: the char
+            // before must not be '.', after handled below.
+            let inclusive = toks.get(i + 2).is_some_and(|t| t.is_punct('='));
+            let rhs_start = if inclusive { i + 3 } else { i + 2 };
+            return Some((&toks[..i], &toks[rhs_start..], inclusive));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use std::collections::HashMap;
+
+    struct TestEnv {
+        vars: HashMap<String, Val>,
+        consts: HashMap<String, i64>,
+        rank: i64,
+        size: i64,
+    }
+
+    impl Env for TestEnv {
+        fn lookup(&self, name: &str) -> Option<Val> {
+            self.vars.get(name).copied()
+        }
+        fn lookup_const(&self, name: &str) -> Option<i64> {
+            self.consts.get(name).copied()
+        }
+        fn comm_var(&self) -> &str {
+            "comm"
+        }
+        fn rank(&self) -> i64 {
+            self.rank
+        }
+        fn size(&self) -> i64 {
+            self.size
+        }
+    }
+
+    fn env() -> TestEnv {
+        TestEnv {
+            vars: HashMap::from([("p".into(), Val::Int(4)), ("x".into(), Val::Unknown)]),
+            consts: HashMap::from([("TAG".into(), 42)]),
+            rank: 3,
+            size: 4,
+        }
+    }
+
+    fn ev(src: &str) -> Val {
+        eval(&lex(src), &env())
+    }
+
+    #[test]
+    fn arithmetic_and_vars() {
+        assert_eq!(ev("(comm.rank() + 1) % comm.size()"), Val::Int(0));
+        assert_eq!(ev("(comm.rank() + p - 1) % p"), Val::Int(2));
+        assert_eq!(ev("comm.rank() as u64"), Val::Int(3));
+        assert_eq!(ev("TAG"), Val::Int(42));
+        assert_eq!(ev("x + 1"), Val::Unknown);
+        assert_eq!(ev("2 * 3 + 1"), Val::Int(7));
+        assert_eq!(ev("1 << 3"), Val::Int(8));
+        assert_eq!(ev("comm.rank() & 1"), Val::Int(1));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev("comm.rank() == 0"), Val::Bool(false));
+        assert_eq!(ev("comm.rank() > 0"), Val::Bool(true));
+        assert_eq!(ev("comm.rank() + 1 < comm.size()"), Val::Bool(false));
+        assert_eq!(ev("comm.rank() % 2 == 0"), Val::Bool(false));
+        assert_eq!(ev("x == 0"), Val::Unknown);
+        assert_eq!(ev("comm.rank() >= 1 && p == 4"), Val::Bool(true));
+        assert_eq!(ev("comm.rank() == 0 && x == 1"), Val::Bool(false));
+    }
+
+    #[test]
+    fn opaque_forms() {
+        assert_eq!(ev("st.source"), Val::Unknown);
+        assert_eq!(ev("rng.gen_range(0..4)"), Val::Unknown);
+        assert_eq!(ev("Op::Sum"), Val::Unknown);
+        assert_eq!(ev("data[0]"), Val::Unknown);
+        assert_eq!(ev("helper(comm)"), Val::Unknown);
+    }
+
+    #[test]
+    fn selectors() {
+        let e = env();
+        assert_eq!(eval_selector(&lex("ANY_SOURCE"), &e), Val::Any);
+        assert_eq!(
+            eval_selector(&lex("SourceSel::Rank(p - 1)"), &e),
+            Val::Int(3)
+        );
+        assert_eq!(eval_selector(&lex("SourceSel::Any"), &e), Val::Any);
+        assert_eq!(eval_selector(&lex("TAG"), &e), Val::Int(42));
+    }
+
+    #[test]
+    fn ranges() {
+        let toks = lex("0..comm.size()");
+        let (a, b, incl) = split_range(&toks).unwrap();
+        assert!(!incl);
+        assert_eq!(eval(a, &env()), Val::Int(0));
+        assert_eq!(eval(b, &env()), Val::Int(4));
+        let toks = lex("(1..=3)");
+        let (a, b, incl) = split_range(&toks).unwrap();
+        assert!(incl);
+        assert_eq!(eval(a, &env()), Val::Int(1));
+        assert_eq!(eval(b, &env()), Val::Int(3));
+        assert!(split_range(&lex("items.iter()")).is_none());
+    }
+}

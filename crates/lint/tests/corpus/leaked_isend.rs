@@ -1,0 +1,15 @@
+//! Seeded defect: the nonblocking send's request is bound and then
+//! forgotten — no `wait_send` on any path, so completion is never
+//! guaranteed. Never compiled; linted as text.
+use pdc_mpi::Comm;
+
+pub fn leaked_isend(comm: &mut Comm) {
+    let rank = comm.rank();
+    let size = comm.size();
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    let payload = vec![rank as u64; 8];
+    let _req = comm.isend(&payload, right, 3).unwrap();
+    let (from_left, _status) = comm.recv::<u64>(left, 3).unwrap();
+    assert!(!from_left.is_empty());
+}

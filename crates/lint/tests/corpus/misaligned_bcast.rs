@@ -1,0 +1,15 @@
+//! Seeded defect: the broadcast root differs across a rank-conditional
+//! branch — rank 0 broadcasts from root 0, everyone else expects root 1,
+//! so the collective never matches. Never compiled; linted as text.
+use pdc_mpi::{Comm, Op};
+
+pub fn misaligned_bcast(comm: &mut Comm) {
+    let seed = [7u64; 4];
+    let got = if comm.rank() == 0 {
+        comm.bcast(Some(&seed), 0).unwrap()
+    } else {
+        comm.bcast(None, 1).unwrap()
+    };
+    let total = [got[0]];
+    comm.allreduce(&total, Op::Sum).unwrap();
+}

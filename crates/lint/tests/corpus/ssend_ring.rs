@@ -1,0 +1,16 @@
+//! Seeded defect: the classic ring deadlock — every rank synchronous-
+//! sends to its right neighbour before posting the receive from its
+//! left, so all ranks block in `ssend` forever. Never compiled; linted
+//! as text.
+use pdc_mpi::Comm;
+
+pub fn ssend_ring(comm: &mut Comm) {
+    let rank = comm.rank();
+    let size = comm.size();
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    let token = [rank as u64];
+    comm.ssend(&token, right, 0).unwrap();
+    let (got, _status) = comm.recv::<u64>(left, 0).unwrap();
+    assert_eq!(got.len(), 1);
+}

@@ -1,0 +1,15 @@
+//! Seeded defect: the sender uses tag 7 but the receiver only posts a
+//! receive for tag 8 — the message is never consumed. Never compiled;
+//! linted as text.
+use pdc_mpi::Comm;
+
+pub fn tag_mismatch(comm: &mut Comm) {
+    let rank = comm.rank();
+    if rank == 0 {
+        let data = [1.0f64, 2.0];
+        comm.send(&data, 1, 7).unwrap();
+    } else if rank == 1 {
+        let (got, _status) = comm.recv::<f64>(0, 8).unwrap();
+        assert!(!got.is_empty());
+    }
+}

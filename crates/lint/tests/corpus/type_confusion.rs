@@ -1,0 +1,15 @@
+//! Seeded defect: the sender ships `f64` elements but the receiver
+//! reinterprets the payload as `u32` — a datatype mismatch the runtime
+//! may or may not catch. Never compiled; linted as text.
+use pdc_mpi::Comm;
+
+pub fn type_confusion(comm: &mut Comm) {
+    let rank = comm.rank();
+    if rank == 0 {
+        let xs = vec![0.25f64; 16];
+        comm.send(&xs, 1, 4).unwrap();
+    } else if rank == 1 {
+        let (xs, _status) = comm.recv::<u32>(0, 4).unwrap();
+        assert_eq!(xs.len(), 32);
+    }
+}

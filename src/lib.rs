@@ -8,6 +8,7 @@
 //!
 //! * [`mpi`] — the message-passing runtime ([`pdc_mpi`])
 //! * [`check`] — the MPI correctness checker ([`pdc_check`])
+//! * [`lint`] — the static communication analyzer ([`pdc_lint`])
 //! * [`cluster`] — machine model, scheduler, contention ([`pdc_cluster`])
 //! * [`cachesim`] — cache simulator ([`pdc_cachesim`])
 //! * [`spatial`] — R-tree / kd-tree / quad-tree ([`pdc_spatial`])
@@ -20,6 +21,7 @@ pub use pdc_cachesim as cachesim;
 pub use pdc_check as check;
 pub use pdc_cluster as cluster;
 pub use pdc_datagen as datagen;
+pub use pdc_lint as lint;
 pub use pdc_modules as modules;
 pub use pdc_mpi as mpi;
 pub use pdc_pedagogy as pedagogy;
