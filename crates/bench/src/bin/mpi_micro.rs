@@ -18,6 +18,12 @@
 //!                           docs/scheduler.md); each result records the
 //!                           seed in its `sched_seed` field (thread-mode
 //!                           points carry `null`)
+//! mpi-micro --tune-file F   load a collective tuning table (see
+//!                           docs/collectives.md) and measure each cell
+//!                           of the simulated collective sweep twice —
+//!                           seed flat (`…_sim[flat]`) and tuned
+//!                           selection (`…_sim[auto]`); --check then
+//!                           also gates the tuned-vs-flat speedup
 //! ```
 //!
 //! The JSON artifact (`BENCH_mpi.json`) records wall-clock p50/p95 per
@@ -25,6 +31,7 @@
 //! defend.
 
 use pdc_bench::micro::{run_suite, MicroConfig};
+use pdc_mpi::TuningTable;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
     let mut drop_rate: Option<f64> = None;
     let mut ranks: Option<usize> = None;
     let mut sched_seed: Option<u64> = None;
+    let mut tune_file: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -88,11 +96,18 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--tune-file" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--tune-file needs a path (e.g. --tune-file TUNING_mpi.json)");
+                    return ExitCode::FAILURE;
+                };
+                tune_file = Some(value.clone());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: mpi-micro [--quick] [--json [PATH]] [--check] [--drop-rate P] \
-                     [--ranks N] [--sched-seed S]"
+                     [--ranks N] [--sched-seed S] [--tune-file F]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -109,7 +124,17 @@ fn main() -> ExitCode {
         cfg.coll_ranks = n;
     }
     cfg.sched_seed = sched_seed;
-    let suite = match run_suite(cfg, mode) {
+    let tuning = match tune_file {
+        Some(path) => match TuningTable::load(std::path::Path::new(&path)) {
+            Ok(table) => Some(table),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let suite = match run_suite(cfg, mode, tuning.as_ref()) {
         Ok(suite) => suite,
         Err(e) => {
             eprintln!("microbenchmark run failed: {e}");

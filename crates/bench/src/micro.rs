@@ -11,7 +11,7 @@
 //! one acknowledgement, collectives are timed per iteration between
 //! barriers on rank 0.
 
-use pdc_mpi::{FaultPlan, Op, Result, RetryPolicy, World, WorldConfig};
+use pdc_mpi::{FaultPlan, Op, Result, RetryPolicy, TuningTable, World, WorldConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -33,8 +33,10 @@ pub struct MicroResult {
     pub p95_us: f64,
     /// Mean time per operation, microseconds.
     pub mean_us: f64,
-    /// Payload throughput derived from the median (bandwidth-style
-    /// benchmarks only; `null` elsewhere).
+    /// Payload throughput derived from the median: `payload_bytes`
+    /// moved per `p50_us` (one-way for ping-pong, per-rank contribution
+    /// for collectives), in MB/s. Set for every payload-carrying bench;
+    /// `null` only for payload-less points.
     pub mb_per_s: Option<f64>,
     /// Injected message-drop rate the point ran under (`--drop-rate`,
     /// repaired by the default retry policy); `null` = fault-free.
@@ -220,7 +222,8 @@ pub fn pingpong(bytes: usize, iters: usize, eager: bool, mode: PointMode) -> Res
         2,
         bytes,
         out.values.into_iter().next().expect("rank 0 samples"),
-        None,
+        // p50 is the one-way time, so the payload crosses once per p50.
+        Some(bytes),
         mode,
     ))
 }
@@ -336,9 +339,92 @@ pub fn collective(
         ranks,
         bytes,
         out.values.into_iter().next().expect("rank 0 samples"),
-        None,
+        // Per-rank contribution per operation.
+        Some(bytes),
         mode,
     ))
+}
+
+/// Topologies of the simulated-clock collective sweep: (ranks, nodes).
+/// Multi-node, so the node-aware and pipelined algorithms have an
+/// inter-node network to win on; matches `pdc_mpi::tune::TUNE_TOPOS`.
+pub const SIM_TOPOS: [(usize, usize); 2] = [(32, 4), (64, 8)];
+
+/// Per-rank payload sizes of the simulated-clock collective sweep.
+pub const SIM_SIZES: [usize; 2] = [65_536, 1 << 20];
+
+/// Iterations per simulated-clock cell (the clock is deterministic; this
+/// only smooths per-iteration constants).
+const SIM_ITERS: usize = 3;
+
+/// One simulated-clock collective cell: `which` at a per-rank payload of
+/// `bytes` on `ranks` ranks over `nodes` nodes, on a seed-0 virtual-rank
+/// world. With `table = None` the cell pins the seed flat algorithm
+/// (named `<coll>_sim[flat]`); with a tuning table it pins tuned
+/// selection (`<coll>_sim[auto]`). Deterministic: the reported p50 is
+/// exact simulated time, so the bench gate can hold these cells to a
+/// much tighter threshold than the wall-clock points.
+pub fn collective_sim(
+    which: Coll,
+    ranks: usize,
+    nodes: usize,
+    bytes: usize,
+    table: Option<&TuningTable>,
+) -> Result<MicroResult> {
+    let mut cfg = WorldConfig::new(ranks)
+        .on_nodes(nodes)
+        .with_virtual(MICRO_WORKERS)
+        .with_sched_seed(0)
+        // Pin the regime: the flat cells must not silently pick up a
+        // table from PDC_MPI_TUNE_FILE.
+        .without_tuning();
+    if let Some(t) = table {
+        cfg = cfg.with_tuning(t.clone());
+    }
+    let out = World::run(cfg, move |comm| {
+        let elems = (bytes / 8).max(1);
+        let data = vec![1.0f64; elems];
+        let all2all = vec![1.0f64; elems * comm.size()];
+        for _ in 0..SIM_ITERS {
+            match which {
+                Coll::Bcast => {
+                    let root_data = if comm.rank() == 0 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    };
+                    let _ = comm.bcast(root_data, 0)?;
+                }
+                Coll::Allgather => {
+                    let _ = comm.allgather(&data)?;
+                }
+                Coll::Allreduce => {
+                    let _ = comm.allreduce(&data, Op::Sum)?;
+                }
+                Coll::Alltoall => {
+                    let _ = comm.alltoall(&all2all)?;
+                }
+            }
+        }
+        Ok(())
+    })?;
+    let us = out.sim_time * 1e6 / SIM_ITERS as f64;
+    Ok(MicroResult {
+        bench: format!(
+            "{}_sim[{}]",
+            which.name(),
+            if table.is_some() { "auto" } else { "flat" }
+        ),
+        ranks,
+        payload_bytes: bytes,
+        iters: SIM_ITERS,
+        p50_us: us,
+        p95_us: us,
+        mean_us: us,
+        mb_per_s: Some(bytes as f64 / us),
+        drop_rate: None,
+        sched_seed: Some(0),
+    })
 }
 
 /// Payload sizes for the latency sweep, bytes.
@@ -350,8 +436,12 @@ pub const COLL_SIZES: [usize; 3] = [1024, 65_536, 1 << 20];
 /// World size used for collective points.
 pub const COLL_RANKS: usize = 8;
 
-/// Run the whole suite with the given budget.
-pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
+/// Run the whole suite with the given budget. `tuning` feeds the
+/// simulated-clock collective sweep: every sweep cell is measured with
+/// the seed flat algorithms, and — when a table is supplied — measured
+/// again with tuned selection, so the suite pins the flat-vs-tuned gap
+/// as first-class data points.
+pub fn run_suite(cfg: MicroConfig, mode: &str, tuning: Option<&TuningTable>) -> Result<MicroSuite> {
     let point_mode = PointMode::from_config(&cfg);
     let mut results = Vec::new();
     for &bytes in &LAT_SIZES {
@@ -381,6 +471,16 @@ pub fn run_suite(cfg: MicroConfig, mode: &str) -> Result<MicroSuite> {
                 cfg.coll_iters
             };
             results.push(collective(which, cfg.coll_ranks, bytes, iters, point_mode)?);
+        }
+    }
+    for which in [Coll::Bcast, Coll::Allreduce] {
+        for &(ranks, nodes) in &SIM_TOPOS {
+            for &bytes in &SIM_SIZES {
+                results.push(collective_sim(which, ranks, nodes, bytes, None)?);
+                if let Some(t) = tuning {
+                    results.push(collective_sim(which, ranks, nodes, bytes, Some(t))?);
+                }
+            }
         }
     }
     Ok(MicroSuite {
@@ -417,11 +517,28 @@ impl MicroSuite {
     }
 
     /// Sanity ceilings for CI: generous absolute bounds that only a real
-    /// regression (not scheduler noise) can break. Returns the offending
+    /// regression (not scheduler noise) can break, plus the tuned-vs-flat
+    /// gate over the simulated collective sweep. Returns the offending
     /// points.
     pub fn regression_markers(&self) -> Vec<String> {
         let mut bad = Vec::new();
         for r in &self.results {
+            if r.bench.contains("_sim[") {
+                // Simulated time is deterministic, so the ceiling can be
+                // tight: ~1.5× the measured seed flat numbers.
+                let ceiling_us = if r.payload_bytes >= 1 << 20 {
+                    1_500.0
+                } else {
+                    150.0
+                };
+                if r.p50_us > ceiling_us {
+                    bad.push(format!(
+                        "{} @ {} B, {} ranks: sim p50 {:.1} µs exceeds ceiling {:.0} µs",
+                        r.bench, r.payload_bytes, r.ranks, r.p50_us, ceiling_us
+                    ));
+                }
+                continue;
+            }
             // Lossy points pay retransmissions by design, and virtual-rank
             // points pay a scheduling barrier per blocking call; only the
             // default fault-free thread-mode points defend the trajectory.
@@ -444,6 +561,51 @@ impl MicroSuite {
                 ));
             }
         }
+        bad.extend(self.tuned_sweep_markers());
+        bad
+    }
+
+    /// Gate on the point of the tuning table: when the suite carries
+    /// tuned (`_sim[auto]`) cells, at least two of them must beat their
+    /// flat twin by ≥2× on simulated p50, and none may regress past 1.25×
+    /// (the header broadcast a tuned bcast pays on cells where the table
+    /// still picks flat is well inside that).
+    fn tuned_sweep_markers(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let mut auto_cells = 0usize;
+        let mut wins = 0usize;
+        for auto in &self.results {
+            let Some(stem) = auto.bench.strip_suffix("_sim[auto]") else {
+                continue;
+            };
+            auto_cells += 1;
+            let flat_name = format!("{stem}_sim[flat]");
+            let Some(flat) = self.results.iter().find(|f| {
+                f.bench == flat_name
+                    && f.ranks == auto.ranks
+                    && f.payload_bytes == auto.payload_bytes
+            }) else {
+                bad.push(format!(
+                    "{} @ {} B, {} ranks: no flat twin to compare against",
+                    auto.bench, auto.payload_bytes, auto.ranks
+                ));
+                continue;
+            };
+            if auto.p50_us > flat.p50_us * 1.25 {
+                bad.push(format!(
+                    "{} @ {} B, {} ranks: tuned p50 {:.1} µs regresses past flat {:.1} µs",
+                    auto.bench, auto.payload_bytes, auto.ranks, auto.p50_us, flat.p50_us
+                ));
+            }
+            if flat.p50_us >= 2.0 * auto.p50_us {
+                wins += 1;
+            }
+        }
+        if auto_cells > 0 && wins < 2 {
+            bad.push(format!(
+                "tuned collective sweep holds only {wins} ≥2× win(s) over flat (need 2)"
+            ));
+        }
         bad
     }
 }
@@ -465,6 +627,57 @@ mod tests {
         assert_eq!(r.drop_rate, None);
         assert_eq!(r.sched_seed, None);
         assert_eq!(r.bench, "pingpong");
+    }
+
+    fn sim_point(bench: &str, p50_us: f64) -> MicroResult {
+        MicroResult {
+            bench: bench.into(),
+            ranks: 32,
+            payload_bytes: 1 << 20,
+            iters: 3,
+            p50_us,
+            p95_us: p50_us,
+            mean_us: p50_us,
+            mb_per_s: Some((1 << 20) as f64 / p50_us),
+            drop_rate: None,
+            sched_seed: Some(0),
+        }
+    }
+
+    #[test]
+    fn tuned_sweep_gate_requires_two_wins() {
+        let mut suite = MicroSuite {
+            suite: "test".into(),
+            mode: "quick".into(),
+            results: vec![
+                sim_point("bcast_sim[flat]", 400.0),
+                sim_point("bcast_sim[auto]", 150.0),
+                sim_point("allreduce_sim[flat]", 700.0),
+                sim_point("allreduce_sim[auto]", 600.0),
+            ],
+        };
+        // Only one ≥2× win: the gate trips.
+        let markers = suite.regression_markers();
+        assert!(
+            markers.iter().any(|m| m.contains("≥2× win")),
+            "expected a win-count marker, got {markers:?}"
+        );
+        // Second win: clean.
+        suite.results[3].p50_us = 300.0;
+        assert!(suite.regression_markers().is_empty());
+        // A tuned cell regressing past 1.25× its flat twin trips the gate
+        // even with enough wins elsewhere.
+        suite.results[3].p50_us = 900.0;
+        suite.results.push(sim_point("gather_sim[flat]", 400.0));
+        suite.results.push(sim_point("gather_sim[auto]", 100.0));
+        let markers = suite.regression_markers();
+        assert!(
+            markers.iter().any(|m| m.contains("regresses past flat")),
+            "expected a regression marker, got {markers:?}"
+        );
+        // Flat-only suites (no table supplied) never trip the gate.
+        suite.results.retain(|r| !r.bench.contains("[auto]"));
+        assert!(suite.regression_markers().is_empty());
     }
 
     #[test]

@@ -929,15 +929,18 @@ impl<'a> Walker<'a> {
                 };
                 let cop = spec.op.map(|i| render(arg(Some(i))));
                 let ty = spec.data.and_then(|i| self.infer_elem(arg(Some(i))));
+                // Record the spec's canonical name, not the spelled
+                // method: `bcast_algo(.., CollAlgo::Chunked)` on one rank
+                // aligns with a plain `bcast` on another.
                 self.coll_push(CollNode::Coll {
-                    name: op.method.clone(),
+                    name: spec.name.to_string(),
                     root,
                     op: cop,
                     ty,
                     line: op.line,
                 });
                 self.flat.push(FlatOp::CollBlock {
-                    name: op.method.clone(),
+                    name: spec.name.to_string(),
                     line: op.line,
                     definite,
                 });

@@ -1,0 +1,19 @@
+//! Non-defect: algorithm hints are invisible to collective matching.
+//! Rank 0 broadcasts through an explicit chunked algorithm while the
+//! rest call the default `bcast`, then every rank allreduces with a
+//! hierarchical hint — same collectives, same root, same operator, so
+//! the program must lint clean. Never compiled; linted as text.
+use pdc_mpi::{CollAlgo, Comm, Op};
+
+pub fn algo_hint_aligned(comm: &mut Comm) {
+    let seed = [7u64; 4];
+    let got = if comm.rank() == 0 {
+        comm.bcast_algo(Some(&seed), 0, CollAlgo::Chunked).unwrap()
+    } else {
+        comm.bcast(None, 0).unwrap()
+    };
+    let total = [got[0]];
+    comm.allreduce_algo(&total, Op::Sum, CollAlgo::Hierarchical)
+        .unwrap();
+    comm.barrier_algo(CollAlgo::Flat).unwrap();
+}

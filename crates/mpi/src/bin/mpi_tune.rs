@@ -1,0 +1,190 @@
+//! `mpi_tune` — measure the collective-algorithm tuning table and
+//! persist it as `TUNING_mpi.json`.
+//!
+//! ```text
+//! mpi_tune [--out PATH]        # retune and write the table (default)
+//! mpi_tune --check [PATH]      # retune and diff against a checked-in table
+//! mpi_tune --render [PATH]     # pretty-print a table as a winners grid
+//! ```
+//!
+//! The measurement worlds are virtual-rank, seed 0, on the simulated
+//! clock, so the produced table is deterministic: `--check` re-runs the
+//! tuner and fails (exit 1) if any cell's winner differs from the file —
+//! the CI job that guards `TUNING_mpi.json` against drifting out of sync
+//! with the runtime. See `docs/collectives.md` for the selection rules
+//! the table feeds.
+
+use pdc_mpi::tune::{autotune, TUNE_TOPOS};
+use pdc_mpi::TuningTable;
+use std::io::Write;
+use std::path::Path;
+
+const DEFAULT_PATH: &str = "TUNING_mpi.json";
+
+fn main() {
+    let mut mode = Mode::Write;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => mode = Mode::Check,
+            "--render" => mode = Mode::Render,
+            "--out" => path = Some(args.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                println!("usage: mpi_tune [--out PATH] | --check [PATH] | --render [PATH]");
+                return;
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| DEFAULT_PATH.to_string());
+    let path = Path::new(&path);
+
+    match mode {
+        Mode::Render => {
+            let table = load(path);
+            render(&table);
+        }
+        Mode::Write => {
+            let table = tune();
+            table.save(path).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            render(&table);
+            println!("wrote {} ({} cells)", path.display(), table.cells.len());
+        }
+        Mode::Check => {
+            let on_disk = load(path);
+            let fresh = tune();
+            let mut drift = 0usize;
+            for cell in &fresh.cells {
+                let found = on_disk.cells.iter().find(|c| {
+                    c.kind == cell.kind
+                        && c.size_class == cell.size_class
+                        && c.ranks == cell.ranks
+                        && c.nodes == cell.nodes
+                });
+                match found {
+                    None => {
+                        println!(
+                            "MISSING  {:<10} {:<5} {:>3}r/{:<2}n  (fresh winner: {})",
+                            cell.kind.name(),
+                            cell.size_class.name(),
+                            cell.ranks,
+                            cell.nodes,
+                            cell.best.name()
+                        );
+                        drift += 1;
+                    }
+                    Some(c) if c.best != cell.best => {
+                        println!(
+                            "DRIFT    {:<10} {:<5} {:>3}r/{:<2}n  table says {}, tuner says {}",
+                            cell.kind.name(),
+                            cell.size_class.name(),
+                            cell.ranks,
+                            cell.nodes,
+                            c.best.name(),
+                            cell.best.name()
+                        );
+                        drift += 1;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if on_disk.cells.len() != fresh.cells.len() {
+                println!(
+                    "table has {} cells, tuner produced {}",
+                    on_disk.cells.len(),
+                    fresh.cells.len()
+                );
+                drift += 1;
+            }
+            if drift > 0 {
+                eprintln!(
+                    "{drift} cell(s) out of sync — re-run `mpi_tune --out {}`",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "{} is in sync ({} cells)",
+                path.display(),
+                fresh.cells.len()
+            );
+        }
+    }
+}
+
+enum Mode {
+    Write,
+    Check,
+    Render,
+}
+
+fn load(path: &Path) -> TuningTable {
+    TuningTable::load(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn tune() -> TuningTable {
+    autotune(|done, total| {
+        eprint!("\rtuning cell {done}/{total}");
+        let _ = std::io::stderr().flush();
+        if done == total {
+            eprintln!();
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("tuning world failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Winners grid: one row per (kind, size class), one column per topology.
+fn render(table: &TuningTable) {
+    println!(
+        "machine class {} (v{}), {} cells",
+        table.machine_class,
+        table.version,
+        table.cells.len()
+    );
+    print!("{:<10} {:<5}", "kind", "class");
+    for (r, n) in TUNE_TOPOS {
+        print!("  {:>12}", format!("{r}r/{n}n"));
+    }
+    println!();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for cell in &table.cells {
+        let key = (
+            cell.kind.name().to_string(),
+            cell.size_class.name().to_string(),
+        );
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        print!("{:<10} {:<5}", cell.kind.name(), cell.size_class.name());
+        for (r, n) in TUNE_TOPOS {
+            let best = table
+                .cells
+                .iter()
+                .find(|c| {
+                    c.kind == cell.kind
+                        && c.size_class == cell.size_class
+                        && c.ranks == r
+                        && c.nodes == n
+                })
+                .map(|c| c.best.name())
+                .unwrap_or("-");
+            print!("  {best:>12}");
+        }
+        println!();
+    }
+}

@@ -56,6 +56,7 @@
 
 pub(crate) mod chan;
 pub mod check;
+pub(crate) mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod subcomm;
 pub mod topology;
 pub mod trace;
+pub mod tune;
 pub mod world;
 
 pub use check::{BlockedOp, CallSite, CheckEvent, CheckMode, DeadlockInfo, WaitTarget};
@@ -78,12 +80,13 @@ pub use error::{Error, Result};
 pub use fault::{CrashEvent, FaultPlan, RetryPolicy};
 pub use reduce::{Op, Reducible};
 pub use sched::VirtualRanks;
-pub use stats::{CommStats, Primitive, ProtocolVolume};
+pub use stats::{AlgoVolume, CommStats, Primitive, ProtocolVolume};
 pub use subcomm::SubComm;
 pub use topology::{dims_create, CartTopology};
 pub use trace::{
     render_timeline, to_chrome_json, CollSpan, PhaseSpan, Span, SpanKind, Timeline, TimelineSummary,
 };
+pub use tune::{CollAlgo, CollKind, SizeClass, TuningTable};
 pub use world::{ProfContext, RunOutput, World, WorldConfig};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).

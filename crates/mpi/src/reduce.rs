@@ -34,6 +34,18 @@ pub trait Reducible: Copy {
     fn supports(_op: Op) -> bool {
         true
     }
+
+    /// Does `op` on this type give *bit-identical* results under any
+    /// re-association of the fold? Integer wrapping arithmetic, logical
+    /// ops, and min/max are exactly reassociative; floating-point `Sum`
+    /// and `Prod` are not (rounding depends on evaluation order). The
+    /// collectives consult this before switching to an algorithm whose
+    /// combine tree differs from the flat binomial one, so every
+    /// [`CollAlgo`](crate::tune::CollAlgo) produces byte-identical
+    /// results.
+    fn exact_reassoc(_op: Op) -> bool {
+        true
+    }
 }
 
 macro_rules! impl_reducible_int {
@@ -63,6 +75,12 @@ macro_rules! impl_reducible_float {
                     Op::Min => a.min(b),
                     Op::Max => a.max(b),
                 }
+            }
+
+            /// Float add/mul round per-operation, so the result depends
+            /// on association; only min/max are order-insensitive.
+            fn exact_reassoc(op: Op) -> bool {
+                matches!(op, Op::Min | Op::Max)
             }
         }
     )*};
@@ -184,6 +202,14 @@ mod tests {
         assert!(i64::supports(Op::Sum) && f64::supports(Op::Prod));
         assert!(Loc::supports(Op::Min) && Loc::supports(Op::Max));
         assert!(!Loc::supports(Op::Sum) && !Loc::supports(Op::Prod));
+    }
+
+    #[test]
+    fn exact_reassoc_guards_float_rounding() {
+        assert!(i64::exact_reassoc(Op::Sum) && u8::exact_reassoc(Op::Prod));
+        assert!(bool::exact_reassoc(Op::Sum) && Loc::exact_reassoc(Op::Min));
+        assert!(!f64::exact_reassoc(Op::Sum) && !f32::exact_reassoc(Op::Prod));
+        assert!(f64::exact_reassoc(Op::Min) && f32::exact_reassoc(Op::Max));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! uses) via [`CommStats::used_primitives`], and the communication-volume
 //! reasoning of Modules 3 and 5 via the byte counters.
 
+use crate::tune::CollAlgo;
+
 /// Every user-facing primitive the runtime exposes, named after its MPI
 /// counterpart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -139,11 +141,28 @@ impl ProtocolVolume {
     }
 }
 
+/// Collective traffic attributed to one [`CollAlgo`]. Counted only while
+/// algorithm selection is active (a tuning table installed or an explicit
+/// `*_algo` hint) — untuned runs route everything through the seed flat
+/// algorithm without labelling, exactly as before. pdc-prof uses this to
+/// attribute protocol volume to the algorithm that generated it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoVolume {
+    /// Collective invocations that resolved to this algorithm.
+    pub calls: u64,
+    /// Collective-internal messages this algorithm sent.
+    pub msgs: u64,
+    /// Collective-internal bytes this algorithm sent.
+    pub bytes: u64,
+}
+
 /// Snapshot of one rank's communication activity.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
     calls: Vec<u64>,
     protocol: ProtocolVolume,
+    /// Per-algorithm collective traffic, indexed by [`CollAlgo::index`].
+    algo_volume: [AlgoVolume; 3],
     /// Point-to-point messages physically sent (including those generated
     /// inside collectives).
     pub msgs_sent: u64,
@@ -201,6 +220,23 @@ impl CommStats {
         }
     }
 
+    /// Collective traffic attributed to `algo` (see [`AlgoVolume`]).
+    pub fn algo_volume(&self, algo: CollAlgo) -> AlgoVolume {
+        self.algo_volume[algo.index()]
+    }
+
+    /// Count one collective invocation that resolved to `algo`.
+    pub(crate) fn record_algo_call(&mut self, algo: CollAlgo) {
+        self.algo_volume[algo.index()].calls += 1;
+    }
+
+    /// Attribute one collective-internal message of `bytes` to `algo`.
+    pub(crate) fn record_algo_traffic(&mut self, algo: CollAlgo, bytes: usize) {
+        let v = &mut self.algo_volume[algo.index()];
+        v.msgs += 1;
+        v.bytes += bytes as u64;
+    }
+
     /// The set of primitives invoked at least once, in display order.
     pub fn used_primitives(&self) -> Vec<Primitive> {
         Primitive::ALL
@@ -223,6 +259,11 @@ impl CommStats {
         self.protocol.eager_bytes += other.protocol.eager_bytes;
         self.protocol.rendezvous_msgs += other.protocol.rendezvous_msgs;
         self.protocol.rendezvous_bytes += other.protocol.rendezvous_bytes;
+        for (mine, theirs) in self.algo_volume.iter_mut().zip(&other.algo_volume) {
+            mine.calls += theirs.calls;
+            mine.msgs += theirs.msgs;
+            mine.bytes += theirs.bytes;
+        }
         self.msgs_sent += other.msgs_sent;
         self.bytes_sent += other.bytes_sent;
         self.msgs_received += other.msgs_received;
@@ -295,6 +336,23 @@ mod tests {
         assert_eq!(v.rendezvous_bytes, 4096);
         assert_eq!(v.total_msgs(), 3);
         assert_eq!(v.total_bytes(), 4246);
+    }
+
+    #[test]
+    fn algo_volume_accumulates_and_merges() {
+        let mut a = CommStats::new();
+        a.record_algo_call(CollAlgo::Chunked);
+        a.record_algo_traffic(CollAlgo::Chunked, 1024);
+        a.record_algo_traffic(CollAlgo::Chunked, 1024);
+        let mut b = CommStats::new();
+        b.record_algo_call(CollAlgo::Chunked);
+        b.record_algo_traffic(CollAlgo::Chunked, 8);
+        b.record_algo_call(CollAlgo::Flat);
+        a.merge(&b);
+        let c = a.algo_volume(CollAlgo::Chunked);
+        assert_eq!((c.calls, c.msgs, c.bytes), (2, 3, 2056));
+        assert_eq!(a.algo_volume(CollAlgo::Flat).calls, 1);
+        assert_eq!(a.algo_volume(CollAlgo::Hierarchical), AlgoVolume::default());
     }
 
     #[test]

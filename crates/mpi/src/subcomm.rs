@@ -14,11 +14,13 @@
 //! never cross-match — MPI's communicator-isolation guarantee.
 
 use crate::check::CallSite;
+use crate::coll;
 use crate::comm::Comm;
 use crate::datatype::{decode_vec, encode_slice, Datatype};
 use crate::error::{Error, Result};
 use crate::reduce::{fold_into, Op, Reducible};
 use crate::stats::Primitive;
+use crate::tune::{CollAlgo, CollKind};
 use bytes::Bytes;
 
 /// Tag stride per collective on a sub-communicator (matches the world's).
@@ -151,6 +153,22 @@ impl Comm<'_> {
         );
         self.record(Primitive::Barrier);
         let base = sc.next_base();
+        match self.resolve_algo_members(CollKind::Barrier, 0, None, sc.members()) {
+            None => self.sub_barrier_flat(sc, base),
+            Some(algo) => {
+                self.begin_algo(algo, false);
+                let r = if algo == CollAlgo::Hierarchical {
+                    coll::hier_barrier(self, &sc.members, sc.my_idx, base)
+                } else {
+                    self.sub_barrier_flat(sc, base)
+                };
+                self.end_algo();
+                r
+            }
+        }
+    }
+
+    fn sub_barrier_flat(&mut self, sc: &SubComm, base: u64) -> Result<()> {
         let p = sc.size();
         let mut dist = 1usize;
         let mut round = 0u64;
@@ -190,6 +208,59 @@ impl Comm<'_> {
         sc.validate_root(root)?;
         self.record(Primitive::Bcast);
         let base = sc.next_base();
+        if !self.tuning_enabled() {
+            return self.sub_bcast_flat(sc, data, root, base);
+        }
+        // Tuned path: only the root knows the payload size, so it makes
+        // the (pure, table-driven) selection over the sub-communicator's
+        // own topology and announces `[algo, count]` in a header
+        // broadcast over the flat binomial tree.
+        let header = if sc.my_idx == root {
+            let d = data
+                .ok_or_else(|| Error::InvalidArgument("sub_bcast root must supply data".into()))?;
+            let algo = self
+                .resolve_algo_members(CollKind::Bcast, d.len() * T::SIZE, None, sc.members())
+                .expect("tuned path has a table");
+            encode_slice(&[algo.wire_id(), d.len() as u64])
+        } else {
+            Bytes::new()
+        };
+        let header = coll::tree_bcast_bytes::<u64>(
+            self,
+            &sc.members,
+            sc.my_idx,
+            root,
+            base + coll::T_HEADER,
+            header,
+        )?;
+        let header: Vec<u64> = decode_vec(&header);
+        let algo = header
+            .first()
+            .and_then(|&w| CollAlgo::from_wire_id(w))
+            .filter(|_| header.len() == 2)
+            .ok_or_else(|| Error::InvalidArgument("corrupt bcast algorithm header".into()))?;
+        let count = header[1] as usize;
+        self.begin_algo(algo, false);
+        let r = match algo {
+            CollAlgo::Flat => self.sub_bcast_flat(sc, data, root, base),
+            CollAlgo::Chunked => {
+                coll::chunked_bcast(self, &sc.members, sc.my_idx, data, root, count, base)
+            }
+            CollAlgo::Hierarchical => {
+                coll::hier_bcast(self, &sc.members, sc.my_idx, data, root, base)
+            }
+        };
+        self.end_algo();
+        r
+    }
+
+    fn sub_bcast_flat<T: Datatype>(
+        &mut self,
+        sc: &SubComm,
+        data: Option<&[T]>,
+        root: usize,
+        base: u64,
+    ) -> Result<Vec<T>> {
         let p = sc.size();
         let vrank = (sc.my_idx + p - root) % p;
         // Zero-copy forwarding, like the world bcast: encode once at the
@@ -262,8 +333,49 @@ impl Comm<'_> {
         );
         sc.validate_root(root)?;
         self.record(Primitive::Reduce);
+        // A custom combiner's algebra is opaque, so hierarchical
+        // re-association is never assumed exact (see `tune::constrain`).
+        self.sub_reduce_run(sc, data, root, false, &combine)
+    }
+
+    fn sub_reduce_run<T: Datatype, F: Fn(&T, &T) -> T>(
+        &mut self,
+        sc: &mut SubComm,
+        data: &[T],
+        root: usize,
+        exact: bool,
+        combine: &F,
+    ) -> Result<Option<Vec<T>>> {
         let base = sc.next_base();
-        self.sub_reduce_tree(sc, data, root, base, &combine)
+        match self.resolve_algo_members_reassoc(
+            CollKind::Reduce,
+            data.len() * T::SIZE,
+            None,
+            exact,
+            sc.members(),
+        ) {
+            None => self.sub_reduce_tree(sc, data, root, base, combine),
+            Some(algo) => {
+                self.begin_algo(algo, false);
+                let r = match algo {
+                    CollAlgo::Flat => self.sub_reduce_tree(sc, data, root, base, combine),
+                    CollAlgo::Chunked => coll::chunked_reduce(
+                        self,
+                        &sc.members,
+                        sc.my_idx,
+                        data,
+                        root,
+                        base,
+                        combine,
+                    ),
+                    CollAlgo::Hierarchical => {
+                        coll::hier_reduce(self, &sc.members, sc.my_idx, data, root, base, combine)
+                    }
+                };
+                self.end_algo();
+                r
+            }
+        }
     }
 
     fn sub_reduce_tree<T: Datatype, F: Fn(&T, &T) -> T>(
@@ -323,8 +435,9 @@ impl Comm<'_> {
         sc.validate_root(root)?;
         self.check_op::<T>(op)?;
         self.record(Primitive::Reduce);
-        let base = sc.next_base();
-        self.sub_reduce_tree(sc, data, root, base, &move |a, b| T::reduce(op, *a, *b))
+        self.sub_reduce_run(sc, data, root, T::exact_reassoc(op), &move |a, b| {
+            T::reduce(op, *a, *b)
+        })
     }
 
     /// Allreduce over a sub-communicator.
@@ -347,10 +460,69 @@ impl Comm<'_> {
         );
         self.check_op::<T>(op)?;
         self.record(Primitive::Allreduce);
-        let base = sc.next_base();
-        let reduced = self.sub_reduce_tree(sc, data, 0, base, &move |a: &T, b: &T| {
-            T::reduce(op, *a, *b)
-        })?;
+        let combine = move |a: &T, b: &T| T::reduce(op, *a, *b);
+        match self.resolve_algo_members_reassoc(
+            CollKind::Allreduce,
+            data.len() * T::SIZE,
+            None,
+            T::exact_reassoc(op),
+            sc.members(),
+        ) {
+            None => {
+                let base = sc.next_base();
+                self.sub_allreduce_flat(sc, data, base, &combine)
+            }
+            Some(CollAlgo::Flat) => {
+                let base = sc.next_base();
+                self.begin_algo(CollAlgo::Flat, false);
+                let r = self.sub_allreduce_flat(sc, data, base, &combine);
+                self.end_algo();
+                r
+            }
+            Some(CollAlgo::Chunked) => {
+                // Two tag bases, one per phase (the chunked reduce uses
+                // the whole 1024-tag range of its own base).
+                let rbase = sc.next_base();
+                let bbase = sc.next_base();
+                self.begin_algo(CollAlgo::Chunked, false);
+                let r =
+                    coll::chunked_reduce(self, &sc.members, sc.my_idx, data, 0, rbase, &combine)
+                        .and_then(|reduced| {
+                            coll::chunked_bcast(
+                                self,
+                                &sc.members,
+                                sc.my_idx,
+                                reduced.as_deref(),
+                                0,
+                                data.len(),
+                                bbase,
+                            )
+                        });
+                self.end_algo();
+                r
+            }
+            Some(CollAlgo::Hierarchical) => {
+                let rbase = sc.next_base();
+                let bbase = sc.next_base();
+                self.begin_algo(CollAlgo::Hierarchical, false);
+                let r = coll::hier_reduce(self, &sc.members, sc.my_idx, data, 0, rbase, &combine)
+                    .and_then(|reduced| {
+                        coll::hier_bcast(self, &sc.members, sc.my_idx, reduced.as_deref(), 0, bbase)
+                    });
+                self.end_algo();
+                r
+            }
+        }
+    }
+
+    fn sub_allreduce_flat<T: Datatype, F: Fn(&T, &T) -> T>(
+        &mut self,
+        sc: &SubComm,
+        data: &[T],
+        base: u64,
+        combine: &F,
+    ) -> Result<Vec<T>> {
+        let reduced = self.sub_reduce_tree(sc, data, 0, base, combine)?;
         // Broadcast phase with a shifted tag sub-range, forwarding the
         // encoded result zero-copy down the tree.
         let p = sc.size();

@@ -15,6 +15,7 @@
 //!         └ # compute  > send  < recv/wait  · idle
 //! ```
 
+use crate::tune::CollAlgo;
 use serde::{Deserialize, Serialize};
 
 /// What a rank was doing during a span.
@@ -58,6 +59,10 @@ pub struct Span {
     pub flops: f64,
     /// Compute spans: DRAM bytes charged (the roofline memory leg).
     pub mem_bytes: f64,
+    /// Collective-internal spans: the [`CollAlgo`] that generated the
+    /// traffic. `None` for point-to-point spans and for untuned runs
+    /// (where no algorithm selection is active).
+    pub algo: Option<CollAlgo>,
 }
 
 impl Span {
@@ -76,6 +81,7 @@ impl Span {
             sent_at: None,
             flops: 0.0,
             mem_bytes: 0.0,
+            algo: None,
         }
     }
 
@@ -114,6 +120,10 @@ pub struct CollSpan {
     pub seq: u64,
     /// Simulated time this rank entered the collective.
     pub enter: f64,
+    /// The algorithm this collective resolved to, when selection was
+    /// active (a tuning table or an explicit hint); `None` on untuned
+    /// runs. Old serialized spans without the field read back as `None`.
+    pub algo: Option<CollAlgo>,
 }
 
 /// Per-kind totals of one timeline.
@@ -213,11 +223,14 @@ pub fn to_chrome_json(traces: &[Timeline]) -> String {
                 out.push(',');
             }
             first = false;
-            let name = match span.kind {
+            let mut name = match span.kind {
                 SpanKind::Compute => "compute".to_string(),
                 SpanKind::Send => format!("send->r{} ({}B)", span.peer, span.bytes),
                 SpanKind::Recv => format!("recv<-r{} ({}B)", span.peer, span.bytes),
             };
+            if let Some(algo) = span.algo {
+                name.push_str(&format!(" [{}]", algo.name()));
+            }
             let cat = match span.kind {
                 SpanKind::Compute => "compute",
                 SpanKind::Send | SpanKind::Recv => "comm",

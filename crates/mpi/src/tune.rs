@@ -1,0 +1,725 @@
+//! Collective algorithm selection and autotuning.
+//!
+//! Every collective in [`Comm`](crate::Comm) can run under more than one
+//! algorithm ([`CollAlgo`]): the original flat binomial tree / ring, a
+//! hierarchical node-aware variant (per-node leaders exchange over the
+//! postal inter-node network, members fan out over the intra-node bus),
+//! and a pipelined variant that streams fixed-size chunks through the
+//! tree so interior ranks forward chunk *k* while receiving *k+1*.
+//!
+//! Which algorithm runs is a **pure function** of
+//! `(tuning table, collective kind, payload bytes, ranks, nodes)` —
+//! see [`resolve`] — so a tuned run replays bit-identically under
+//! pdc-sched: no wall-clock feedback, no per-call state. By default no
+//! table is loaded and every collective keeps the seed flat algorithm;
+//! selection activates only when a table is installed
+//! ([`crate::WorldConfig::with_tuning`] or `PDC_MPI_TUNE_FILE`) or a
+//! call site passes an explicit `*_algo` hint.
+//!
+//! The [`autotune`] entry point measures algorithm × size-class ×
+//! (ranks, nodes) cells on the simulated clock (virtual-rank worlds,
+//! seed 0 — deterministic, host-independent) and produces a
+//! [`TuningTable`] that `mpi_tune` persists as JSON (`TUNING_mpi.json`
+//! at the repo root is the checked-in table for the CI machine class).
+//! `docs/collectives.md` walks through the format and the selection
+//! rules.
+
+use crate::comm::Comm;
+use crate::error::Result;
+use crate::reduce::Op;
+use crate::world::{World, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Chunk granularity of the pipelined reduction, in bytes; payloads
+/// below twice this stay unchunked ([`applicable`]).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Chunk granularity of the pipelined chain broadcast, in bytes. Finer
+/// than [`CHUNK_BYTES`]: a chain's fill time grows with the participant
+/// count, so it amortises over more, smaller chunks.
+pub const BCAST_CHUNK_BYTES: usize = 16 * 1024;
+
+/// Upper bound on pipeline depth: chunk tags live in a dedicated slice of
+/// the per-collective tag stride, and gigantic payloads gain nothing from
+/// more in-flight chunks than this.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Workers used by autotune's virtual-rank worlds (matches `mpi_micro`).
+pub const TUNE_WORKERS: usize = 4;
+
+/// Machine class the checked-in table was tuned for: the
+/// `MachineModel::cluster` postal model (0.5 µs / 20 GB/s intra-node,
+/// 2 µs / 10 GB/s inter-node, 0.2 µs send overhead).
+pub const CI_MACHINE_CLASS: &str = "pdc-cluster-v1";
+
+/// A collective algorithm. `Flat` is always the algorithm the seed
+/// runtime shipped with (binomial tree for bcast/reduce, ring for
+/// allgather, dissemination for barrier, skewed eager exchange for
+/// alltoall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollAlgo {
+    /// The seed algorithm: one fixed tree/ring, topology-blind.
+    Flat,
+    /// Node-aware: per-node leaders run the inter-node exchange over the
+    /// postal model; members fan in/out over the shared intra-node bus.
+    Hierarchical,
+    /// Pipelined: the payload streams in fixed-size chunks. Reductions
+    /// stream through the *same* flat tree with the *same* fold order —
+    /// byte-identical results, including floating-point reductions —
+    /// while broadcasts (pure data movement) stream down a chain, so
+    /// every rank forwards the payload exactly once instead of the root
+    /// serialising log₂(p) full copies.
+    Chunked,
+}
+
+impl CollAlgo {
+    /// All algorithms, in tie-break preference order (`Flat` first: when
+    /// measurements tie, keep the seed behaviour).
+    pub const ALL: [CollAlgo; 3] = [CollAlgo::Flat, CollAlgo::Hierarchical, CollAlgo::Chunked];
+
+    /// Stable lowercase name (used in span labels and bench cell names).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollAlgo::Flat => "flat",
+            CollAlgo::Hierarchical => "hier",
+            CollAlgo::Chunked => "chunked",
+        }
+    }
+
+    /// Dense index for per-algorithm accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CollAlgo::Flat => 0,
+            CollAlgo::Hierarchical => 1,
+            CollAlgo::Chunked => 2,
+        }
+    }
+
+    /// Wire id for the bcast algorithm header (root → non-roots).
+    pub(crate) fn wire_id(self) -> u64 {
+        self.index() as u64
+    }
+
+    /// Inverse of [`CollAlgo::wire_id`].
+    pub(crate) fn from_wire_id(id: u64) -> Option<CollAlgo> {
+        CollAlgo::ALL.get(id as usize).copied()
+    }
+}
+
+/// Which collective a tuning cell (or a selection query) is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CollKind {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Allgatherv,
+    Alltoall,
+}
+
+impl CollKind {
+    /// All kinds the tuner covers.
+    pub const ALL: [CollKind; 8] = [
+        CollKind::Barrier,
+        CollKind::Bcast,
+        CollKind::Reduce,
+        CollKind::Allreduce,
+        CollKind::Gather,
+        CollKind::Allgather,
+        CollKind::Allgatherv,
+        CollKind::Alltoall,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Gather => "gather",
+            CollKind::Allgather => "allgather",
+            CollKind::Allgatherv => "allgatherv",
+            CollKind::Alltoall => "alltoall",
+        }
+    }
+}
+
+/// Message-size class a tuning cell covers. Selection buckets the payload
+/// (bytes of the *root/per-rank* buffer, 0 for barrier and the
+/// variable-length collectives) so one table row serves a band of sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// ≤ 4 KiB — latency-bound.
+    Tiny,
+    /// ≤ 64 KiB — around the chunk size.
+    Small,
+    /// ≤ 1 MiB — bandwidth-bound, pipelinable.
+    Large,
+    /// > 1 MiB.
+    Huge,
+}
+
+impl SizeClass {
+    /// Bucket a payload size.
+    pub fn of(bytes: usize) -> SizeClass {
+        if bytes <= 4 * 1024 {
+            SizeClass::Tiny
+        } else if bytes <= 64 * 1024 {
+            SizeClass::Small
+        } else if bytes <= 1024 * 1024 {
+            SizeClass::Large
+        } else {
+            SizeClass::Huge
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeClass::Tiny => "tiny",
+            SizeClass::Small => "small",
+            SizeClass::Large => "large",
+            SizeClass::Huge => "huge",
+        }
+    }
+}
+
+/// Simulated time one algorithm took in one tuning cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoTime {
+    /// The algorithm measured.
+    pub algo: CollAlgo,
+    /// Simulated microseconds per operation (mean over the cell's iters).
+    pub sim_us: f64,
+}
+
+/// One measured cell: the winning algorithm for a
+/// (kind, size class, ranks, nodes) point, with the full measurement so
+/// students can inspect *why* it won.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneCell {
+    /// Collective measured.
+    pub kind: CollKind,
+    /// Payload bucket measured.
+    pub size_class: SizeClass,
+    /// World size.
+    pub ranks: usize,
+    /// Nodes the ranks were block-placed over.
+    pub nodes: usize,
+    /// Payload bytes actually benchmarked (representative of the class).
+    pub probe_bytes: usize,
+    /// The fastest algorithm (ties keep `Flat`).
+    pub best: CollAlgo,
+    /// Every applicable algorithm's measured time, slowest last.
+    pub measured: Vec<AlgoTime>,
+}
+
+/// A persisted set of tuning cells for one machine class. Consulted by
+/// every collective call site via [`resolve`]; see `docs/collectives.md`
+/// for the on-disk format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningTable {
+    /// Machine class the cells were measured on (see [`CI_MACHINE_CLASS`]).
+    pub machine_class: String,
+    /// Format version (bump on incompatible schema changes).
+    pub version: u32,
+    /// Measured cells, in tuner order.
+    pub cells: Vec<TuneCell>,
+}
+
+impl TuningTable {
+    /// Look up the best algorithm for a query point.
+    ///
+    /// Exact `(kind, size class, ranks, nodes)` matches win; otherwise
+    /// the nearest cell of the same kind and size class is used, with
+    /// distance measured on the log scale of (ranks, nodes) — a 48-rank
+    /// query resolves to the 32- or 64-rank cell, never to an 8-rank
+    /// one. Ties prefer the smaller topology. Returns `None` when no
+    /// cell of the kind+class exists at all (callers then fall back to
+    /// [`fallback_algo`]). Pure: same table + query ⇒ same answer.
+    pub fn lookup(
+        &self,
+        kind: CollKind,
+        class: SizeClass,
+        ranks: usize,
+        nodes: usize,
+    ) -> Option<CollAlgo> {
+        let mut best: Option<(f64, usize, usize, CollAlgo)> = None;
+        for cell in &self.cells {
+            if cell.kind != kind || cell.size_class != class {
+                continue;
+            }
+            if cell.ranks == ranks && cell.nodes == nodes {
+                return Some(cell.best);
+            }
+            let d = log_dist(ranks, cell.ranks) + log_dist(nodes, cell.nodes);
+            let key = (d, cell.ranks, cell.nodes, cell.best);
+            let better = match &best {
+                None => true,
+                Some((bd, br, bn, _)) => {
+                    d < *bd || (d == *bd && (cell.ranks, cell.nodes) < (*br, *bn))
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, _, algo)| algo)
+    }
+
+    /// Serialize to pretty JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tuning table serializes")
+    }
+
+    /// Parse the on-disk format.
+    pub fn from_json(s: &str) -> std::result::Result<TuningTable, String> {
+        serde_json::from_str(s).map_err(|e| format!("malformed tuning table: {e}"))
+    }
+
+    /// Load a table from a file.
+    pub fn load(path: &std::path::Path) -> std::result::Result<TuningTable, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read tuning table {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the table to a file (pretty JSON, trailing newline).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// |ln(a/b)| with zero-guarding — the log-scale distance used by
+/// [`TuningTable::lookup`].
+fn log_dist(a: usize, b: usize) -> f64 {
+    let (a, b) = (a.max(1) as f64, b.max(1) as f64);
+    (a.ln() - b.ln()).abs()
+}
+
+/// Can `algo` run this collective at all on this topology/payload?
+/// (Independent of element type; the reduce-family additionally gates
+/// `Hierarchical` on [`crate::Reducible::exact_reassoc`] at the call
+/// site, downgrading via [`constrain`]'s chain.)
+pub fn applicable(
+    algo: CollAlgo,
+    kind: CollKind,
+    bytes: usize,
+    ranks: usize,
+    nodes: usize,
+) -> bool {
+    match algo {
+        CollAlgo::Flat => true,
+        // Leader-based exchange needs ≥ 2 nodes and some node with ≥ 2
+        // ranks; otherwise it degenerates to (a slower bookkeeping of)
+        // the flat algorithm.
+        CollAlgo::Hierarchical => nodes >= 2 && ranks > nodes,
+        // Pipelining needs a payload worth splitting and a tree to
+        // stream through. Only the rooted tree collectives pipeline.
+        CollAlgo::Chunked => {
+            matches!(
+                kind,
+                CollKind::Bcast | CollKind::Reduce | CollKind::Allreduce
+            ) && ranks >= 2
+                && bytes >= 2 * CHUNK_BYTES
+        }
+    }
+}
+
+/// Clamp a requested algorithm to an applicable one, walking the
+/// deterministic downgrade chain `Hierarchical → Chunked → Flat`.
+pub fn constrain(
+    algo: CollAlgo,
+    kind: CollKind,
+    bytes: usize,
+    ranks: usize,
+    nodes: usize,
+) -> CollAlgo {
+    if applicable(algo, kind, bytes, ranks, nodes) {
+        return algo;
+    }
+    if algo == CollAlgo::Hierarchical && applicable(CollAlgo::Chunked, kind, bytes, ranks, nodes) {
+        return CollAlgo::Chunked;
+    }
+    CollAlgo::Flat
+}
+
+/// The deterministic fallback heuristic used when no table cell matches:
+/// pipeline large rooted payloads, go node-aware on multi-node worlds,
+/// otherwise keep the seed algorithm. Pure function of its arguments.
+pub fn fallback_algo(kind: CollKind, bytes: usize, ranks: usize, nodes: usize) -> CollAlgo {
+    if applicable(CollAlgo::Chunked, kind, bytes, ranks, nodes) {
+        CollAlgo::Chunked
+    } else if applicable(CollAlgo::Hierarchical, kind, bytes, ranks, nodes) {
+        CollAlgo::Hierarchical
+    } else {
+        CollAlgo::Flat
+    }
+}
+
+/// Resolve the algorithm for one collective call. Pure function of
+/// `(table, hint, kind, bytes, ranks, nodes)`:
+///
+/// 1. an explicit call-site hint wins (clamped to applicability);
+/// 2. else the tuning table is consulted ([`TuningTable::lookup`]);
+/// 3. else [`fallback_algo`] decides.
+///
+/// With `table = None` and no hint this *always* returns
+/// [`CollAlgo::Flat`] — untuned runs keep the seed behaviour exactly.
+pub fn resolve(
+    table: Option<&TuningTable>,
+    hint: Option<CollAlgo>,
+    kind: CollKind,
+    bytes: usize,
+    ranks: usize,
+    nodes: usize,
+) -> CollAlgo {
+    let want = match hint {
+        Some(algo) => algo,
+        None => match table {
+            None => return CollAlgo::Flat,
+            Some(t) => t
+                .lookup(kind, SizeClass::of(bytes), ranks, nodes)
+                .unwrap_or_else(|| fallback_algo(kind, bytes, ranks, nodes)),
+        },
+    };
+    constrain(want, kind, bytes, ranks, nodes)
+}
+
+/// Topologies the tuner measures: (ranks, nodes). Matches the bench
+/// suite's collective-sweep cells.
+pub const TUNE_TOPOS: [(usize, usize); 3] = [(8, 1), (32, 4), (64, 8)];
+
+/// Per-rank payload sizes probed for the payload-carrying collectives,
+/// one per interesting [`SizeClass`].
+pub const TUNE_SIZES: [usize; 3] = [1024, 64 * 1024, 1024 * 1024];
+
+/// Iterations per (cell, algorithm) measurement. The clock is simulated
+/// and deterministic, so this only smooths per-iteration constants.
+pub const TUNE_ITERS: usize = 3;
+
+/// Measure one (kind, bytes, topology, algorithm) point: simulated
+/// microseconds per operation, on a seed-0 virtual-rank world.
+///
+/// # Errors
+/// Propagates any runtime error from the measurement world.
+pub fn measure(
+    kind: CollKind,
+    bytes: usize,
+    ranks: usize,
+    nodes: usize,
+    algo: CollAlgo,
+) -> Result<f64> {
+    let cfg = WorldConfig::new(ranks)
+        .on_nodes(nodes)
+        .with_virtual(TUNE_WORKERS)
+        .with_sched_seed(0);
+    let elems = (bytes / 8).max(1);
+    let out = World::run(cfg, move |comm| {
+        for _ in 0..TUNE_ITERS {
+            run_one(comm, kind, elems, algo)?;
+        }
+        Ok(())
+    })?;
+    Ok(out.sim_time * 1e6 / TUNE_ITERS as f64)
+}
+
+/// One operation of `kind` under `algo`, with `elems` u64 elements of
+/// per-rank payload. Shared by [`measure`] and `mpi_tune`.
+fn run_one(comm: &mut Comm, kind: CollKind, elems: usize, algo: CollAlgo) -> Result<()> {
+    let rank = comm.rank();
+    let p = comm.size();
+    match kind {
+        CollKind::Barrier => comm.barrier_algo(algo)?,
+        CollKind::Bcast => {
+            let root_data: Vec<u64>;
+            let data = if rank == 0 {
+                root_data = vec![7u64; elems];
+                Some(&root_data[..])
+            } else {
+                None
+            };
+            comm.bcast_algo(data, 0, algo)?;
+        }
+        CollKind::Reduce => {
+            let data = vec![rank as u64 + 1; elems];
+            comm.reduce_algo(&data, Op::Sum, 0, algo)?;
+        }
+        CollKind::Allreduce => {
+            let data = vec![rank as u64 + 1; elems];
+            comm.allreduce_algo(&data, Op::Sum, algo)?;
+        }
+        CollKind::Gather => {
+            let data = vec![rank as u64; elems];
+            comm.gather_algo(&data, 0, algo)?;
+        }
+        CollKind::Allgather => {
+            let data = vec![rank as u64; elems];
+            comm.allgather_algo(&data, algo)?;
+        }
+        CollKind::Allgatherv => {
+            // Variable-length blocks: selection for allgatherv is
+            // topology-only (bytes = 0), so probe with small ragged
+            // blocks regardless of the cell's nominal size.
+            let data = vec![rank as u64; 24 + (rank % 3) * 8];
+            comm.allgatherv_algo(&data, algo)?;
+        }
+        CollKind::Alltoall => {
+            let data: Vec<u64> = (0..elems * p).map(|i| i as u64).collect();
+            comm.alltoall_algo(&data, algo)?;
+        }
+    }
+    Ok(())
+}
+
+/// Payload sizes probed for one kind. Barrier and allgatherv are
+/// payload-less from selection's point of view; the all-to-*
+/// collectives cap the per-rank block at 64 KiB (a 1 MiB block × 64
+/// ranks would be a 4 GiB cell — outside the teaching envelope).
+fn probe_sizes(kind: CollKind) -> &'static [usize] {
+    match kind {
+        CollKind::Barrier | CollKind::Allgatherv => &[0],
+        CollKind::Gather | CollKind::Allgather | CollKind::Alltoall => &TUNE_SIZES[..2],
+        CollKind::Bcast | CollKind::Reduce | CollKind::Allreduce => &TUNE_SIZES[..],
+    }
+}
+
+/// Benchmark every (kind × size class × topology × applicable algorithm)
+/// cell on the simulated clock and return the winning table.
+/// Deterministic: the measurement worlds are virtual-rank, seed 0, so
+/// re-running on any host reproduces the same table bit-for-bit
+/// (`mpi_tune --check` relies on this).
+///
+/// `progress` is called once per finished cell with (done, total).
+///
+/// # Errors
+/// Propagates the first measurement-world failure.
+pub fn autotune(mut progress: impl FnMut(usize, usize)) -> Result<TuningTable> {
+    let mut points: Vec<(CollKind, usize, usize, usize)> = Vec::new();
+    for kind in CollKind::ALL {
+        for &bytes in probe_sizes(kind) {
+            for (ranks, nodes) in TUNE_TOPOS {
+                points.push((kind, bytes, ranks, nodes));
+            }
+        }
+    }
+    let total = points.len();
+    let mut cells = Vec::with_capacity(total);
+    for (done, (kind, bytes, ranks, nodes)) in points.into_iter().enumerate() {
+        let mut measured = Vec::new();
+        for algo in CollAlgo::ALL {
+            if !applicable(algo, kind, bytes, ranks, nodes) {
+                continue;
+            }
+            let sim_us = measure(kind, bytes, ranks, nodes, algo)?;
+            measured.push(AlgoTime { algo, sim_us });
+        }
+        // Winner: strictly fastest; ties keep the earliest entry in
+        // `CollAlgo::ALL` order, i.e. Flat.
+        let best = measured
+            .iter()
+            .min_by(|a, b| {
+                a.sim_us
+                    .partial_cmp(&b.sim_us)
+                    .expect("sim times are finite")
+            })
+            .expect("flat is always applicable")
+            .algo;
+        cells.push(TuneCell {
+            kind,
+            size_class: SizeClass::of(bytes),
+            ranks,
+            nodes,
+            probe_bytes: bytes,
+            best,
+            measured,
+        });
+        progress(done + 1, total);
+    }
+    Ok(TuningTable {
+        machine_class: CI_MACHINE_CLASS.to_string(),
+        version: 1,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(
+        kind: CollKind,
+        class: SizeClass,
+        ranks: usize,
+        nodes: usize,
+        best: CollAlgo,
+    ) -> TuneCell {
+        TuneCell {
+            kind,
+            size_class: class,
+            ranks,
+            nodes,
+            probe_bytes: 0,
+            best,
+            measured: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn untuned_unhinted_is_always_flat() {
+        for kind in CollKind::ALL {
+            for bytes in [0, 1024, 1 << 20, 1 << 24] {
+                assert_eq!(resolve(None, None, kind, bytes, 64, 8), CollAlgo::Flat);
+            }
+        }
+    }
+
+    #[test]
+    fn hints_are_clamped_to_applicability() {
+        // Hierarchical on a single node downgrades (to Chunked for a
+        // large bcast, to Flat for a barrier).
+        assert_eq!(
+            resolve(
+                None,
+                Some(CollAlgo::Hierarchical),
+                CollKind::Bcast,
+                1 << 20,
+                8,
+                1
+            ),
+            CollAlgo::Chunked
+        );
+        assert_eq!(
+            resolve(
+                None,
+                Some(CollAlgo::Hierarchical),
+                CollKind::Barrier,
+                0,
+                8,
+                1
+            ),
+            CollAlgo::Flat
+        );
+        // Chunked below two chunks of payload downgrades to Flat.
+        assert_eq!(
+            resolve(None, Some(CollAlgo::Chunked), CollKind::Bcast, 1024, 8, 1),
+            CollAlgo::Flat
+        );
+        // Chunked never applies to the non-rooted collectives.
+        assert_eq!(
+            resolve(
+                None,
+                Some(CollAlgo::Chunked),
+                CollKind::Allgather,
+                1 << 20,
+                8,
+                1
+            ),
+            CollAlgo::Flat
+        );
+        // Applicable hints stick.
+        assert_eq!(
+            resolve(
+                None,
+                Some(CollAlgo::Chunked),
+                CollKind::Allreduce,
+                1 << 20,
+                32,
+                4
+            ),
+            CollAlgo::Chunked
+        );
+    }
+
+    #[test]
+    fn table_lookup_prefers_exact_then_nearest() {
+        let t = TuningTable {
+            machine_class: CI_MACHINE_CLASS.into(),
+            version: 1,
+            cells: vec![
+                cell(CollKind::Bcast, SizeClass::Large, 8, 1, CollAlgo::Chunked),
+                cell(
+                    CollKind::Bcast,
+                    SizeClass::Large,
+                    64,
+                    8,
+                    CollAlgo::Hierarchical,
+                ),
+            ],
+        };
+        // Exact match.
+        assert_eq!(
+            t.lookup(CollKind::Bcast, SizeClass::Large, 64, 8),
+            Some(CollAlgo::Hierarchical)
+        );
+        // 48 ranks / 6 nodes is nearer (log scale) to 64/8 than to 8/1.
+        assert_eq!(
+            t.lookup(CollKind::Bcast, SizeClass::Large, 48, 6),
+            Some(CollAlgo::Hierarchical)
+        );
+        // Missing kind+class → None (resolve then uses the heuristic).
+        assert_eq!(t.lookup(CollKind::Barrier, SizeClass::Tiny, 64, 8), None);
+    }
+
+    #[test]
+    fn size_classes_bucket_as_documented() {
+        assert_eq!(SizeClass::of(0), SizeClass::Tiny);
+        assert_eq!(SizeClass::of(4096), SizeClass::Tiny);
+        assert_eq!(SizeClass::of(4097), SizeClass::Small);
+        assert_eq!(SizeClass::of(65536), SizeClass::Small);
+        assert_eq!(SizeClass::of(1 << 20), SizeClass::Large);
+        assert_eq!(SizeClass::of((1 << 20) + 1), SizeClass::Huge);
+    }
+
+    #[test]
+    fn table_roundtrips_through_json() {
+        let t = TuningTable {
+            machine_class: CI_MACHINE_CLASS.into(),
+            version: 1,
+            cells: vec![TuneCell {
+                kind: CollKind::Allreduce,
+                size_class: SizeClass::Large,
+                ranks: 32,
+                nodes: 4,
+                probe_bytes: 1 << 20,
+                best: CollAlgo::Chunked,
+                measured: vec![
+                    AlgoTime {
+                        algo: CollAlgo::Flat,
+                        sim_us: 9.5,
+                    },
+                    AlgoTime {
+                        algo: CollAlgo::Chunked,
+                        sim_us: 3.25,
+                    },
+                ],
+            }],
+        };
+        let parsed = TuningTable::from_json(&t.to_json()).expect("roundtrip parses");
+        assert_eq!(parsed, t);
+        assert!(TuningTable::from_json("{\"nope\": 1}").is_err());
+    }
+
+    #[test]
+    fn fallback_matches_postal_model_intuition() {
+        // Large rooted payload → pipeline.
+        assert_eq!(
+            fallback_algo(CollKind::Bcast, 1 << 20, 64, 8),
+            CollAlgo::Chunked
+        );
+        // Small payload on a multi-node world → node-aware.
+        assert_eq!(
+            fallback_algo(CollKind::Barrier, 0, 64, 8),
+            CollAlgo::Hierarchical
+        );
+        // Single node, small payload → the seed algorithm.
+        assert_eq!(
+            fallback_algo(CollKind::Allgather, 1024, 8, 1),
+            CollAlgo::Flat
+        );
+    }
+}

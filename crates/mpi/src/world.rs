@@ -10,6 +10,7 @@ use crate::mailbox::{watchdog, Mailbox, Progress};
 use crate::sched::{Scheduler, VirtualRanks};
 use crate::stats::CommStats;
 use crate::trace::{CollSpan, PhaseSpan, Timeline};
+use crate::tune::TuningTable;
 use pdc_cluster::{CostModel, MachineModel, Placement, PlacementPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -57,6 +58,11 @@ pub struct WorldConfig {
     /// `docs/scheduler.md`). Virtual worlds replace the wall-clock
     /// watchdog with exact deadlock detection.
     pub sched: Option<VirtualRanks>,
+    /// Collective tuning table consulted for algorithm selection (see
+    /// [`crate::tune`] and `docs/collectives.md`). `None` (the default)
+    /// runs every collective with the flat seed algorithm, so untuned
+    /// runs are bit-identical to earlier releases.
+    pub tuning: Option<Arc<TuningTable>>,
 }
 
 impl WorldConfig {
@@ -69,7 +75,10 @@ impl WorldConfig {
     /// * `PDC_MPI_EAGER_THRESHOLD` — eager/rendezvous switch-over in
     ///   bytes (`0` makes every send synchronous);
     /// * `PDC_MPI_WATCHDOG_MS` — watchdog sampling interval in
-    ///   milliseconds (`0` disables deadlock detection).
+    ///   milliseconds (`0` disables deadlock detection);
+    /// * `PDC_MPI_TUNE_FILE` — path to a collective tuning table
+    ///   (`TUNING_mpi.json`, see `docs/collectives.md`); unset runs the
+    ///   flat seed algorithms.
     ///
     /// A malformed override *panics*, naming the offending value — a
     /// benchmark launched with a typo'd threshold must not silently
@@ -105,6 +114,16 @@ impl WorldConfig {
             Err(std::env::VarError::NotPresent) => Some(Duration::from_millis(100)),
             Err(e) => panic!("PDC_MPI_WATCHDOG_MS is not valid unicode: {e}"),
         };
+        let tuning = match std::env::var("PDC_MPI_TUNE_FILE") {
+            Ok(v) => {
+                let path = std::path::PathBuf::from(v.trim());
+                let table = TuningTable::load(&path)
+                    .unwrap_or_else(|e| panic!("PDC_MPI_TUNE_FILE {v:?} did not load: {e}"));
+                Some(Arc::new(table))
+            }
+            Err(std::env::VarError::NotPresent) => None,
+            Err(e) => panic!("PDC_MPI_TUNE_FILE is not valid unicode: {e}"),
+        };
         Self {
             size,
             eager_threshold,
@@ -116,6 +135,7 @@ impl WorldConfig {
             check: CheckMode::Off,
             faults: None,
             sched: None,
+            tuning,
         }
     }
 
@@ -232,6 +252,22 @@ impl WorldConfig {
     /// clinic it powers.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Install a collective tuning table (builder style), overriding
+    /// `PDC_MPI_TUNE_FILE`. Collectives then select algorithms via
+    /// [`crate::tune::resolve`]; selection is a pure function of
+    /// `(table, op, bytes, topology)`, so tuned runs stay deterministic.
+    pub fn with_tuning(mut self, table: TuningTable) -> Self {
+        self.tuning = Some(Arc::new(table));
+        self
+    }
+
+    /// Drop any tuning table (builder style) — including one injected by
+    /// `PDC_MPI_TUNE_FILE` — forcing the flat seed algorithms.
+    pub fn without_tuning(mut self) -> Self {
+        self.tuning = None;
         self
     }
 }
@@ -412,6 +448,7 @@ impl World {
                 let check = cfg.check;
                 let faults = faults.clone();
                 let sched = sched.clone();
+                let tuning = cfg.tuning.clone();
                 let body = move || {
                     // Bind this thread to the cooperative scheduler first
                     // (the guard drops last, retiring the rank after
@@ -428,6 +465,7 @@ impl World {
                         tracing,
                         check,
                         faults,
+                        tuning,
                     );
                     let value = match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
                         Ok(result) => result,

@@ -252,16 +252,19 @@ mod tests {
                 name: "allreduce".into(),
                 seq: 0,
                 enter: 1.0,
+                algo: None,
             }],
             vec![CollSpan {
                 name: "allreduce".into(),
                 seq: 0,
                 enter: 4.0,
+                algo: None,
             }],
             vec![CollSpan {
                 name: "allreduce".into(),
                 seq: 0,
                 enter: 2.0,
+                algo: None,
             }],
         ];
         let traces = vec![Vec::new(); 3];
